@@ -1,0 +1,99 @@
+//! Work-conserving α bounds (Section 3 of the paper, Lemmas 1–2).
+//!
+//! A multiprocessor global scheduler is work-conserving: no CPU idles while
+//! jobs wait. On an FPGA a waiting job may simply not *fit* the idle area,
+//! so the paper quantifies "how work-conserving" a scheduler is by the
+//! guaranteed busy fraction α of the fabric:
+//!
+//! * **Lemma 1** — EDF-FkF is *global*-α-work-conserving with
+//!   `α = 1 − (Amax − 1)/A(H)`: whenever any job waits, at least
+//!   `A(H) − Amax + 1` columns are busy (integer-area argument: an idle gap
+//!   of `Amax − 1` columns cannot host any job).
+//! * **Lemma 2** — EDF-NF is *interval*-α-work-conserving with
+//!   `α = 1 − (Ak − 1)/A(H)` during any interval in which a job of τk
+//!   waits: EDF-NF skips the blocked head-of-queue job and packs smaller,
+//!   later-deadline jobs, so only a gap smaller than `Ak` can remain idle.
+//!
+//! These bounds are exported both as α fractions and as integer
+//! minimum-busy-column counts; the simulator's trace validator asserts them
+//! on every schedule it produces (experiment X8).
+
+use fpga_rt_model::Fpga;
+
+/// Lemma 1: minimum busy columns for EDF-FkF while any job is waiting:
+/// `A(H) − (Amax − 1)`.
+///
+/// `amax` is the largest area of any task that can ever wait. Saturates at
+/// zero when `amax` exceeds the device (such tasksets are rejected upstream).
+pub fn min_busy_columns_fkf(device: &Fpga, amax: u32) -> u32 {
+    device.columns().saturating_sub(amax.saturating_sub(1))
+}
+
+/// Lemma 2: minimum busy columns for EDF-NF while a job of area `ak`
+/// is waiting: `A(H) − (Ak − 1)`.
+pub fn min_busy_columns_nf(device: &Fpga, ak: u32) -> u32 {
+    device.columns().saturating_sub(ak.saturating_sub(1))
+}
+
+/// Lemma 1 as a fraction: `α = 1 − (Amax − 1)/A(H)`.
+pub fn global_alpha_fkf(device: &Fpga, amax: u32) -> f64 {
+    f64::from(min_busy_columns_fkf(device, amax)) / device.area_f64()
+}
+
+/// Lemma 2 as a fraction: `α = 1 − (Ak − 1)/A(H)`.
+pub fn interval_alpha_nf(device: &Fpga, ak: u32) -> f64 {
+    f64::from(min_busy_columns_nf(device, ak)) / device.area_f64()
+}
+
+/// Danne & Platzner's original real-valued α for EDF-FkF,
+/// `α = 1 − Amax/A(H)` — kept for the X3 ablation.
+pub fn danne_alpha_real(device: &Fpga, amax: u32) -> f64 {
+    1.0 - f64::from(amax) / device.area_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma1_integer_columns() {
+        let dev = Fpga::new(10).unwrap();
+        assert_eq!(min_busy_columns_fkf(&dev, 9), 2);
+        assert_eq!(min_busy_columns_fkf(&dev, 1), 10); // multiprocessor case
+        assert!((global_alpha_fkf(&dev, 9) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma2_per_task_columns() {
+        let dev = Fpga::new(10).unwrap();
+        assert_eq!(min_busy_columns_nf(&dev, 6), 5);
+        assert!((interval_alpha_nf(&dev, 6) - 0.5).abs() < 1e-12);
+        // NF's bound is never worse than FkF's for the same waiting job,
+        // since Ak ≤ Amax.
+        for ak in 1..=9 {
+            assert!(min_busy_columns_nf(&dev, ak) >= min_busy_columns_fkf(&dev, 9));
+        }
+    }
+
+    #[test]
+    fn integer_alpha_dominates_danne_real_alpha() {
+        let dev = Fpga::new(100).unwrap();
+        for amax in 1..=100 {
+            assert!(global_alpha_fkf(&dev, amax) > danne_alpha_real(&dev, amax));
+        }
+    }
+
+    #[test]
+    fn unit_area_is_fully_work_conserving() {
+        // With Amax = 1 (multiprocessor), α = 1: plain work conservation.
+        let dev = Fpga::new(4).unwrap();
+        assert_eq!(global_alpha_fkf(&dev, 1), 1.0);
+        assert_eq!(interval_alpha_nf(&dev, 1), 1.0);
+    }
+
+    #[test]
+    fn saturation_on_oversized_tasks() {
+        let dev = Fpga::new(4).unwrap();
+        assert_eq!(min_busy_columns_fkf(&dev, 6), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Bench target for Figures 3(a)/3(b): the per-bin sweep kernel — generate
+//! one binned taskset and evaluate the full series (DP, GN1, GN2, SIM-NF,
+//! SIM-FkF) — at both figure sizes (4 and 10 tasks). Full regeneration is
+//! `cargo run -p fpga-rt-exp --bin figures -- fig3a fig3b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    for workload in [FigureWorkload::fig3a(), FigureWorkload::fig3b()] {
+        // Reduced-scale sweep: full bin count, few samples, short horizon —
+        // the same code path as the figure, sized for a benchmark.
+        let evaluators = standard_evaluators(10.0);
+        group.bench_function(format!("{}/sweep-5-per-bin", workload.id), |b| {
+            b.iter(|| {
+                let mut config = SweepConfig::new(workload, 5, 99);
+                config.bins = UtilizationBins::paper_default();
+                config.threads = 1; // measure the kernel, not the thread pool
+                black_box(run_sweep(&config, &evaluators, None))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

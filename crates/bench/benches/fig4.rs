@@ -1,0 +1,28 @@
+//! Bench target for Figures 4(a)/4(b): the constrained-distribution sweep
+//! kernels (spatially-heavy/temporally-light and the converse). Full
+//! regeneration is `cargo run -p fpga-rt-exp --bin figures -- fig4a fig4b`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for workload in [FigureWorkload::fig4a(), FigureWorkload::fig4b()] {
+        let evaluators = standard_evaluators(10.0);
+        group.bench_function(format!("{}/sweep-5-per-bin", workload.id), |b| {
+            b.iter(|| {
+                let mut config = SweepConfig::new(workload, 5, 99);
+                config.bins = UtilizationBins::paper_default();
+                config.threads = 1;
+                black_box(run_sweep(&config, &evaluators, None))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! 1-D area-manager micro-benchmarks: a full dispatch-round's worth of
+//! placements into a fragmented free-list, per strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_sim::placement::{AreaManager, FitStrategy, PlacementPolicy};
+use std::hint::black_box;
+
+/// Place `areas` into a fresh manager, skipping misfits (NF-style round).
+fn placement_round(policy: PlacementPolicy, total: u32, areas: &[u32]) -> u32 {
+    let mut m = AreaManager::new(policy, total);
+    let mut placed = 0;
+    for &a in areas {
+        if m.place(a, None).is_ok() {
+            placed += 1;
+        }
+    }
+    black_box(m.busy_columns());
+    placed
+}
+
+fn bench_placement(c: &mut Criterion) {
+    // A mix that fragments: alternating small/large areas.
+    let areas: Vec<u32> = (0..64).map(|i| if i % 3 == 0 { 17 } else { 3 + (i % 7) }).collect();
+    let mut group = c.benchmark_group("placement");
+    for (label, policy) in [
+        ("free-migration", PlacementPolicy::FreeMigration),
+        ("first-fit", PlacementPolicy::Contiguous(FitStrategy::FirstFit)),
+        ("best-fit", PlacementPolicy::Contiguous(FitStrategy::BestFit)),
+        ("worst-fit", PlacementPolicy::Contiguous(FitStrategy::WorstFit)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, areas.len()), &areas, |b, areas| {
+            b.iter(|| placement_round(policy, 100, areas))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

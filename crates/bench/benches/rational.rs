@@ -1,0 +1,52 @@
+//! Cost of exact rational arithmetic (`Rat64`) relative to `f64` on the
+//! GN1 inner loop — quantifies what the exact table verdicts cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga_rt_analysis::{Gn1Test, SchedTest};
+use fpga_rt_model::{Fpga, Rat64, TaskSet, Time};
+use std::hint::black_box;
+
+fn exact_ts(n: usize) -> TaskSet<Rat64> {
+    let tuples: Vec<_> = (0..n)
+        .map(|i| {
+            let p = Rat64::from_int(5 + (i as i64 % 15));
+            (
+                Rat64::new(3 * (i as i64 + 1), 2 * (i as i64 + 2)).unwrap(),
+                p,
+                p,
+                1 + (i as u32 % 40),
+            )
+        })
+        .collect();
+    TaskSet::try_from_tuples(&tuples).unwrap()
+}
+
+fn bench_rational(c: &mut Criterion) {
+    let dev = Fpga::new(100).unwrap();
+    let mut group = c.benchmark_group("rational");
+
+    let exact = exact_ts(20);
+    let float = exact.map_time(|v| v.to_f64()).unwrap();
+
+    group.bench_function("gn1/f64/n20", |b| {
+        b.iter(|| black_box(Gn1Test::default().is_schedulable(&float, &dev)))
+    });
+    group.bench_function("gn1/rat64/n20", |b| {
+        b.iter(|| black_box(Gn1Test::default().is_schedulable(&exact, &dev)))
+    });
+
+    // Raw operation cost.
+    let a = Rat64::new(63, 50).unwrap();
+    let bb = Rat64::new(19, 20).unwrap();
+    group.bench_function("rat64/mul-add-div", |b| {
+        b.iter(|| black_box((a * bb + a) / bb))
+    });
+    group.bench_function("f64/mul-add-div", |b| {
+        let (x, y) = (1.26f64, 0.95f64);
+        b.iter(|| black_box((x * y + x) / y))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rational);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Discrete-event engine throughput: one full simulation run (synchronous
+//! release, 50 periods of Tmax) across scheduler kinds and placement
+//! policies, for 4/10/20-task light tasksets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_bench::{device100, light_taskset};
+use fpga_rt_sim::{
+    simulate_f64, FitStrategy, Horizon, PlacementPolicy, SchedulerKind, SimConfig,
+};
+use std::hint::black_box;
+
+fn bench_sim(c: &mut Criterion) {
+    let dev = device100();
+    let mut group = c.benchmark_group("sim_throughput");
+    for &n in &[4usize, 10, 20] {
+        let ts = light_taskset(n, 31);
+        for (label, config) in [
+            (
+                "EDF-NF/free",
+                SimConfig::default()
+                    .with_scheduler(SchedulerKind::EdfNf)
+                    .with_horizon(Horizon::PeriodsOfTmax(50.0)),
+            ),
+            (
+                "EDF-FkF/free",
+                SimConfig::default()
+                    .with_scheduler(SchedulerKind::EdfFkf)
+                    .with_horizon(Horizon::PeriodsOfTmax(50.0)),
+            ),
+            (
+                "EDF-NF/first-fit",
+                SimConfig::default()
+                    .with_scheduler(SchedulerKind::EdfNf)
+                    .with_placement(PlacementPolicy::Contiguous(FitStrategy::FirstFit))
+                    .with_horizon(Horizon::PeriodsOfTmax(50.0)),
+            ),
+            (
+                "EDF-NF/best-fit",
+                SimConfig::default()
+                    .with_scheduler(SchedulerKind::EdfNf)
+                    .with_placement(PlacementPolicy::Contiguous(FitStrategy::BestFit))
+                    .with_horizon(Horizon::PeriodsOfTmax(50.0)),
+            ),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &ts, |b, ts| {
+                b.iter(|| black_box(simulate_f64(ts, &dev, &config).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

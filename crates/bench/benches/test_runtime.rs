@@ -1,0 +1,41 @@
+//! Asymptotic scaling of the three bound tests with taskset size N:
+//! DP is O(N), GN1 is O(N²) and GN2 is O(N³) (the paper's §5 complexity
+//! remark). The reported times should grow accordingly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, SchedTest};
+use fpga_rt_bench::{device100, random_tasksets};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let dev = device100();
+    let mut group = c.benchmark_group("test_runtime");
+    for &n in &[4usize, 10, 20, 50, 100] {
+        let sets = random_tasksets(n, 8, 7);
+        group.bench_with_input(BenchmarkId::new("DP", n), &sets, |b, sets| {
+            b.iter(|| {
+                for ts in sets {
+                    black_box(DpTest::default().is_schedulable(ts, &dev));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GN1", n), &sets, |b, sets| {
+            b.iter(|| {
+                for ts in sets {
+                    black_box(Gn1Test::default().is_schedulable(ts, &dev));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("GN2", n), &sets, |b, sets| {
+            b.iter(|| {
+                for ts in sets {
+                    black_box(Gn2Test::default().is_schedulable(ts, &dev));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

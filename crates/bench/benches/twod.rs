@@ -1,0 +1,65 @@
+//! 2-D extension benchmarks: rectangle placement (bottom-left search) and
+//! a full 2-D simulation run, plus the column-projection bridge cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_2d::{
+    project_to_columns, simulate_2d, Device2D, Grid, Sim2DConfig, TasksetSpec2D,
+};
+use fpga_rt_analysis::{AnyOfTest, SchedTest};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_twod(c: &mut Criterion) {
+    let device = Device2D::new(16, 8).unwrap();
+    let spec = TasksetSpec2D {
+        n_tasks: 6,
+        period_range: (5.0, 20.0),
+        exec_factor_range: (0.05, 0.4),
+        w_range: (2, 8),
+        h_range: (1, 5),
+    };
+    let mut rng = StdRng::seed_from_u64(77);
+    let sets: Vec<_> = (0..4).map(|_| spec.generate(&mut rng)).collect();
+
+    let mut group = c.benchmark_group("twod");
+
+    group.bench_function("grid/place-round-16x8", |b| {
+        let rects: Vec<(u32, u32)> =
+            (0..24).map(|i| (1 + (i % 7) as u32, 1 + (i % 4) as u32)).collect();
+        b.iter(|| {
+            let mut g = Grid::new(&device);
+            let mut placed = 0;
+            for &(w, h) in &rects {
+                if g.place(w, h, None).is_some() {
+                    placed += 1;
+                }
+            }
+            black_box(placed)
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("sim/edf-nf", 6), &sets, |b, sets| {
+        let cfg = Sim2DConfig { horizon_periods: 20.0, ..Sim2DConfig::default() };
+        b.iter(|| {
+            for ts in sets {
+                black_box(simulate_2d(ts, &device, &cfg).unwrap());
+            }
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("projection/any-suite", 6), &sets, |b, sets| {
+        let suite = AnyOfTest::paper_suite();
+        b.iter(|| {
+            for ts in sets {
+                let (ts1d, fpga) = project_to_columns(ts, &device).unwrap();
+                black_box(suite.is_schedulable(&ts1d, &fpga));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_twod);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! # fpga-rt-bench
+//!
+//! Criterion benchmark suite. One bench target per paper artifact plus the
+//! ablation and substrate micro-benchmarks:
+//!
+//! | bench target | paper artifact / purpose |
+//! |---|---|
+//! | `table_examples` | Tables 1–3 verdict computation, f64 vs exact |
+//! | `fig3` | Figures 3(a)/3(b) sweep kernel (analysis + simulation) |
+//! | `fig4` | Figures 4(a)/4(b) sweep kernel |
+//! | `test_runtime` | DP/GN1/GN2 scaling vs N (O(N)/O(N²)/O(N³)) |
+//! | `sim_throughput` | event-engine throughput across schedulers/placements |
+//! | `placement` | 1-D free-list micro-operations |
+//! | `rational` | exact-arithmetic cost vs f64 |
+//! | `ablations` | λ-search and β-denominator configuration costs |
+//!
+//! This library only hosts shared fixture helpers; run the suite with
+//! `cargo bench -p fpga-rt-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fpga_rt_gen::TasksetSpec;
+use fpga_rt_model::{Fpga, TaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The paper's evaluation device: 100 columns.
+pub fn device100() -> Fpga {
+    Fpga::new(100).unwrap()
+}
+
+/// Deterministic unconstrained tasksets of size `n` (paper Figure 3
+/// distribution), `count` of them.
+pub fn random_tasksets(n: usize, count: usize, seed: u64) -> Vec<TaskSet<f64>> {
+    let spec = TasksetSpec::unconstrained(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| spec.generate(&mut rng)).collect()
+}
+
+/// A deterministic light taskset (normalized system utilization well below
+/// 1) for simulator-throughput runs that should not stop at an early miss.
+pub fn light_taskset(n: usize, seed: u64) -> TaskSet<f64> {
+    let spec = TasksetSpec {
+        n_tasks: n,
+        period_range: (5.0, 20.0),
+        exec_factor_range: (0.0, 0.25),
+        area_range: (1, 30),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    spec.generate(&mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(random_tasksets(4, 3, 1), random_tasksets(4, 3, 1));
+        assert_eq!(light_taskset(10, 2), light_taskset(10, 2));
+    }
+
+    #[test]
+    fn light_taskset_is_light() {
+        let ts = light_taskset(10, 3);
+        assert!(ts.normalized_system_utilization(&device100()) < 1.0);
+    }
+}

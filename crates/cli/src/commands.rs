@@ -1,0 +1,373 @@
+//! Subcommand implementations.
+
+use crate::io::{device_from, taskset_from};
+use crate::ExitCode;
+use fpga_rt_analysis::{
+    AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport,
+};
+use fpga_rt_exp::cli::Args;
+use fpga_rt_gen::{FigureWorkload, TasksetSpec};
+use fpga_rt_model::{Fpga, Rat64, TaskSet};
+use fpga_rt_sim::{
+    simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind,
+    SimConfig,
+};
+use std::io::Write;
+
+type CmdResult = Result<ExitCode, String>;
+
+fn report_line(out: &mut dyn Write, rep: &TestReport, verbose: bool) {
+    if verbose {
+        let _ = write!(out, "{}", rep.summarize());
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<12} {}",
+            rep.test,
+            if rep.accepted() { "accept" } else { "reject" }
+        );
+    }
+}
+
+/// `fpga-rt check` — run schedulability tests on a taskset file.
+pub fn check(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let ts = taskset_from(args)?;
+    let dev = device_from(args)?;
+    let which = args.flags.get("test").map(String::as_str).unwrap_or("any");
+    let verbose = args.has("verbose");
+    let exact = args.has("exact");
+
+    let run_on = |out: &mut dyn Write, ts_f: &TaskSet<f64>| -> Result<bool, String> {
+        let reports: Vec<TestReport> = if exact {
+            // Model validation guarantees finite inputs, so the continued-
+            // fraction conversion cannot fail here.
+            let ts_x = ts_f
+                .map_time(|v| {
+                    Rat64::approx_f64(v, 1_000_000).expect("validated finite task parameters")
+                })
+                .map_err(|e| e.to_string())?;
+            selected_tests(which)?
+                .iter()
+                .map(|t| t.check_exact(&ts_x, &dev))
+                .collect()
+        } else {
+            selected_tests(which)?
+                .iter()
+                .map(|t| t.check_f64(ts_f, &dev))
+                .collect()
+        };
+        let mut any = false;
+        for rep in &reports {
+            report_line(out, rep, verbose);
+            any |= rep.accepted();
+        }
+        Ok(any)
+    };
+
+    let accepted = run_on(out, &ts)?;
+    Ok(if accepted { ExitCode::Accepted } else { ExitCode::Rejected })
+}
+
+/// A test selectable from the command line, runnable in both numeric modes.
+enum CliTest {
+    Dp(DpTest),
+    Gn1(Gn1Test),
+    Gn2(Gn2Test),
+    Nec(NecessaryTest),
+    Any,
+}
+
+impl CliTest {
+    fn check_f64(&self, ts: &TaskSet<f64>, dev: &Fpga) -> TestReport {
+        match self {
+            CliTest::Dp(t) => t.check(ts, dev),
+            CliTest::Gn1(t) => t.check(ts, dev),
+            CliTest::Gn2(t) => t.check(ts, dev),
+            CliTest::Nec(t) => t.check(ts, dev),
+            CliTest::Any => AnyOfTest::paper_suite().check(ts, dev),
+        }
+    }
+
+    fn check_exact(&self, ts: &TaskSet<Rat64>, dev: &Fpga) -> TestReport {
+        match self {
+            CliTest::Dp(t) => t.check(ts, dev),
+            CliTest::Gn1(t) => t.check(ts, dev),
+            CliTest::Gn2(t) => t.check(ts, dev),
+            CliTest::Nec(t) => t.check(ts, dev),
+            CliTest::Any => AnyOfTest::paper_suite().check(ts, dev),
+        }
+    }
+}
+
+fn selected_tests(which: &str) -> Result<Vec<CliTest>, String> {
+    Ok(match which {
+        "dp" => vec![CliTest::Dp(DpTest::default())],
+        "gn1" => vec![CliTest::Gn1(Gn1Test::default())],
+        "gn2" => vec![CliTest::Gn2(Gn2Test::default())],
+        "nec" => vec![CliTest::Nec(NecessaryTest)],
+        "any" => vec![CliTest::Any],
+        "all" => vec![
+            CliTest::Dp(DpTest::default()),
+            CliTest::Gn1(Gn1Test::default()),
+            CliTest::Gn2(Gn2Test::default()),
+        ],
+        other => return Err(format!("unknown test {other:?} (dp|gn1|gn2|nec|any|all)")),
+    })
+}
+
+/// `fpga-rt simulate` — run the discrete-event simulator.
+pub fn simulate(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let ts = taskset_from(args)?;
+    let dev = device_from(args)?;
+
+    let scheduler = match args.flags.get("scheduler").map(String::as_str).unwrap_or("nf") {
+        "nf" => SchedulerKind::EdfNf,
+        "fkf" => SchedulerKind::EdfFkf,
+        other => return Err(format!("unknown scheduler {other:?} (nf|fkf)")),
+    };
+    let placement = match args.flags.get("placement").map(String::as_str).unwrap_or("free") {
+        "free" => PlacementPolicy::FreeMigration,
+        "first-fit" => PlacementPolicy::Contiguous(FitStrategy::FirstFit),
+        "best-fit" => PlacementPolicy::Contiguous(FitStrategy::BestFit),
+        "worst-fit" => PlacementPolicy::Contiguous(FitStrategy::WorstFit),
+        other => {
+            return Err(format!(
+                "unknown placement {other:?} (free|first-fit|best-fit|worst-fit)"
+            ))
+        }
+    };
+    let mut config = SimConfig::default()
+        .with_scheduler(scheduler)
+        .with_placement(placement)
+        .with_horizon(Horizon::PeriodsOfTmax(args.get("horizon", 100.0)));
+    let oh = args.get("overhead-per-column", 0.0f64);
+    if oh > 0.0 {
+        config = config.with_overhead(ReconfigOverhead::PerColumn(oh));
+    }
+    if args.has("trace") {
+        config = config.with_full_trace();
+    }
+
+    let outcome = simulate_f64(&ts, &dev, &config).map_err(|e| e.to_string())?;
+    let m = &outcome.metrics;
+    let _ = writeln!(
+        out,
+        "span {:.3}: released {}, completed {}, preemptions {}, placements {}",
+        m.span, m.released, m.completed, m.preemptions, m.placements
+    );
+    let _ = writeln!(out, "mean fabric utilization: {:.3}", m.mean_utilization(dev.columns()));
+    for (k, r) in m.response.iter().enumerate() {
+        if let Some(mean) = r.mean() {
+            let _ = writeln!(out, "  τ{k}: max response {:.3}, mean {:.3}", r.max, mean);
+        }
+    }
+    match outcome.first_miss() {
+        None => {
+            let _ = writeln!(out, "no deadline miss");
+            if let Some(trace) = &outcome.trace {
+                let _ = write!(out, "{}", trace.render_ascii(ts.len(), 72));
+            }
+            Ok(ExitCode::Accepted)
+        }
+        Some(miss) => {
+            let _ = writeln!(
+                out,
+                "MISS: {} job #{} at t={:.3} ({:.3} work left)",
+                miss.task, miss.job_index, miss.time, miss.remaining
+            );
+            Ok(ExitCode::Rejected)
+        }
+    }
+}
+
+/// `fpga-rt size` — smallest device passing each test (binary search; all
+/// tests are monotone in the device size, see the scale-invariance property
+/// tests).
+pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let ts = taskset_from(args)?;
+    let max = args.get("max", 1000u32);
+    let lo = ts.amax();
+
+    let minimal = |accepts: &dyn Fn(&Fpga) -> bool| -> Option<u32> {
+        let hi_dev = Fpga::new(max).ok()?;
+        if !accepts(&hi_dev) {
+            return None;
+        }
+        let (mut lo, mut hi) = (lo.max(1), max);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if accepts(&Fpga::new(mid).ok()?) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    };
+
+    let dp = minimal(&|d| DpTest::default().is_schedulable(&ts, d));
+    let gn1 = minimal(&|d| Gn1Test::default().is_schedulable(&ts, d));
+    let gn2 = minimal(&|d| Gn2Test::default().is_schedulable(&ts, d));
+    let any = minimal(&|d| AnyOfTest::paper_suite().is_schedulable(&ts, d));
+    for (name, v) in [("DP", dp), ("GN1", gn1), ("GN2", gn2), ("DP∪GN1∪GN2", any)] {
+        match v {
+            Some(c) => {
+                let _ = writeln!(out, "{name:<12} {c} columns");
+            }
+            None => {
+                let _ = writeln!(out, "{name:<12} none ≤ {max}");
+            }
+        }
+    }
+    Ok(if any.is_some() { ExitCode::Accepted } else { ExitCode::Rejected })
+}
+
+/// `fpga-rt generate` — emit a random taskset as JSON.
+pub fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let seed = args.get("seed", 42u64);
+    let spec = match args.flags.get("figure") {
+        Some(id) => {
+            FigureWorkload::by_id(id)
+                .ok_or_else(|| format!("unknown figure {id:?}"))?
+                .spec
+        }
+        None => TasksetSpec::unconstrained(args.get("n", 10usize)),
+    };
+    let ts = spec.generate(&mut StdRng::seed_from_u64(seed));
+    let json = if args.has("pretty") {
+        serde_json::to_string_pretty(&ts)
+    } else {
+        serde_json::to_string(&ts)
+    }
+    .map_err(|e| e.to_string())?;
+    let _ = writeln!(out, "{json}");
+    Ok(ExitCode::Accepted)
+}
+
+/// `fpga-rt tables` — the paper's Tables 1–3 verdict matrix.
+pub fn tables(out: &mut dyn Write) -> CmdResult {
+    for case in fpga_rt_exp::tables::paper_tables() {
+        let _ = write!(out, "{}", fpga_rt_exp::tables::render_table_case(&case));
+        let _ = writeln!(out);
+    }
+    Ok(ExitCode::Accepted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_taskset(name: &str, tuples: &[(f64, f64, f64, u32)]) -> String {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(tuples).unwrap();
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, serde_json::to_string(&ts).unwrap()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn args(line: &[&str]) -> Args {
+        Args::from_args(line.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn check_accepts_table3_via_gn2() {
+        let path = write_taskset("t3.json", &[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]);
+        let mut buf = Vec::new();
+        let code = check(
+            &args(&["--taskset", &path, "--columns", "10", "--test", "all", "--verbose"]),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("[GN2] ACCEPTED"));
+        assert!(text.contains("[DP] REJECTED"));
+    }
+
+    #[test]
+    fn check_exact_mode_runs() {
+        let path = write_taskset("t1.json", &[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]);
+        let mut buf = Vec::new();
+        let code = check(
+            &args(&["--taskset", &path, "--columns", "10", "--test", "gn2", "--exact"]),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Rejected, "Table 1 is rejected by GN2");
+    }
+
+    #[test]
+    fn check_rejects_unknown_test() {
+        let path = write_taskset("t3b.json", &[(1.0, 5.0, 5.0, 1)]);
+        assert!(check(
+            &args(&["--taskset", &path, "--columns", "10", "--test", "zzz"]),
+            &mut Vec::new()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn simulate_reports_miss_and_clean() {
+        let clean = write_taskset("clean.json", &[(1.0, 5.0, 5.0, 4)]);
+        let mut buf = Vec::new();
+        let code =
+            simulate(&args(&["--taskset", &clean, "--columns", "10"]), &mut buf).unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        assert!(String::from_utf8(buf).unwrap().contains("no deadline miss"));
+
+        let over = write_taskset("over.json", &[(4.0, 5.0, 5.0, 6), (4.0, 5.0, 5.0, 6)]);
+        let mut buf = Vec::new();
+        let code = simulate(&args(&["--taskset", &over, "--columns", "10"]), &mut buf).unwrap();
+        assert_eq!(code, ExitCode::Rejected);
+        assert!(String::from_utf8(buf).unwrap().contains("MISS"));
+    }
+
+    #[test]
+    fn simulate_with_trace_prints_gantt() {
+        let path = write_taskset("tr.json", &[(1.0, 5.0, 5.0, 4)]);
+        let mut buf = Vec::new();
+        simulate(
+            &args(&["--taskset", &path, "--columns", "10", "--trace", "--horizon", "3"]),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8(buf).unwrap().contains('#'));
+    }
+
+    #[test]
+    fn size_finds_minimums() {
+        let path = write_taskset("sz.json", &[(1.0, 10.0, 10.0, 5), (1.0, 8.0, 8.0, 3)]);
+        let mut buf = Vec::new();
+        let code = size(&args(&["--taskset", &path]), &mut buf).unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("DP"));
+        assert!(text.contains("columns"));
+    }
+
+    #[test]
+    fn generate_emits_valid_taskset_json() {
+        let mut buf = Vec::new();
+        generate(&args(&["--n", "5", "--seed", "7"]), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let ts: TaskSet<f64> = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(ts.len(), 5);
+        // Deterministic.
+        let mut buf2 = Vec::new();
+        generate(&args(&["--n", "5", "--seed", "7"]), &mut buf2).unwrap();
+        assert_eq!(text, String::from_utf8(buf2).unwrap());
+    }
+
+    #[test]
+    fn generate_figure_spec() {
+        let mut buf = Vec::new();
+        generate(&args(&["--figure", "fig4a", "--seed", "1"]), &mut buf).unwrap();
+        let ts: TaskSet<f64> =
+            serde_json::from_str(String::from_utf8(buf).unwrap().trim()).unwrap();
+        assert_eq!(ts.len(), 10);
+        assert!(ts.amin() >= 50);
+    }
+}

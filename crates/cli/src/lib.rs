@@ -1,0 +1,98 @@
+//! Library backing the `fpga-rt` command-line tool (kept as a library so
+//! every subcommand is unit-testable without spawning processes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod io;
+
+use fpga_rt_exp::cli::Args;
+use std::io::Write;
+
+/// Process exit semantics of the tool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitCode {
+    /// Verdict was "accepted" / simulation clean (exit 0).
+    Accepted,
+    /// Verdict was "rejected" / simulation missed (exit 1).
+    Rejected,
+    /// Usage or input error (exit 2) with a message.
+    Error(String),
+}
+
+/// Dispatch a full command line (already split, without the binary name).
+pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
+    let Some((cmd, rest)) = args.split_first() else {
+        return ExitCode::Error(usage());
+    };
+    let parsed = Args::from_args(rest.iter().cloned());
+    let result = match cmd.as_str() {
+        "check" => commands::check(&parsed, out),
+        "simulate" => commands::simulate(&parsed, out),
+        "size" => commands::size(&parsed, out),
+        "generate" => commands::generate(&parsed, out),
+        "tables" => commands::tables(out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(ExitCode::Accepted)
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => ExitCode::Error(msg),
+    }
+}
+
+/// One-screen usage text.
+pub fn usage() -> String {
+    "usage: fpga-rt <command> [flags]\n\
+     commands:\n\
+     \x20 check     --taskset FILE --columns N [--test any|dp|gn1|gn2|nec] [--exact] [--verbose]\n\
+     \x20 simulate  --taskset FILE --columns N [--scheduler nf|fkf] [--horizon P]\n\
+     \x20           [--placement free|first-fit|best-fit|worst-fit] [--overhead-per-column X] [--trace]\n\
+     \x20 size      --taskset FILE [--max N]\n\
+     \x20 generate  --n N [--seed S] [--figure fig3a|fig3b|fig4a|fig4b] [--pretty]\n\
+     \x20 tables    (reproduce the paper's Tables 1-3)"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_str(line: &[&str]) -> (ExitCode, String) {
+        let args: Vec<String> = line.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let code = run(&args, &mut buf);
+        (code, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn no_args_is_error_with_usage() {
+        let (code, _) = run_str(&[]);
+        assert!(matches!(code, ExitCode::Error(msg) if msg.contains("usage")));
+    }
+
+    #[test]
+    fn unknown_command_is_error() {
+        let (code, _) = run_str(&["frobnicate"]);
+        assert!(matches!(code, ExitCode::Error(_)));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (code, out) = run_str(&["help"]);
+        assert_eq!(code, ExitCode::Accepted);
+        assert!(out.contains("simulate"));
+    }
+
+    #[test]
+    fn tables_runs() {
+        let (code, out) = run_str(&["tables"]);
+        assert_eq!(code, ExitCode::Accepted);
+        assert!(out.contains("Table 3"));
+        assert!(out.contains("accept"));
+    }
+}

@@ -1,0 +1,30 @@
+//! `fpga-rt` — command-line front-end for the IPDPS'07 EDF schedulability
+//! toolkit.
+//!
+//! ```text
+//! fpga-rt check    --taskset set.json --columns 100 [--test any|dp|gn1|gn2|nec] [--exact]
+//! fpga-rt simulate --taskset set.json --columns 100 [--scheduler nf|fkf] [--horizon 100]
+//!                  [--placement free|first-fit|best-fit|worst-fit]
+//!                  [--overhead-per-column X] [--trace]
+//! fpga-rt size     --taskset set.json [--max 1000]
+//! fpga-rt generate --n 10 --seed 42 [--figure fig3b] [--pretty]
+//! fpga-rt tables
+//! ```
+//!
+//! Tasksets are JSON arrays of `{"exec": C, "deadline": D, "period": T,
+//! "area": A}` objects (the serde form of `TaskSet<f64>`). Exit codes:
+//! 0 = accepted / no miss, 1 = rejected / miss, 2 = usage or input error.
+
+use fpga_rt_cli::{run, ExitCode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        ExitCode::Accepted => std::process::exit(0),
+        ExitCode::Rejected => std::process::exit(1),
+        ExitCode::Error(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}

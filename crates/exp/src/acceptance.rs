@@ -1,0 +1,356 @@
+//! Acceptance-ratio sweeps: the machinery behind Figures 3(a)–4(b).
+//!
+//! A sweep draws `per_bin` tasksets in every utilization bin, runs every
+//! [`Evaluator`] on each taskset, and reports one acceptance-ratio series
+//! per evaluator. Work is sharded across threads by bin × sample with
+//! per-sample deterministic RNG seeding, so results are independent of the
+//! thread count.
+
+use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, SchedTest};
+use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
+use fpga_rt_model::{Fpga, TaskSet};
+use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Shared accept/reject predicate.
+type DecideFn = Arc<dyn Fn(&TaskSet<f64>, &Fpga) -> bool + Send + Sync>;
+
+/// A named accept/reject predicate over `f64` tasksets.
+#[derive(Clone)]
+pub struct Evaluator {
+    /// Series name (`"DP"`, `"SIM-NF"`, ...).
+    pub name: String,
+    decide: DecideFn,
+}
+
+impl Evaluator {
+    /// Wrap any closure.
+    pub fn new(
+        name: impl Into<String>,
+        decide: impl Fn(&TaskSet<f64>, &Fpga) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Evaluator { name: name.into(), decide: Arc::new(decide) }
+    }
+
+    /// Wrap an analytic schedulability test.
+    pub fn from_test<S>(test: S) -> Self
+    where
+        S: SchedTest<f64> + Send + Sync + 'static,
+    {
+        let name = test.name().to_string();
+        Evaluator::new(name, move |ts, dev| test.is_schedulable(ts, dev))
+    }
+
+    /// Wrap a simulation run (synchronous release, stop at first miss):
+    /// accepted iff no deadline is missed within `horizon_factor × Tmax`.
+    pub fn from_sim(kind: SchedulerKind, horizon_factor: f64) -> Self {
+        let name = format!("SIM-{}", kind.name().trim_start_matches("EDF-"));
+        Evaluator::new(name, move |ts, dev| {
+            let cfg = SimConfig::default()
+                .with_scheduler(kind.clone())
+                .with_horizon(Horizon::PeriodsOfTmax(horizon_factor));
+            simulate_f64(ts, dev, &cfg).map(|o| o.schedulable()).unwrap_or(false)
+        })
+    }
+
+    /// Wrap a fully custom simulation configuration under an explicit
+    /// series name (placement/overhead studies). The horizon in `config` is
+    /// used as-is.
+    pub fn from_sim_config(name: impl Into<String>, config: SimConfig) -> Self {
+        Evaluator::new(name, move |ts, dev| {
+            simulate_f64(ts, dev, &config).map(|o| o.schedulable()).unwrap_or(false)
+        })
+    }
+
+    /// Run the predicate.
+    pub fn accepts(&self, ts: &TaskSet<f64>, dev: &Fpga) -> bool {
+        (self.decide)(ts, dev)
+    }
+}
+
+impl core::fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Evaluator({})", self.name)
+    }
+}
+
+/// The paper's figure series: DP, GN1, GN2 and the two simulations.
+pub fn standard_evaluators(sim_horizon_factor: f64) -> Vec<Evaluator> {
+    vec![
+        Evaluator::from_test(DpTest::default()),
+        Evaluator::from_test(Gn1Test::default()),
+        Evaluator::from_test(Gn2Test::default()),
+        Evaluator::from_sim(SchedulerKind::EdfNf, sim_horizon_factor),
+        Evaluator::from_sim(SchedulerKind::EdfFkf, sim_horizon_factor),
+    ]
+}
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Which figure workload to draw from.
+    pub workload: FigureWorkload,
+    /// Utilization bins (x-axis).
+    pub bins: UtilizationBins,
+    /// Tasksets per bin (the paper uses ≥10 000 per experiment group).
+    pub per_bin: usize,
+    /// Base RNG seed; every (bin, sample) derives its own stream.
+    pub seed: u64,
+    /// Bin-filling strategy.
+    pub strategy: BinningStrategy,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// Reasonable defaults for a workload: paper bins, scaled strategy.
+    pub fn new(workload: FigureWorkload, per_bin: usize, seed: u64) -> Self {
+        SweepConfig {
+            workload,
+            bins: UtilizationBins::paper_default(),
+            per_bin,
+            seed,
+            strategy: workload.strategy,
+            threads: 0,
+        }
+    }
+}
+
+/// One x/y point of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Bin-center normalized system utilization.
+    pub utilization: f64,
+    /// Tasksets evaluated in this bin.
+    pub samples: usize,
+    /// Tasksets accepted.
+    pub accepted: usize,
+}
+
+impl SeriesPoint {
+    /// Acceptance ratio (`NaN`-free: 0 when the bin is empty).
+    pub fn ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.samples as f64
+        }
+    }
+}
+
+/// One evaluator's acceptance curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceSeries {
+    /// Evaluator name.
+    pub name: String,
+    /// Points in bin order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A complete sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Workload id (`"fig3a"`, ...).
+    pub workload_id: String,
+    /// Workload caption.
+    pub caption: String,
+    /// Per-evaluator series, in evaluator order.
+    pub series: Vec<AcceptanceSeries>,
+}
+
+impl SweepResult {
+    /// Look up a series by name.
+    pub fn series_named(&self, name: &str) -> Option<&AcceptanceSeries> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+/// Derive a per-sample seed that is stable regardless of scheduling.
+fn sample_seed(base: u64, bin: usize, sample: usize) -> u64 {
+    // SplitMix64 over a combined index: cheap, well-distributed.
+    let mut z = base
+        .wrapping_add((bin as u64) << 32)
+        .wrapping_add(sample as u64)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run a sweep. Deterministic for a given `config` (independent of
+/// `threads`); progress is reported through `progress` as bins complete
+/// (may be `None`).
+pub fn run_sweep(
+    config: &SweepConfig,
+    evaluators: &[Evaluator],
+    progress: Option<&dyn Fn(usize, usize)>,
+) -> SweepResult {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let device = config.workload.device();
+    let generator = BinnedGenerator::new(
+        config.workload.spec,
+        config.workload.device_columns,
+        config.bins,
+    )
+    .with_strategy(config.strategy);
+
+    let n_bins = config.bins.n;
+    let n_eval = evaluators.len();
+    let total_units = n_bins * config.per_bin;
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+
+    // counts[bin][evaluator] = (samples, accepted)
+    let mut counts = vec![vec![(0usize, 0usize); n_eval]; n_bins];
+    let next_unit = AtomicUsize::new(0);
+    let done_units = AtomicUsize::new(0);
+
+    let partials: Vec<Vec<Vec<(usize, usize)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let generator = &generator;
+                let next_unit = &next_unit;
+                let done_units = &done_units;
+                let device = &device;
+                scope.spawn(move || {
+                    let mut local = vec![vec![(0usize, 0usize); n_eval]; n_bins];
+                    loop {
+                        let unit = next_unit.fetch_add(1, Ordering::Relaxed);
+                        if unit >= total_units {
+                            break;
+                        }
+                        let bin = unit / config.per_bin;
+                        let sample = unit % config.per_bin;
+                        let mut rng =
+                            StdRng::seed_from_u64(sample_seed(config.seed, bin, sample));
+                        if let Some(ts) = generator.sample_in_bin(bin, &mut rng) {
+                            for (e, ev) in evaluators.iter().enumerate() {
+                                let ok = ev.accepts(&ts, device);
+                                local[bin][e].0 += 1;
+                                if ok {
+                                    local[bin][e].1 += 1;
+                                }
+                            }
+                        }
+                        done_units.fetch_add(1, Ordering::Relaxed);
+                    }
+                    local
+                })
+            })
+            .collect();
+        let partials: Vec<_> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+        if let Some(p) = progress {
+            p(done_units.load(Ordering::Relaxed), total_units);
+        }
+        partials
+    });
+
+    for local in partials {
+        for (bin, row) in local.into_iter().enumerate() {
+            for (e, (s, a)) in row.into_iter().enumerate() {
+                counts[bin][e].0 += s;
+                counts[bin][e].1 += a;
+            }
+        }
+    }
+
+    let series = evaluators
+        .iter()
+        .enumerate()
+        .map(|(e, ev)| AcceptanceSeries {
+            name: ev.name.clone(),
+            points: (0..n_bins)
+                .map(|bin| SeriesPoint {
+                    utilization: config.bins.center(bin),
+                    samples: counts[bin][e].0,
+                    accepted: counts[bin][e].1,
+                })
+                .collect(),
+        })
+        .collect();
+
+    SweepResult {
+        workload_id: config.workload.id.to_string(),
+        caption: config.workload.caption.to_string(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep(threads: usize) -> SweepResult {
+        let mut config = SweepConfig::new(FigureWorkload::fig3a(), 8, 42);
+        config.bins = UtilizationBins::new(0.0, 1.0, 5);
+        config.threads = threads;
+        let evals = vec![
+            Evaluator::from_test(DpTest::default()),
+            Evaluator::from_test(Gn1Test::default()),
+        ];
+        run_sweep(&config, &evals, None)
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let a = tiny_sweep(1);
+        let b = tiny_sweep(4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sweep_shape_is_sane() {
+        let r = tiny_sweep(2);
+        assert_eq!(r.workload_id, "fig3a");
+        assert_eq!(r.series.len(), 2);
+        for s in &r.series {
+            assert_eq!(s.points.len(), 5);
+            for p in &s.points {
+                assert!(p.samples <= 8);
+                assert!(p.accepted <= p.samples);
+            }
+        }
+        // Acceptance at the lowest utilization must be at least as high as
+        // at the highest (weak monotonicity over a coarse grid).
+        let dp = r.series_named("DP").unwrap();
+        assert!(dp.points[0].ratio() >= dp.points[4].ratio());
+    }
+
+    #[test]
+    fn simulation_evaluator_runs() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap();
+        let dev = Fpga::new(10).unwrap();
+        let ev = Evaluator::from_sim(SchedulerKind::EdfNf, 20.0);
+        assert_eq!(ev.name, "SIM-NF");
+        assert!(ev.accepts(&ts, &dev));
+        let overload: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(4.9, 5.0, 5.0, 9), (4.9, 5.0, 5.0, 9)]).unwrap();
+        assert!(!ev.accepts(&overload, &dev));
+    }
+
+    #[test]
+    fn standard_suite_has_five_series() {
+        let evals = standard_evaluators(20.0);
+        let names: Vec<&str> = evals.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["DP", "GN1", "GN2", "SIM-NF", "SIM-FkF"]);
+    }
+
+    #[test]
+    fn sample_seed_is_injective_enough() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for bin in 0..20 {
+            for sample in 0..100 {
+                assert!(seen.insert(sample_seed(7, bin, sample)));
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Run the configuration ablations X1–X3 (DESIGN.md §5) on a figure
+//! workload.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin ablations -- --per-bin 200
+//! ```
+
+use fpga_rt_exp::ablations::{all_ablations, run_ablation};
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::output::render_text;
+use fpga_rt_gen::FigureWorkload;
+
+fn main() {
+    let args = Args::parse();
+    let per_bin = args.get("per-bin", 200usize);
+    let seed = args.get("seed", 20070326u64);
+    let workload_id = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "fig3b".to_string());
+    let workload =
+        FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));
+
+    for ablation in all_ablations() {
+        println!("== {} — {}", ablation.id, ablation.description);
+        let result = run_ablation(&ablation, workload, per_bin, seed);
+        let text = render_text(&result);
+        println!("{text}");
+        if args.has("write") {
+            write_result(&out_dir(&args), &format!("{}.txt", ablation.id), &text)
+                .expect("write results");
+        }
+    }
+}

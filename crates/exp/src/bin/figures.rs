@@ -1,0 +1,66 @@
+//! Regenerate the acceptance-ratio figures (Figures 3(a), 3(b), 4(a),
+//! 4(b)): acceptance ratio vs. total (normalized) system utilization for
+//! DP, GN1, GN2 and simulation under EDF-NF and EDF-FkF.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin figures                # all four
+//! cargo run --release -p fpga-rt-exp --bin figures -- fig3b       # one
+//! cargo run --release -p fpga-rt-exp --bin figures -- --per-bin 500 --quick
+//! ```
+//!
+//! Flags: `--per-bin N` (default 500; the paper's "≥10000 per group" spreads
+//! over 20 bins, i.e. ≈500/bin), `--seed N`, `--sim-horizon F` (default 50
+//! periods of Tmax), `--no-sim`, `--quick` (50/bin, horizon 20), `--write`
+//! (drop text/markdown/CSV into `results/`).
+
+use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::output::{render_csv, render_markdown, render_text};
+use fpga_rt_gen::FigureWorkload;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has("quick");
+    let per_bin = args.get("per-bin", if quick { 50 } else { 500 });
+    let seed = args.get("seed", 20070326u64);
+    let horizon = args.get("sim-horizon", if quick { 20.0 } else { 50.0 });
+    let with_sim = !args.has("no-sim");
+
+    let workloads: Vec<FigureWorkload> = if args.positional.is_empty() {
+        FigureWorkload::all()
+    } else {
+        args.positional
+            .iter()
+            .map(|id| {
+                FigureWorkload::by_id(id)
+                    .unwrap_or_else(|| panic!("unknown figure id {id:?} (use fig3a/fig3b/fig4a/fig4b)"))
+            })
+            .collect()
+    };
+
+    let mut evaluators = standard_evaluators(horizon);
+    if !with_sim {
+        evaluators.retain(|e| !e.name.starts_with("SIM"));
+    }
+
+    for workload in workloads {
+        let start = Instant::now();
+        let config = SweepConfig::new(workload, per_bin, seed);
+        let result = run_sweep(&config, &evaluators, None);
+        let text = render_text(&result);
+        println!(
+            "{text}  ({} tasksets/bin, seed {seed}, {:.1}s)\n",
+            per_bin,
+            start.elapsed().as_secs_f64()
+        );
+        if args.has("write") {
+            let dir = out_dir(&args);
+            write_result(&dir, &format!("{}.txt", workload.id), &text).expect("write");
+            write_result(&dir, &format!("{}.md", workload.id), &render_markdown(&result))
+                .expect("write");
+            write_result(&dir, &format!("{}.csv", workload.id), &render_csv(&result))
+                .expect("write");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! X6 — reconfiguration-overhead sensitivity (the paper's assumption 3 says
+//! overhead is "in the range of milliseconds ... proportional to the size of
+//! area reconfigured" and suggests folding it into execution times).
+//!
+//! Two views:
+//!
+//! 1. **Simulation**: acceptance of EDF-NF as per-column overhead grows.
+//! 2. **Analysis with inflated C**: the paper's recipe — add the (maximum)
+//!    overhead to each task's execution time and re-run the bound tests.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin overhead_study -- --per-bin 200
+//! ```
+
+use fpga_rt_exp::acceptance::{run_sweep, Evaluator, SweepConfig};
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::output::render_text;
+use fpga_rt_gen::FigureWorkload;
+use fpga_rt_analysis::{AnyOfTest, SchedTest};
+use fpga_rt_sim::{Horizon, ReconfigOverhead, SchedulerKind, SimConfig};
+
+fn main() {
+    let args = Args::parse();
+    let per_bin = args.get("per-bin", 200usize);
+    let seed = args.get("seed", 20070326u64);
+    let horizon = args.get("sim-horizon", 50.0f64);
+    let workload_id = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "fig3b".to_string());
+    let workload =
+        FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));
+
+    // Per-column overhead values, in time units per column: at 0.002 a
+    // 100-column full reconfiguration costs 0.2 — small vs periods of 5–20.
+    let overheads = [0.0, 0.001, 0.002, 0.005, 0.01];
+
+    let mut evaluators = Vec::new();
+    for &oh in &overheads {
+        let cfg = SimConfig::default()
+            .with_scheduler(SchedulerKind::EdfNf)
+            .with_horizon(Horizon::PeriodsOfTmax(horizon))
+            .with_overhead(ReconfigOverhead::PerColumn(oh));
+        evaluators.push(Evaluator::from_sim_config(format!("SIM@{oh}"), cfg));
+        // Analysis view: inflate C by the task's own reconfiguration cost
+        // (per-column overhead × its area) and run the composite test.
+        evaluators.push(Evaluator::new(format!("ANY@{oh}"), move |ts, dev| {
+            let inflated: Result<Vec<_>, _> = ts
+                .iter()
+                .map(|(_, t)| {
+                    t.with_exec_inflated(oh * f64::from(t.area()))
+                })
+                .collect();
+            match inflated.and_then(fpga_rt_model::TaskSet::new) {
+                Ok(its) => AnyOfTest::paper_suite().is_schedulable(&its, dev),
+                Err(_) => false,
+            }
+        }));
+    }
+
+    let config = SweepConfig::new(workload, per_bin, seed);
+    let result = run_sweep(&config, &evaluators, None);
+    let text = render_text(&result);
+    println!("Overhead sensitivity on {workload_id} (per-column reconfiguration cost):");
+    println!("{text}");
+    if args.has("write") {
+        write_result(&out_dir(&args), "X6-overhead.txt", &text).expect("write results");
+    }
+}

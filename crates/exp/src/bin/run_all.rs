@@ -1,0 +1,70 @@
+//! Run the full reproduction: Tables 1–3, Figures 3(a)–4(b), the ablations
+//! and the three extension studies, writing everything to `results/`.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin run_all                 # full scale
+//! cargo run --release -p fpga-rt-exp --bin run_all -- --quick      # CI scale
+//! ```
+
+use fpga_rt_exp::ablations::{all_ablations, run_ablation};
+use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::output::{render_csv, render_markdown, render_text};
+use fpga_rt_exp::tables::{
+    paper_tables, render_gn2_walkthrough, render_table_case, table_device,
+};
+use fpga_rt_gen::FigureWorkload;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let quick = args.has("quick");
+    let per_bin = args.get("per-bin", if quick { 50 } else { 500 });
+    let seed = args.get("seed", 20070326u64);
+    let horizon = args.get("sim-horizon", if quick { 20.0 } else { 50.0 });
+    let dir = out_dir(&args);
+    let t0 = Instant::now();
+
+    // ---- Tables 1–3 -----------------------------------------------------
+    let mut tables_report = String::new();
+    for case in paper_tables() {
+        tables_report.push_str(&render_table_case(&case));
+        tables_report.push('\n');
+    }
+    tables_report.push_str("GN2 λ walkthrough for Table 3:\n");
+    tables_report.push_str(&render_gn2_walkthrough(
+        &paper_tables()[2].taskset,
+        &table_device(),
+    ));
+    println!("{tables_report}");
+    write_result(&dir, "tables.txt", &tables_report).expect("write");
+
+    // ---- Figures 3(a)–4(b) ----------------------------------------------
+    let evaluators = standard_evaluators(horizon);
+    for workload in FigureWorkload::all() {
+        let start = Instant::now();
+        let config = SweepConfig::new(workload, per_bin, seed);
+        let result = run_sweep(&config, &evaluators, None);
+        let text = render_text(&result);
+        println!("{text}  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        write_result(&dir, &format!("{}.txt", workload.id), &text).expect("write");
+        write_result(&dir, &format!("{}.md", workload.id), &render_markdown(&result))
+            .expect("write");
+        write_result(&dir, &format!("{}.csv", workload.id), &render_csv(&result))
+            .expect("write");
+    }
+
+    // ---- Ablations X1–X3 --------------------------------------------------
+    let ablation_per_bin = per_bin.min(200);
+    for ablation in all_ablations() {
+        let result = run_ablation(&ablation, FigureWorkload::fig3b(), ablation_per_bin, seed);
+        let text = render_text(&result);
+        println!("== {}\n{text}", ablation.id);
+        write_result(&dir, &format!("{}.txt", ablation.id), &text).expect("write");
+    }
+
+    println!("run_all finished in {:.1}s — outputs in {}", t0.elapsed().as_secs_f64(), dir.display());
+    println!(
+        "(extension studies: placement_study / overhead_study / partitioned_study / release_study / twod_study)"
+    );
+}

@@ -1,0 +1,59 @@
+//! Regenerate Tables 1–3 of the paper: the verdict matrix of DP / GN1 / GN2
+//! on the three discriminating tasksets, in both `f64` and exact rational
+//! arithmetic, plus the Section-6 GN2 λ walkthrough for Table 3 and a
+//! simulation cross-check.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin tables
+//! ```
+
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::tables::{
+    paper_tables, render_gn2_walkthrough, render_table_case, table_device,
+};
+use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
+
+fn main() {
+    let args = Args::parse();
+    let dev = table_device();
+    let mut report = String::new();
+
+    for case in paper_tables() {
+        let block = render_table_case(&case);
+        print!("{block}");
+        report.push_str(&block);
+
+        // Simulation cross-check (synchronous release, both schedulers).
+        for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+            let cfg = SimConfig::default()
+                .with_scheduler(kind.clone())
+                .with_horizon(Horizon::PeriodsOfTmax(200.0));
+            let out = simulate_f64(&case.taskset, &dev, &cfg).expect("valid taskset");
+            let line = format!(
+                "  simulation {:>8}: {}\n",
+                kind.name(),
+                if out.schedulable() {
+                    "no miss within 200·Tmax".to_string()
+                } else {
+                    format!("first miss at t={:.3}", out.first_miss().unwrap().time)
+                }
+            );
+            print!("{line}");
+            report.push_str(&line);
+        }
+        println!();
+        report.push('\n');
+    }
+
+    let case3 = &paper_tables()[2];
+    let walk = format!(
+        "GN2 λ walkthrough for Table 3 (paper §6 worked example):\n{}",
+        render_gn2_walkthrough(&case3.taskset, &dev)
+    );
+    print!("{walk}");
+    report.push_str(&walk);
+
+    if args.has("write") {
+        write_result(&out_dir(&args), "tables.txt", &report).expect("write results");
+    }
+}

@@ -1,0 +1,108 @@
+//! Minimal flag parsing and result-file helpers shared by the experiment
+//! binaries (kept dependency-free on purpose).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Parsed `--key value` / `--flag` command-line options plus positional
+/// arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// `--key value` pairs (a key present without a value maps to `""`).
+    pub flags: HashMap<String, String>,
+    /// Non-flag arguments in order.
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args()` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from any iterator of argument strings.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(a) = iter.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(v) if !v.starts_with("--") => iter.next().unwrap_or_default(),
+                    _ => String::new(),
+                };
+                out.flags.insert(key.to_string(), value);
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// `--key` as a typed value with a default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.flags
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// `true` when `--key` was present (with or without a value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+}
+
+/// Directory where experiment binaries drop their outputs
+/// (`results/` under the workspace root, honouring `--out-dir`).
+pub fn out_dir(args: &Args) -> PathBuf {
+    let dir = args
+        .flags
+        .get("out-dir")
+        .cloned()
+        .unwrap_or_else(|| "results".to_string());
+    PathBuf::from(dir)
+}
+
+/// Write `content` to `dir/name`, creating the directory; prints the path.
+pub fn write_result(dir: &Path, name: &str, content: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    println!("wrote {}", path.display());
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::from_args(
+            ["fig3a", "--per-bin", "500", "--quick", "--seed", "7", "fig4b"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.positional, vec!["fig3a", "fig4b"]);
+        assert_eq!(a.get("per-bin", 0usize), 500);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert!(a.has("quick"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.get("missing", 3usize), 3);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_has_empty_value() {
+        let a = Args::from_args(["--quick", "--seed", "9"].iter().map(|s| s.to_string()));
+        assert_eq!(a.flags.get("quick").map(String::as_str), Some(""));
+        assert_eq!(a.get("seed", 0u64), 9);
+    }
+
+    #[test]
+    fn out_dir_default_and_override() {
+        let a = Args::from_args(std::iter::empty());
+        assert_eq!(out_dir(&a), PathBuf::from("results"));
+        let a = Args::from_args(["--out-dir", "/tmp/x"].iter().map(|s| s.to_string()));
+        assert_eq!(out_dir(&a), PathBuf::from("/tmp/x"));
+    }
+}

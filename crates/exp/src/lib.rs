@@ -1,0 +1,33 @@
+//! # fpga-rt-exp
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section 6), plus the ablation and extension studies indexed
+//! in DESIGN.md.
+//!
+//! * [`tables`] — the three discriminating example tasksets (Tables 1–3)
+//!   with the full verdict matrix in both `f64` and exact arithmetic, and
+//!   the paper's GN2 λ walkthrough for Table 3.
+//! * [`acceptance`] — the acceptance-ratio sweep machinery behind
+//!   Figures 3(a)–4(b): binned taskset generation, a pluggable evaluator
+//!   list (analytic tests and simulations), and a deterministic
+//!   multi-threaded runner.
+//! * [`output`] — aligned-text / markdown / CSV rendering of result series.
+//! * [`ablations`] — the X1/X2/X3 configuration ablations.
+//!
+//! Runnable binaries (see `cargo run -p fpga-rt-exp --bin <name> -- --help`):
+//! `tables`, `figures`, `ablations`, `placement_study`, `overhead_study`,
+//! `partitioned_study`, `run_all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod acceptance;
+pub mod cli;
+pub mod output;
+pub mod tables;
+
+pub use acceptance::{
+    standard_evaluators, AcceptanceSeries, Evaluator, SeriesPoint, SweepConfig, SweepResult,
+};
+pub use tables::{paper_tables, TableCase, VerdictRow};

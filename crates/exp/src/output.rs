@@ -1,0 +1,130 @@
+//! Rendering sweep results as aligned text, markdown and CSV.
+
+use crate::acceptance::SweepResult;
+
+/// Render an aligned plain-text table: one row per utilization bin, one
+/// column per series — the same rows the paper's figures plot.
+pub fn render_text(result: &SweepResult) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", result.workload_id, result.caption);
+    let _ = write!(out, "{:>6} {:>8}", "US/A", "samples");
+    for s in &result.series {
+        let _ = write!(out, " {:>9}", s.name);
+    }
+    out.push('\n');
+    let n = result.series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n {
+        let p0 = &result.series[0].points[i];
+        let _ = write!(out, "{:>6.3} {:>8}", p0.utilization, p0.samples);
+        for s in &result.series {
+            let _ = write!(out, " {:>9.3}", s.points[i].ratio());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a GitHub-flavoured markdown table.
+pub fn render_markdown(result: &SweepResult) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "### {} — {}\n", result.workload_id, result.caption);
+    let _ = write!(out, "| US/A(H) | samples |");
+    for s in &result.series {
+        let _ = write!(out, " {} |", s.name);
+    }
+    out.push('\n');
+    let _ = write!(out, "|---|---|");
+    for _ in &result.series {
+        let _ = write!(out, "---|");
+    }
+    out.push('\n');
+    let n = result.series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n {
+        let p0 = &result.series[0].points[i];
+        let _ = write!(out, "| {:.3} | {} |", p0.utilization, p0.samples);
+        for s in &result.series {
+            let _ = write!(out, " {:.3} |", s.points[i].ratio());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render CSV with header `utilization,samples,<series...>`.
+pub fn render_csv(result: &SweepResult) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(out, "utilization,samples");
+    for s in &result.series {
+        let _ = write!(out, ",{}", s.name);
+    }
+    out.push('\n');
+    let n = result.series.first().map(|s| s.points.len()).unwrap_or(0);
+    for i in 0..n {
+        let p0 = &result.series[0].points[i];
+        let _ = write!(out, "{:.6},{}", p0.utilization, p0.samples);
+        for s in &result.series {
+            let _ = write!(out, ",{:.6}", s.points[i].ratio());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptance::{AcceptanceSeries, SeriesPoint};
+
+    fn sample_result() -> SweepResult {
+        SweepResult {
+            workload_id: "fig3a".into(),
+            caption: "4 tasks".into(),
+            series: vec![
+                AcceptanceSeries {
+                    name: "DP".into(),
+                    points: vec![
+                        SeriesPoint { utilization: 0.25, samples: 10, accepted: 9 },
+                        SeriesPoint { utilization: 0.75, samples: 10, accepted: 1 },
+                    ],
+                },
+                AcceptanceSeries {
+                    name: "SIM-NF".into(),
+                    points: vec![
+                        SeriesPoint { utilization: 0.25, samples: 10, accepted: 10 },
+                        SeriesPoint { utilization: 0.75, samples: 10, accepted: 6 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn text_contains_all_series() {
+        let s = render_text(&sample_result());
+        assert!(s.contains("DP"));
+        assert!(s.contains("SIM-NF"));
+        assert!(s.contains("0.900"));
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn markdown_is_well_formed() {
+        let s = render_markdown(&sample_result());
+        let rows: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert_eq!(rows.len(), 4, "header + separator + 2 data rows");
+        for r in &rows {
+            assert_eq!(r.matches('|').count(), 5);
+        }
+    }
+
+    #[test]
+    fn csv_round_numbers() {
+        let s = render_csv(&sample_result());
+        let mut lines = s.lines();
+        assert_eq!(lines.next().unwrap(), "utilization,samples,DP,SIM-NF");
+        assert!(lines.next().unwrap().starts_with("0.250000,10,0.900000,1.000000"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The four evaluation workloads of the paper's Figures 3 and 4.
+
+use crate::binning::BinningStrategy;
+use crate::spec::TasksetSpec;
+use fpga_rt_model::Fpga;
+use serde::{Deserialize, Serialize};
+
+/// One figure's workload: the taskset distribution plus the device it is
+/// evaluated on (always 100 columns in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FigureWorkload {
+    /// Stable identifier: `"fig3a"`, `"fig3b"`, `"fig4a"`, `"fig4b"`.
+    pub id: &'static str,
+    /// Human-readable description from the figure caption.
+    pub caption: &'static str,
+    /// The taskset distribution.
+    pub spec: TasksetSpec,
+    /// Device size (always 100 columns in the paper).
+    pub device_columns: u32,
+    /// Bin-filling strategy that preserves this figure's defining
+    /// attribute (see [`BinningStrategy`]): exec-scaling everywhere except
+    /// Figure 4(b), whose temporal heaviness forces area-scaling.
+    pub strategy: BinningStrategy,
+}
+
+impl FigureWorkload {
+    /// Figure 3(a): 4 tasks, unconstrained execution time and area size
+    /// distributions.
+    pub fn fig3a() -> Self {
+        FigureWorkload {
+            id: "fig3a",
+            caption: "4 tasks, unconstrained execution time and area size distributions",
+            spec: TasksetSpec::unconstrained(4),
+            device_columns: 100,
+            strategy: BinningStrategy::ScaledExec,
+        }
+    }
+
+    /// Figure 3(b): 10 tasks, unconstrained distributions.
+    pub fn fig3b() -> Self {
+        FigureWorkload {
+            id: "fig3b",
+            caption: "10 tasks, unconstrained execution time and area size distributions",
+            spec: TasksetSpec::unconstrained(10),
+            device_columns: 100,
+            strategy: BinningStrategy::ScaledExec,
+        }
+    }
+
+    /// Figure 4(a): 10 spatially heavy (areas 50–100) and temporally light
+    /// (utilization ≤ 0.3) tasks.
+    pub fn fig4a() -> Self {
+        FigureWorkload {
+            id: "fig4a",
+            caption: "10 spatially heavy and temporally light tasks",
+            spec: TasksetSpec {
+                n_tasks: 10,
+                period_range: (5.0, 20.0),
+                exec_factor_range: (0.0, 0.3),
+                area_range: (50, 100),
+            },
+            device_columns: 100,
+            strategy: BinningStrategy::ScaledExec,
+        }
+    }
+
+    /// Figure 4(b): 10 spatially light (areas 1–50) and temporally heavy
+    /// (utilization ≥ 0.5) tasks.
+    pub fn fig4b() -> Self {
+        FigureWorkload {
+            id: "fig4b",
+            caption: "10 spatially light and temporally heavy tasks",
+            spec: TasksetSpec {
+                n_tasks: 10,
+                period_range: (5.0, 20.0),
+                exec_factor_range: (0.5, 1.0),
+                area_range: (1, 50),
+            },
+            device_columns: 100,
+            strategy: BinningStrategy::ScaledAreas,
+        }
+    }
+
+    /// All four figure workloads in paper order.
+    pub fn all() -> Vec<FigureWorkload> {
+        vec![Self::fig3a(), Self::fig3b(), Self::fig4a(), Self::fig4b()]
+    }
+
+    /// Look up a workload by id.
+    pub fn by_id(id: &str) -> Option<FigureWorkload> {
+        Self::all().into_iter().find(|w| w.id == id)
+    }
+
+    /// The device.
+    pub fn device(&self) -> Fpga {
+        Fpga::new(self.device_columns).expect("non-zero by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_are_valid() {
+        for w in FigureWorkload::all() {
+            w.spec.validate().unwrap_or_else(|e| panic!("{}: {e}", w.id));
+            assert_eq!(w.device_columns, 100, "paper uses A(H)=100 throughout");
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert_eq!(FigureWorkload::by_id("fig4a").unwrap().spec.area_range, (50, 100));
+        assert!(FigureWorkload::by_id("fig9z").is_none());
+    }
+
+    #[test]
+    fn figure_parameters_match_paper() {
+        assert_eq!(FigureWorkload::fig3a().spec.n_tasks, 4);
+        assert_eq!(FigureWorkload::fig3b().spec.n_tasks, 10);
+        let heavy_light = FigureWorkload::fig4a().spec;
+        assert_eq!(heavy_light.area_range, (50, 100));
+        assert!(heavy_light.exec_factor_range.1 <= 0.3);
+        let light_heavy = FigureWorkload::fig4b().spec;
+        assert_eq!(light_heavy.area_range, (1, 50));
+        assert!(light_heavy.exec_factor_range.0 >= 0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! The random taskset distribution of the paper's Section 6.
+
+use fpga_rt_model::{Task, TaskSet};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameterization of the paper's synthetic taskset generator.
+///
+/// Every task is implicit-deadline (`D = T`):
+///
+/// * `T ~ U(period_range.0, period_range.1)`
+/// * `C = T · f` with `f ~ U(exec_factor_range.0, exec_factor_range.1)`
+/// * `A ~ U{area_range.0 ..= area_range.1}` (integer columns)
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TasksetSpec {
+    /// Number of tasks `N`.
+    pub n_tasks: usize,
+    /// Uniform period range `(lo, hi)`, paper: `(5, 20)`.
+    pub period_range: (f64, f64),
+    /// Uniform execution-factor range; paper: "a random factor", i.e.
+    /// `(0, 1)` for the unconstrained figures, `(0, 0.3)` for
+    /// temporally-light and `(0.5, 1)` for temporally-heavy tasksets.
+    pub exec_factor_range: (f64, f64),
+    /// Inclusive uniform area range; paper: `1..=100` unconstrained,
+    /// `50..=100` spatially-heavy, `1..=50` spatially-light.
+    pub area_range: (u32, u32),
+}
+
+impl TasksetSpec {
+    /// The paper's unconstrained distribution with `n` tasks (Figure 3).
+    pub fn unconstrained(n: usize) -> Self {
+        TasksetSpec {
+            n_tasks: n,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.0, 1.0),
+            area_range: (1, 100),
+        }
+    }
+
+    /// Check parameter sanity (positive periods, factor in `(0, 1]`
+    /// bounds ordered, non-zero areas).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_tasks == 0 {
+            return Err("n_tasks must be ≥ 1".into());
+        }
+        let (plo, phi) = self.period_range;
+        if !(plo > 0.0 && phi > plo && phi.is_finite()) {
+            return Err(format!("invalid period range ({plo}, {phi})"));
+        }
+        let (flo, fhi) = self.exec_factor_range;
+        if !(flo >= 0.0 && fhi > flo && fhi <= 1.0) {
+            return Err(format!("invalid exec factor range ({flo}, {fhi})"));
+        }
+        let (alo, ahi) = self.area_range;
+        if alo == 0 || ahi < alo {
+            return Err(format!("invalid area range ({alo}, {ahi})"));
+        }
+        Ok(())
+    }
+
+    /// Draw one taskset.
+    ///
+    /// Execution factors of exactly zero are redrawn (the model requires
+    /// `C > 0`), which matches the paper's open interval `(0, 1)`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskSet<f64> {
+        debug_assert!(self.validate().is_ok(), "invalid spec: {self:?}");
+        let tasks = (0..self.n_tasks)
+            .map(|_| {
+                let period = rng.gen_range(self.period_range.0..self.period_range.1);
+                let factor = loop {
+                    let f =
+                        rng.gen_range(self.exec_factor_range.0..=self.exec_factor_range.1);
+                    if f > 0.0 {
+                        break f;
+                    }
+                };
+                let area = rng.gen_range(self.area_range.0..=self.area_range.1);
+                Task::implicit(period * factor, period, area)
+                    .expect("drawn parameters are positive by construction")
+            })
+            .collect();
+        TaskSet::new(tasks).expect("n_tasks ≥ 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut s = TasksetSpec::unconstrained(4);
+        assert!(s.validate().is_ok());
+        s.n_tasks = 0;
+        assert!(s.validate().is_err());
+        let mut s = TasksetSpec::unconstrained(4);
+        s.period_range = (5.0, 5.0);
+        assert!(s.validate().is_err());
+        let mut s = TasksetSpec::unconstrained(4);
+        s.exec_factor_range = (0.5, 0.2);
+        assert!(s.validate().is_err());
+        let mut s = TasksetSpec::unconstrained(4);
+        s.area_range = (0, 10);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn generated_tasks_respect_ranges() {
+        let spec = TasksetSpec {
+            n_tasks: 50,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.0, 0.3),
+            area_range: (50, 100),
+        };
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let ts = spec.generate(&mut rng);
+            assert_eq!(ts.len(), 50);
+            for t in &ts {
+                assert!(t.period() >= 5.0 && t.period() < 20.0);
+                assert!(t.exec() > 0.0);
+                assert!(t.time_utilization() <= 0.3 + 1e-12);
+                assert!((50..=100).contains(&t.area()));
+                assert!(t.is_implicit_deadline());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = TasksetSpec::unconstrained(10);
+        let a = spec.generate(&mut StdRng::seed_from_u64(7));
+        let b = spec.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let c = spec.generate(&mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unconstrained_matches_paper_parameters() {
+        let s = TasksetSpec::unconstrained(10);
+        assert_eq!(s.period_range, (5.0, 20.0));
+        assert_eq!(s.area_range, (1, 100));
+        assert_eq!(s.exec_factor_range, (0.0, 1.0));
+    }
+}

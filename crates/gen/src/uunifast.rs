@@ -1,0 +1,110 @@
+//! UUniFast utilization generation (Bini & Buttazzo, 2005).
+//!
+//! The classic algorithm for drawing `n` task utilizations that sum to a
+//! given total, uniformly over the valid simplex. Not used by the paper
+//! itself (which draws independent factors), but provided for controlled
+//! sweeps and ablations where the *total* time utilization must be pinned
+//! while the per-task split varies.
+
+use rand::Rng;
+
+/// Draw `n` non-negative utilizations summing to `total`, uniformly
+/// distributed over the simplex.
+///
+/// Individual values may exceed 1 when `total > 1`; use
+/// [`uunifast_discard`] when per-task feasibility (`ui ≤ 1`) is required.
+///
+/// # Panics
+/// Panics when `n == 0` or `total` is not positive and finite.
+pub fn uunifast<R: Rng + ?Sized>(n: usize, total: f64, rng: &mut R) -> Vec<f64> {
+    assert!(n > 0, "uunifast needs at least one task");
+    assert!(total > 0.0 && total.is_finite(), "invalid total {total}");
+    let mut out = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next: f64 = sum * rng.gen::<f64>().powf(1.0 / (n - i) as f64);
+        out.push(sum - next);
+        sum = next;
+    }
+    out.push(sum);
+    out
+}
+
+/// UUniFast-Discard: redraw until every utilization is at most 1.
+///
+/// Returns `None` when `total > n` (impossible) or when `max_attempts`
+/// redraws all fail (the acceptance probability shrinks as `total → n`).
+pub fn uunifast_discard<R: Rng + ?Sized>(
+    n: usize,
+    total: f64,
+    max_attempts: usize,
+    rng: &mut R,
+) -> Option<Vec<f64>> {
+    if total > n as f64 {
+        return None;
+    }
+    for _ in 0..max_attempts {
+        let v = uunifast(n, total, rng);
+        if v.iter().all(|&u| u <= 1.0) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(n, total) in &[(1usize, 0.5f64), (4, 2.0), (10, 0.7), (3, 2.9)] {
+            let v = uunifast(n, total, &mut rng);
+            assert_eq!(v.len(), n);
+            let sum: f64 = v.iter().sum();
+            assert!((sum - total).abs() < 1e-9, "n={n} total={total} sum={sum}");
+            assert!(v.iter().all(|&u| u >= 0.0));
+        }
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(uunifast(1, 0.42, &mut rng), vec![0.42]);
+    }
+
+    #[test]
+    fn discard_bounds_each_utilization() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = uunifast_discard(4, 3.5, 10_000, &mut rng).expect("feasible");
+        assert!(v.iter().all(|&u| u <= 1.0));
+        let sum: f64 = v.iter().sum();
+        assert!((sum - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discard_rejects_impossible_totals() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(uunifast_discard(2, 2.5, 100, &mut rng).is_none());
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // The first component should vary across draws (sanity check that we
+        // don't always return the same split).
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = uunifast(5, 1.0, &mut rng)[0];
+        let b = uunifast(5, 1.0, &mut rng)[0];
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = uunifast(0, 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,97 @@
+//! The reconfigurable device model.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D partially runtime-reconfigurable FPGA with `A(H)` homogeneous
+/// columns.
+///
+/// Per the paper's assumptions (Section 1):
+///
+/// * the fabric is 1-D reconfigurable — each job occupies a contiguous set
+///   of columns;
+/// * the whole area is homogeneous (no pre-configured cells);
+/// * reconfiguration overhead is zero (relaxable in the simulator);
+/// * unrestricted migration — the fabric can be defragmented for free, so a
+///   job fits whenever the total idle area is at least its area (the
+///   simulator's contiguous placement modes relax this too).
+///
+/// An identical multiprocessor with `m` CPUs is exactly `Fpga::new(m)` with
+/// every task given area 1 ([`Fpga::multiprocessor`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(try_from = "u32", into = "u32")]
+pub struct Fpga {
+    columns: u32,
+}
+
+impl TryFrom<u32> for Fpga {
+    type Error = ModelError;
+    fn try_from(columns: u32) -> Result<Self, ModelError> {
+        Fpga::new(columns)
+    }
+}
+
+impl From<Fpga> for u32 {
+    fn from(f: Fpga) -> u32 {
+        f.columns
+    }
+}
+
+impl Fpga {
+    /// A device with `columns` ≥ 1 columns.
+    pub fn new(columns: u32) -> Result<Self, ModelError> {
+        if columns == 0 {
+            return Err(ModelError::ZeroDevice);
+        }
+        Ok(Fpga { columns })
+    }
+
+    /// A device modelling an identical multiprocessor with `m` CPUs
+    /// (unit-area tasks on an `m`-column fabric).
+    pub fn multiprocessor(m: u32) -> Result<Self, ModelError> {
+        Self::new(m)
+    }
+
+    /// Total area `A(H)` in columns.
+    #[inline]
+    pub fn columns(&self) -> u32 {
+        self.columns
+    }
+
+    /// Total area `A(H)` as `f64`, for reporting.
+    #[inline]
+    pub fn area_f64(&self) -> f64 {
+        f64::from(self.columns)
+    }
+}
+
+impl core::fmt::Display for Fpga {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FPGA[{} columns]", self.columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Fpga::new(10).unwrap().columns(), 10);
+        assert_eq!(Fpga::new(0), Err(ModelError::ZeroDevice));
+        assert_eq!(Fpga::multiprocessor(4).unwrap().columns(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fpga::new(100).unwrap().to_string(), "FPGA[100 columns]");
+    }
+
+    #[test]
+    fn serde_validates() {
+        let f: Fpga = serde_json::from_str("10").unwrap();
+        assert_eq!(f.columns(), 10);
+        assert!(serde_json::from_str::<Fpga>("0").is_err());
+        assert_eq!(serde_json::to_string(&f).unwrap(), "10");
+    }
+}

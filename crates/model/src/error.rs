@@ -1,0 +1,93 @@
+//! Error types for model construction and validation.
+
+use core::fmt;
+
+/// Errors raised while constructing or validating model objects.
+///
+/// Every constructor in this crate validates its inputs; downstream crates
+/// (analysis, simulation) can therefore assume well-formed tasksets and never
+/// re-check positivity or finiteness on hot paths.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A timing parameter (C, D or T) was zero, negative, NaN or infinite.
+    NonPositiveTime {
+        /// Which parameter was rejected (`"exec"`, `"deadline"`, `"period"`).
+        field: &'static str,
+        /// Human-readable rendering of the offending value.
+        value: String,
+    },
+    /// A task area of zero columns was requested (areas are ≥ 1).
+    ZeroArea,
+    /// A device with zero columns was requested.
+    ZeroDevice,
+    /// A rational number was constructed with a zero denominator.
+    ZeroDenominator,
+    /// A rational operation overflowed the 64-bit normalized representation.
+    RationalOverflow {
+        /// The operation that overflowed (`"add"`, `"mul"`, ...).
+        op: &'static str,
+    },
+    /// A task occupies more columns than the device provides.
+    TaskWiderThanDevice {
+        /// Index of the offending task within its taskset.
+        task: usize,
+        /// The task's area in columns.
+        area: u32,
+        /// The device's total number of columns.
+        device: u32,
+    },
+    /// An empty taskset was supplied where at least one task is required.
+    EmptyTaskSet,
+    /// A floating-point value could not be represented exactly as a rational.
+    InexactConversion {
+        /// The value that could not be converted.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NonPositiveTime { field, value } => {
+                write!(f, "task {field} must be a positive finite time, got {value}")
+            }
+            ModelError::ZeroArea => write!(f, "task area must be at least one column"),
+            ModelError::ZeroDevice => write!(f, "device must have at least one column"),
+            ModelError::ZeroDenominator => write!(f, "rational denominator must be non-zero"),
+            ModelError::RationalOverflow { op } => {
+                write!(f, "rational {op} overflowed the normalized 64-bit representation")
+            }
+            ModelError::TaskWiderThanDevice { task, area, device } => write!(
+                f,
+                "task #{task} occupies {area} columns but the device only has {device}"
+            ),
+            ModelError::EmptyTaskSet => write!(f, "taskset must contain at least one task"),
+            ModelError::InexactConversion { value } => {
+                write!(f, "{value} has no exact small-rational representation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::NonPositiveTime { field: "exec", value: "-1".into() };
+        assert!(e.to_string().contains("exec"));
+        let e = ModelError::TaskWiderThanDevice { task: 3, area: 12, device: 10 };
+        let s = e.to_string();
+        assert!(s.contains("#3") && s.contains("12") && s.contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

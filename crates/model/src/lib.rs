@@ -1,0 +1,63 @@
+//! # fpga-rt-model
+//!
+//! Task model, device model and numeric foundations for real-time scheduling
+//! of hardware tasks on 1-D partially runtime-reconfigurable (PRTR) FPGAs,
+//! following the terminology of
+//! *Guan, Gu, Deng, Liu, Yu — "Improved Schedulability Analysis of EDF
+//! Scheduling on Reconfigurable Hardware Devices", IPDPS 2007* (Section 2).
+//!
+//! The model is deliberately small and strict:
+//!
+//! * A **task** τk = (Ck, Dk, Tk, Ak) has execution time `Ck`, relative
+//!   deadline `Dk`, period (or minimum inter-arrival time) `Tk`, and an
+//!   **integer** area `Ak` — the number of contiguous FPGA columns the task
+//!   occupies while executing. Integer areas are load-bearing: Lemma 1 of the
+//!   paper sharpens the Danne–Platzner bound from `A(H) − Amax` to
+//!   `A(H) − Amax + 1` precisely because areas are whole columns.
+//! * A **device** is a 1-D reconfigurable fabric with `A(H)` columns; an
+//!   identical multiprocessor is the special case where every task has
+//!   `Ak = 1` and `A(H) = m`.
+//! * All timing quantities are generic over the [`Time`] trait, with two
+//!   shipped instances: `f64` for large Monte-Carlo sweeps and [`Rat64`] for
+//!   exact arithmetic. Exactness matters: the paper's Table 1 verdict under
+//!   the GN2 test hinges on an *exact equality* between two rationals
+//!   (`69/25` on both sides). Only exact arithmetic can *prove* the
+//!   equality — in `f64` the sides merely happen to collide on the same
+//!   double for the shipped evaluation order, with no guarantee under
+//!   refactoring.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fpga_rt_model::{Fpga, Task, TaskSet};
+//!
+//! // Table 3 of the paper, on a 10-column device.
+//! let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+//!     (2.10, 5.0, 5.0, 7),
+//!     (2.00, 7.0, 7.0, 7),
+//! ]).unwrap();
+//! let fpga = Fpga::new(10).unwrap();
+//! assert_eq!(ts.amax(), 7);
+//! assert!((ts.system_utilization() - 4.94).abs() < 1e-9);
+//! assert!(ts.fits_device(&fpga));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod error;
+pub mod rational;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+pub use device::Fpga;
+pub use error::ModelError;
+pub use rational::Rat64;
+pub use task::{Task, TaskId};
+pub use taskset::TaskSet;
+pub use time::Time;
+
+/// Crate-wide result alias.
+pub type Result<T, E = ModelError> = core::result::Result<T, E>;

@@ -1,0 +1,232 @@
+//! The sporadic/periodic hardware task τk = (Ck, Dk, Tk, Ak).
+
+use crate::error::ModelError;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Index of a task within its [`crate::TaskSet`].
+///
+/// Task identity is positional: the analyses and the simulator both refer to
+/// "task k" by its index in the owning taskset, matching the paper's
+/// `τk, k ∈ 1..N` convention (zero-based here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub usize);
+
+impl core::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A periodic or sporadic hardware task.
+///
+/// * `exec` — worst-case execution time `Ck` (> 0),
+/// * `deadline` — relative deadline `Dk` (> 0, may be less than, equal to or
+///   greater than the period),
+/// * `period` — period / minimum inter-arrival time `Tk` (> 0),
+/// * `area` — number of contiguous FPGA columns `Ak` occupied while a job of
+///   the task executes (≥ 1; integer per the paper's Lemma 1 argument).
+///
+/// Construct via [`Task::new`], which validates every field, so downstream
+/// code never re-checks. Use [`Task::implicit`] for the common `D = T` case
+/// used throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task<T> {
+    exec: T,
+    deadline: T,
+    period: T,
+    area: u32,
+}
+
+impl<T: Time> Task<T> {
+    /// Create a task, validating all parameters.
+    pub fn new(exec: T, deadline: T, period: T, area: u32) -> Result<Self, ModelError> {
+        fn check<T: Time>(v: T, field: &'static str) -> Result<(), ModelError> {
+            if !v.is_valid() || v <= T::ZERO {
+                return Err(ModelError::NonPositiveTime { field, value: format!("{v}") });
+            }
+            Ok(())
+        }
+        check(exec, "exec")?;
+        check(deadline, "deadline")?;
+        check(period, "period")?;
+        if area == 0 {
+            return Err(ModelError::ZeroArea);
+        }
+        Ok(Task { exec, deadline, period, area })
+    }
+
+    /// Create an implicit-deadline task (`D = T`), the shape of every task in
+    /// the paper's evaluation section.
+    pub fn implicit(exec: T, period: T, area: u32) -> Result<Self, ModelError> {
+        Self::new(exec, period, period, area)
+    }
+
+    /// Worst-case execution time `Ck`.
+    #[inline]
+    pub fn exec(&self) -> T {
+        self.exec
+    }
+
+    /// Relative deadline `Dk`.
+    #[inline]
+    pub fn deadline(&self) -> T {
+        self.deadline
+    }
+
+    /// Period / minimum inter-arrival time `Tk`.
+    #[inline]
+    pub fn period(&self) -> T {
+        self.period
+    }
+
+    /// Area `Ak` in columns.
+    #[inline]
+    pub fn area(&self) -> u32 {
+        self.area
+    }
+
+    /// Area as a [`Time`] value, for use inside analytic expressions.
+    #[inline]
+    pub fn area_t(&self) -> T {
+        T::from_u32(self.area)
+    }
+
+    /// Time utilization `Ck / Tk`.
+    #[inline]
+    pub fn time_utilization(&self) -> T {
+        self.exec / self.period
+    }
+
+    /// System utilization `Ck · Ak / Tk` (the paper's `US(τk)`): the average
+    /// fraction of *area-time* the task demands.
+    #[inline]
+    pub fn system_utilization(&self) -> T {
+        self.exec * self.area_t() / self.period
+    }
+
+    /// Density `Ck / Dk` — the per-deadline demand used by GN1.
+    #[inline]
+    pub fn density(&self) -> T {
+        self.exec / self.deadline
+    }
+
+    /// `true` when `Dk = Tk` (implicit deadline).
+    #[inline]
+    pub fn is_implicit_deadline(&self) -> bool {
+        self.deadline == self.period
+    }
+
+    /// `true` when `Dk ≤ Tk` (constrained deadline).
+    #[inline]
+    pub fn is_constrained_deadline(&self) -> bool {
+        self.deadline <= self.period
+    }
+
+    /// A task with `Ck > Dk` can never meet a deadline even when running
+    /// alone; every sensible test rejects such tasksets up front.
+    #[inline]
+    pub fn is_trivially_infeasible(&self) -> bool {
+        self.exec > self.deadline
+    }
+
+    /// Return a copy with the execution time inflated by `overhead`
+    /// (the paper's Section 1 recipe for accounting for reconfiguration
+    /// overhead: "it is easy to take into account the overhead by adding it
+    /// to the execution time").
+    pub fn with_exec_inflated(&self, overhead: T) -> Result<Self, ModelError> {
+        Self::new(self.exec + overhead, self.deadline, self.period, self.area)
+    }
+
+    /// Map the timing fields through `f`, preserving the area; used to
+    /// convert a taskset between numeric representations (e.g. `f64` →
+    /// [`crate::Rat64`]).
+    pub fn map_time<U: Time>(&self, mut f: impl FnMut(T) -> U) -> Result<Task<U>, ModelError> {
+        Task::new(f(self.exec), f(self.deadline), f(self.period), self.area)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rat64;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Task::new(1.0, 2.0, 2.0, 1).is_ok());
+        assert!(matches!(
+            Task::new(0.0, 2.0, 2.0, 1),
+            Err(ModelError::NonPositiveTime { field: "exec", .. })
+        ));
+        assert!(matches!(
+            Task::new(1.0, -2.0, 2.0, 1),
+            Err(ModelError::NonPositiveTime { field: "deadline", .. })
+        ));
+        assert!(matches!(
+            Task::new(1.0, 2.0, f64::NAN, 1),
+            Err(ModelError::NonPositiveTime { field: "period", .. })
+        ));
+        assert!(matches!(Task::new(1.0, 2.0, 2.0, 0), Err(ModelError::ZeroArea)));
+    }
+
+    #[test]
+    fn utilizations() {
+        let t = Task::new(2.0, 4.0, 8.0, 5).unwrap();
+        assert_eq!(t.time_utilization(), 0.25);
+        assert_eq!(t.system_utilization(), 1.25);
+        assert_eq!(t.density(), 0.5);
+        assert!(t.is_constrained_deadline());
+        assert!(!t.is_implicit_deadline());
+    }
+
+    #[test]
+    fn implicit_constructor() {
+        let t = Task::implicit(1.0, 5.0, 2).unwrap();
+        assert!(t.is_implicit_deadline());
+        assert_eq!(t.deadline(), 5.0);
+    }
+
+    #[test]
+    fn trivial_infeasibility() {
+        let t = Task::new(3.0, 2.0, 5.0, 1).unwrap();
+        assert!(t.is_trivially_infeasible());
+    }
+
+    #[test]
+    fn exec_inflation() {
+        let t = Task::implicit(1.0, 5.0, 2).unwrap();
+        let t2 = t.with_exec_inflated(0.5).unwrap();
+        assert_eq!(t2.exec(), 1.5);
+        assert_eq!(t2.period(), 5.0);
+    }
+
+    #[test]
+    fn map_time_to_rational() {
+        let t = Task::implicit(1.26, 7.0, 9).unwrap();
+        let r = t
+            .map_time(|v| Rat64::approx_f64(v, 10_000).unwrap())
+            .unwrap();
+        assert_eq!(r.exec(), Rat64::new(63, 50).unwrap());
+        assert_eq!(r.area(), 9);
+    }
+
+    #[test]
+    fn exact_task_utilization() {
+        let t = Task::implicit(Rat64::new(19, 20).unwrap(), Rat64::from_int(5), 6).unwrap();
+        assert_eq!(t.time_utilization(), Rat64::new(19, 100).unwrap());
+        assert_eq!(t.system_utilization(), Rat64::new(57, 50).unwrap());
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(3).to_string(), "τ3");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Task::implicit(1.26, 7.0, 9).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

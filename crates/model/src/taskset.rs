@@ -1,0 +1,318 @@
+//! Tasksets Γ and their aggregate metrics.
+
+use crate::device::Fpga;
+use crate::error::ModelError;
+use crate::task::{Task, TaskId};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A non-empty, immutable collection of tasks.
+///
+/// Aggregate quantities used throughout the paper:
+///
+/// * `UT(Γ) = Σ Ci/Ti` — [`TaskSet::time_utilization`]
+/// * `US(Γ) = Σ Ci·Ai/Ti` — [`TaskSet::system_utilization`]
+/// * `Amax`, `Amin` — largest/smallest task area.
+///
+/// The collection is validated on construction (non-empty, every task
+/// individually valid by [`Task`]'s own constructor).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "Vec<Task<T>>", into = "Vec<Task<T>>")]
+#[serde(bound(
+    serialize = "T: Time + Serialize + Clone",
+    deserialize = "T: Time + Deserialize<'de>"
+))]
+pub struct TaskSet<T: Time> {
+    tasks: Vec<Task<T>>,
+}
+
+impl<T: Time> TryFrom<Vec<Task<T>>> for TaskSet<T> {
+    type Error = ModelError;
+    fn try_from(tasks: Vec<Task<T>>) -> Result<Self, ModelError> {
+        TaskSet::new(tasks)
+    }
+}
+
+impl<T: Time> From<TaskSet<T>> for Vec<Task<T>> {
+    fn from(ts: TaskSet<T>) -> Self {
+        ts.tasks
+    }
+}
+
+impl<T: Time> TaskSet<T> {
+    /// Build a taskset from already-validated tasks. Rejects empty input.
+    pub fn new(tasks: Vec<Task<T>>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyTaskSet);
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Convenience constructor from `(C, D, T, A)` tuples.
+    ///
+    /// ```
+    /// use fpga_rt_model::TaskSet;
+    /// let ts: TaskSet<f64> =
+    ///     TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap();
+    /// assert_eq!(ts.len(), 2);
+    /// ```
+    pub fn try_from_tuples(tuples: &[(T, T, T, u32)]) -> Result<Self, ModelError> {
+        let tasks = tuples
+            .iter()
+            .map(|&(c, d, t, a)| Task::new(c, d, t, a))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(tasks)
+    }
+
+    /// Number of tasks `N`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Always `false`: construction rejects empty tasksets. Provided for
+    /// API-guideline symmetry with [`TaskSet::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The task with index `k`.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range; use [`TaskSet::get`] for the checked
+    /// variant.
+    #[inline]
+    pub fn task(&self, k: usize) -> &Task<T> {
+        &self.tasks[k]
+    }
+
+    /// Checked task lookup.
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<&Task<T>> {
+        self.tasks.get(k)
+    }
+
+    /// Iterate over `(TaskId, &Task)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &Task<T>)> + '_ {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// The underlying slice of tasks.
+    #[inline]
+    pub fn tasks(&self) -> &[Task<T>] {
+        &self.tasks
+    }
+
+    /// Total time utilization `UT(Γ) = Σ Ci/Ti`.
+    pub fn time_utilization(&self) -> T {
+        self.tasks
+            .iter()
+            .fold(T::ZERO, |acc, t| acc + t.time_utilization())
+    }
+
+    /// Total system utilization `US(Γ) = Σ Ci·Ai/Ti`.
+    pub fn system_utilization(&self) -> T {
+        self.tasks
+            .iter()
+            .fold(T::ZERO, |acc, t| acc + t.system_utilization())
+    }
+
+    /// Normalized system utilization `US(Γ)/A(H)` in `[0, ∞)`; the x-axis of
+    /// the paper's Figures 3 and 4.
+    pub fn normalized_system_utilization(&self, device: &Fpga) -> T {
+        self.system_utilization() / T::from_u32(device.columns())
+    }
+
+    /// Largest task area `Amax`.
+    pub fn amax(&self) -> u32 {
+        self.tasks.iter().map(Task::area).max().unwrap_or(0)
+    }
+
+    /// Smallest task area `Amin`.
+    pub fn amin(&self) -> u32 {
+        self.tasks.iter().map(Task::area).min().unwrap_or(0)
+    }
+
+    /// Largest period in the set (used to pick simulation horizons).
+    pub fn tmax(&self) -> T {
+        self.tasks
+            .iter()
+            .map(Task::period)
+            .fold(T::ZERO, |a, b| a.max_t(b))
+    }
+
+    /// `true` when every task fits the device (`Ak ≤ A(H)`).
+    pub fn fits_device(&self, device: &Fpga) -> bool {
+        self.tasks.iter().all(|t| t.area() <= device.columns())
+    }
+
+    /// Validate the taskset against a device, reporting the first offending
+    /// task, plus trivial per-task feasibility (`Ck ≤ Dk`).
+    pub fn validate_for(&self, device: &Fpga) -> Result<(), ModelError> {
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.area() > device.columns() {
+                return Err(ModelError::TaskWiderThanDevice {
+                    task: i,
+                    area: t.area(),
+                    device: device.columns(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when some task has `Ck > Dk` and the set is unschedulable on
+    /// any device.
+    pub fn has_trivially_infeasible_task(&self) -> bool {
+        self.tasks.iter().any(Task::is_trivially_infeasible)
+    }
+
+    /// `true` when every task has `Dk = Tk` (the paper's evaluation shape).
+    pub fn all_implicit_deadline(&self) -> bool {
+        self.tasks.iter().all(Task::is_implicit_deadline)
+    }
+
+    /// Convert the timing representation (e.g. `f64` → `Rat64`) through `f`.
+    pub fn map_time<U: Time>(
+        &self,
+        mut f: impl FnMut(T) -> U,
+    ) -> Result<TaskSet<U>, ModelError> {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| t.map_time(&mut f))
+            .collect::<Result<Vec<_>, _>>()?;
+        TaskSet::new(tasks)
+    }
+
+    /// Return a copy with every task's execution time inflated by
+    /// `overhead` (reconfiguration-overhead accounting).
+    pub fn with_exec_inflated(&self, overhead: T) -> Result<Self, ModelError> {
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| t.with_exec_inflated(overhead))
+            .collect::<Result<Vec<_>, _>>()?;
+        TaskSet::new(tasks)
+    }
+}
+
+impl<'a, T: Time> IntoIterator for &'a TaskSet<T> {
+    type Item = &'a Task<T>;
+    type IntoIter = core::slice::Iter<'a, Task<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Rat64;
+
+    fn table1() -> TaskSet<f64> {
+        TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(TaskSet::<f64>::new(vec![]), Err(ModelError::EmptyTaskSet));
+    }
+
+    #[test]
+    fn aggregates_match_paper_table1() {
+        let ts = table1();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.amax(), 9);
+        assert_eq!(ts.amin(), 6);
+        // US(Γ) = 1.26·9/7 + 0.95·6/5 = 1.62 + 1.14 = 2.76
+        assert!((ts.system_utilization() - 2.76).abs() < 1e-12);
+        assert!((ts.time_utilization() - 0.37).abs() < 1e-12);
+        assert_eq!(ts.tmax(), 7.0);
+        assert!(ts.all_implicit_deadline());
+    }
+
+    #[test]
+    fn device_validation() {
+        let ts = table1();
+        assert!(ts.fits_device(&Fpga::new(10).unwrap()));
+        assert!(!ts.fits_device(&Fpga::new(8).unwrap()));
+        let err = ts.validate_for(&Fpga::new(8).unwrap()).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::TaskWiderThanDevice { task: 0, area: 9, device: 8 }
+        );
+    }
+
+    #[test]
+    fn normalized_utilization() {
+        let ts = table1();
+        let dev = Fpga::new(10).unwrap();
+        assert!((ts.normalized_system_utilization(&dev) - 0.276).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let ts: TaskSet<Rat64> = TaskSet::try_from_tuples(&[
+            (
+                Rat64::new(63, 50).unwrap(),
+                Rat64::from_int(7),
+                Rat64::from_int(7),
+                9,
+            ),
+            (
+                Rat64::new(19, 20).unwrap(),
+                Rat64::from_int(5),
+                Rat64::from_int(5),
+                6,
+            ),
+        ])
+        .unwrap();
+        assert_eq!(ts.system_utilization(), Rat64::new(69, 25).unwrap());
+        assert_eq!(ts.time_utilization(), Rat64::new(37, 100).unwrap());
+    }
+
+    #[test]
+    fn iteration_yields_ids_in_order() {
+        let ts = table1();
+        let ids: Vec<usize> = ts.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!((&ts).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn trivially_infeasible_detection() {
+        let ts = TaskSet::try_from_tuples(&[(3.0, 2.0, 5.0, 1)]).unwrap();
+        assert!(ts.has_trivially_infeasible_task());
+        assert!(!table1().has_trivially_infeasible_task());
+    }
+
+    #[test]
+    fn exec_inflation_applies_to_all() {
+        let ts = table1().with_exec_inflated(0.1).unwrap();
+        assert!((ts.task(0).exec() - 1.36).abs() < 1e-12);
+        assert!((ts.task(1).exec() - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_time_round_trip() {
+        let ts = table1();
+        let exact = ts
+            .map_time(|v| Rat64::approx_f64(v, 10_000).unwrap())
+            .unwrap();
+        assert_eq!(exact.system_utilization(), Rat64::new(69, 25).unwrap());
+        let back = exact.map_time(|v| v.to_f64()).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ts = table1();
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TaskSet<f64> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ts);
+        // Empty wire arrays are rejected.
+        assert!(serde_json::from_str::<TaskSet<f64>>("[]").is_err());
+    }
+}

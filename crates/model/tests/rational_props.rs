@@ -1,0 +1,159 @@
+//! Property tests for `Rat64`: ordered-field laws on the overflow-free
+//! domain, exactness of floor/ceil/recip, and the continued-fraction
+//! converter.
+
+use fpga_rt_model::{Rat64, Time};
+use proptest::prelude::*;
+
+/// Small rationals whose products/sums stay far from i64 overflow.
+fn small() -> impl Strategy<Value = Rat64> {
+    (-10_000i64..10_000, 1i64..10_000).prop_map(|(n, d)| Rat64::new(n, d).unwrap())
+}
+
+fn nonzero() -> impl Strategy<Value = Rat64> {
+    small().prop_filter("non-zero", |r| *r != Rat64::ZERO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn add_commutes(a in small(), b in small()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a in small(), b in small()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn add_associates(a in small(), b in small(), c in small()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_distributes(a in small(), b in small(), c in small()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn identities(a in small()) {
+        prop_assert_eq!(a + Rat64::ZERO, a);
+        prop_assert_eq!(a * Rat64::ONE, a);
+        prop_assert_eq!(a - a, Rat64::ZERO);
+        prop_assert_eq!(a + (-a), Rat64::ZERO);
+    }
+
+    #[test]
+    fn division_inverts_multiplication(a in small(), b in nonzero()) {
+        prop_assert_eq!((a * b) / b, a);
+        prop_assert_eq!((a / b) * b, a);
+    }
+
+    #[test]
+    fn recip_involution(a in nonzero()) {
+        prop_assert_eq!(a.recip().recip(), a);
+        prop_assert_eq!(a * a.recip(), Rat64::ONE);
+    }
+
+    /// Ordering agrees with subtraction sign and is total.
+    #[test]
+    fn order_consistency(a in small(), b in small()) {
+        use core::cmp::Ordering;
+        let by_sub = (a - b).numer().cmp(&0);
+        prop_assert_eq!(a.cmp(&b), by_sub);
+        match a.cmp(&b) {
+            Ordering::Less => prop_assert!(a < b),
+            Ordering::Equal => prop_assert!(a == b),
+            Ordering::Greater => prop_assert!(a > b),
+        }
+    }
+
+    /// Order is translation- and positive-scale-invariant.
+    #[test]
+    fn order_invariance(a in small(), b in small(), c in small(), s in nonzero()) {
+        prop_assert_eq!(a < b, a + c < b + c);
+        if s > Rat64::ZERO {
+            prop_assert_eq!(a < b, a * s < b * s);
+        } else {
+            prop_assert_eq!(a < b, a * s > b * s);
+        }
+    }
+
+    /// floor/ceil bracket the value, agree on integers, and floor matches
+    /// the `Time` trait.
+    #[test]
+    fn floor_ceil_bracket(a in small()) {
+        let f = Rat64::from_int(a.floor());
+        let c = Rat64::from_int(a.ceil());
+        prop_assert!(f <= a && a <= c);
+        prop_assert!(a - f < Rat64::ONE);
+        prop_assert!(c - a < Rat64::ONE);
+        if a.is_integer() {
+            prop_assert_eq!(f, c);
+        } else {
+            prop_assert_eq!(c - f, Rat64::ONE);
+        }
+        prop_assert_eq!(a.floor(), Time::floor_i64(a));
+    }
+
+    /// Normalization is canonical: equal values have identical
+    /// representation.
+    #[test]
+    fn canonical_representation(n in -500i64..500, d in 1i64..500, k in 1i64..50) {
+        let a = Rat64::new(n, d).unwrap();
+        let b = Rat64::new(n * k, d * k).unwrap();
+        prop_assert_eq!(a.numer(), b.numer());
+        prop_assert_eq!(a.denom(), b.denom());
+        let g = gcd(a.numer().unsigned_abs(), a.denom() as u64);
+        prop_assert!(a == Rat64::ZERO || g == 1);
+    }
+
+    /// to_f64 is order-preserving on the small domain (spacing ≥ 1/10⁸ is
+    /// far above f64 epsilon here).
+    #[test]
+    fn to_f64_monotone(a in small(), b in small()) {
+        if a < b {
+            prop_assert!(a.to_f64() <= b.to_f64());
+        }
+    }
+
+    /// Round-trip: any small rational reconstructed from its f64 value via
+    /// continued fractions is recovered exactly.
+    #[test]
+    fn approx_f64_round_trip(n in -2000i64..2000, d in 1i64..2000) {
+        let a = Rat64::new(n, d).unwrap();
+        let back = Rat64::approx_f64(a.to_f64(), 2_000).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// Checked ops agree with operators whenever they succeed.
+    #[test]
+    fn checked_matches_panicking(a in small(), b in small()) {
+        prop_assert_eq!(a.checked_add(b).unwrap(), a + b);
+        prop_assert_eq!(a.checked_sub(b).unwrap(), a - b);
+        prop_assert_eq!(a.checked_mul(b).unwrap(), a * b);
+        if b != Rat64::ZERO {
+            prop_assert_eq!(a.checked_div(b).unwrap(), a / b);
+        } else {
+            prop_assert!(a.checked_div(b).is_none());
+        }
+    }
+
+    /// Serde round-trips exactly.
+    #[test]
+    fn serde_round_trip(a in small()) {
+        let json = serde_json::to_string(&a).unwrap();
+        prop_assert_eq!(serde_json::from_str::<Rat64>(&json).unwrap(), a);
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}

@@ -1,0 +1,395 @@
+//! Simulation configuration.
+
+use crate::error::SimError;
+use crate::partitioned::PartitionPlan;
+use crate::placement::PlacementPolicy;
+use serde::{Deserialize, Serialize};
+
+/// How long to simulate.
+///
+/// The paper's workloads have real-valued periods, so hyperperiods are
+/// useless; like the paper we simulate the synchronous (all offsets 0)
+/// pattern for a fixed span and treat the result as a *coarse upper bound*
+/// on schedulability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Horizon {
+    /// Simulate until the given absolute time.
+    Absolute(f64),
+    /// Simulate for `factor × Tmax` where `Tmax` is the largest period in
+    /// the taskset (so every task releases at least ≈`factor` jobs).
+    PeriodsOfTmax(f64),
+}
+
+impl Default for Horizon {
+    fn default() -> Self {
+        // ≥100 jobs of the slowest task; with the paper's T ∈ (5, 20) this
+        // is ≥2000 time units and 500–4000 jobs of each faster task.
+        Horizon::PeriodsOfTmax(100.0)
+    }
+}
+
+impl Horizon {
+    /// Resolve to an absolute time for a taskset with largest period `tmax`.
+    pub fn resolve(&self, tmax: f64) -> Result<f64, SimError> {
+        let h = match *self {
+            Horizon::Absolute(t) => t,
+            Horizon::PeriodsOfTmax(f) => f * tmax,
+        };
+        if !(h.is_finite() && h > 0.0) {
+            return Err(SimError::InvalidHorizon { value: h });
+        }
+        Ok(h)
+    }
+}
+
+/// Exact hyperperiod of a taskset whose periods are (numerically) integers:
+/// the LCM of the periods, or `None` when some period is non-integral or
+/// the LCM exceeds `cap`.
+///
+/// For the synchronous pattern with zero offsets, simulating one
+/// hyperperiod plus the largest deadline decides schedulability of that
+/// release pattern *exactly* (the schedule repeats). The paper's random
+/// workloads have real-valued periods, so this only applies to structured
+/// inputs like its Tables 1–3 (periods 5 and 7 → hyperperiod 35).
+pub fn hyperperiod(taskset: &fpga_rt_model::TaskSet<f64>, cap: f64) -> Option<f64> {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    let mut lcm: u64 = 1;
+    for t in taskset {
+        let p: f64 = t.period();
+        let rounded = p.round();
+        if (p - rounded).abs() > 1e-9 || rounded < 1.0 {
+            return None;
+        }
+        let p = rounded as u64;
+        lcm = lcm.checked_div(gcd(lcm, p))?.checked_mul(p)?;
+        if lcm as f64 > cap {
+            return None;
+        }
+    }
+    Some(lcm as f64)
+}
+
+/// Reconfiguration-overhead model.
+///
+/// The paper assumes zero overhead but notes (Section 1) that real partial
+/// reconfiguration costs milliseconds, roughly proportional to the area
+/// reconfigured, and that the analysis accommodates it by inflating
+/// execution times. The simulator charges the overhead whenever a job is
+/// loaded onto the fabric — including re-loads after a preemption — during
+/// which the job occupies its columns without making progress.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReconfigOverhead {
+    /// No overhead (paper assumption).
+    #[default]
+    None,
+    /// Fixed time per (re)placement.
+    Constant(f64),
+    /// Time proportional to the job's area: `per_column × Ak`.
+    PerColumn(f64),
+}
+
+impl ReconfigOverhead {
+    /// Overhead charged for placing a job of `area` columns.
+    pub fn for_area(&self, area: u32) -> f64 {
+        match *self {
+            ReconfigOverhead::None => 0.0,
+            ReconfigOverhead::Constant(c) => c,
+            ReconfigOverhead::PerColumn(p) => p * f64::from(area),
+        }
+    }
+
+    /// Validate the parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let v = match *self {
+            ReconfigOverhead::None => return Ok(()),
+            ReconfigOverhead::Constant(c) => c,
+            ReconfigOverhead::PerColumn(p) => p,
+        };
+        if !(v.is_finite() && v >= 0.0) {
+            return Err(SimError::InvalidOverhead { value: v });
+        }
+        Ok(())
+    }
+}
+
+/// Which scheduling algorithm the engine dispatches.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// EDF-First-k-Fit (Definition 1): stop the placement scan at the first
+    /// ready job that does not fit.
+    EdfFkf,
+    /// EDF-Next-Fit (Definition 2): skip jobs that do not fit and keep
+    /// scanning.
+    #[default]
+    EdfNf,
+    /// EDF-US-style hybrid (paper §7 future work, after Srinivasan & Baruah):
+    /// tasks whose *system* utilization share `Ci·Ai/(Ti·A(H))` exceeds
+    /// `threshold` get statically highest priority; the rest are ordered by
+    /// EDF. Placement scan follows EDF-NF (skip on misfit).
+    EdfUs {
+        /// System-utilization share above which a task is "heavy".
+        threshold: f64,
+    },
+    /// Partitioned EDF (Danne & Platzner, ref \[10\]): each task is pinned to
+    /// a fixed-width partition; execution within a partition is serialized
+    /// under uniprocessor EDF.
+    Partitioned(PartitionPlan),
+}
+
+impl SchedulerKind {
+    /// Short display name used in metrics and experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerKind::EdfFkf => "EDF-FkF",
+            SchedulerKind::EdfNf => "EDF-NF",
+            SchedulerKind::EdfUs { .. } => "EDF-US",
+            SchedulerKind::Partitioned(_) => "P-EDF",
+        }
+    }
+}
+
+/// When jobs arrive.
+///
+/// The paper's task model covers "periodic or sporadic" tasks but its
+/// simulation only exercises the synchronous periodic pattern (all offsets
+/// zero) — the pattern its acceptance figures are built on. The other two
+/// models quantify how much that choice matters (experiment X11):
+///
+/// * [`ReleaseModel::RandomOffsets`] — periodic with per-task initial
+///   offsets drawn uniformly from `[0, Ti)`;
+/// * [`ReleaseModel::Sporadic`] — `Ti` becomes a *minimum* inter-arrival
+///   time; each gap is `Ti + U(0, jitter·Ti)`.
+///
+/// Sampling uses the crate-internal deterministic [`crate::rng::SplitMix64`]
+/// so results are reproducible bit-for-bit from the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ReleaseModel {
+    /// All tasks release at time 0 and strictly every `Ti` (paper default).
+    #[default]
+    Synchronous,
+    /// Periodic with random initial offsets in `[0, Ti)`.
+    RandomOffsets {
+        /// RNG seed (deterministic).
+        seed: u64,
+    },
+    /// Sporadic: inter-arrival `Ti + U(0, jitter·Ti)`.
+    Sporadic {
+        /// Fractional jitter (≥ 0); 0 degenerates to periodic.
+        jitter: f64,
+        /// RNG seed (deterministic).
+        seed: u64,
+    },
+}
+
+impl ReleaseModel {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let ReleaseModel::Sporadic { jitter, .. } = *self {
+            if !(jitter.is_finite() && jitter >= 0.0) {
+                return Err(SimError::InvalidJitter { value: jitter });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How much trace data to retain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TraceLevel {
+    /// Keep no trace (fastest; metrics only).
+    #[default]
+    Off,
+    /// Record every schedule segment (who ran where, from when to when).
+    Full,
+}
+
+/// Complete simulation configuration (builder-style setters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Scheduling algorithm.
+    pub scheduler: SchedulerKind,
+    /// Area management / placement policy.
+    pub placement: PlacementPolicy,
+    /// Reconfiguration overhead model.
+    pub overhead: ReconfigOverhead,
+    /// Simulation span.
+    pub horizon: Horizon,
+    /// Job arrival model.
+    pub release: ReleaseModel,
+    /// Stop at the first deadline miss (the schedulability question) instead
+    /// of running to the horizon collecting every miss.
+    pub stop_at_first_miss: bool,
+    /// Trace retention.
+    pub trace: TraceLevel,
+    /// Check the Lemma 1 / Lemma 2 α-work-conserving bounds at every
+    /// dispatch (only meaningful under [`PlacementPolicy::FreeMigration`]
+    /// with zero overhead — the lemmas' assumptions). Violations are
+    /// recorded in the metrics, not fatal.
+    pub validate_alpha: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            scheduler: SchedulerKind::default(),
+            placement: PlacementPolicy::default(),
+            overhead: ReconfigOverhead::default(),
+            horizon: Horizon::default(),
+            release: ReleaseModel::default(),
+            stop_at_first_miss: true,
+            trace: TraceLevel::Off,
+            validate_alpha: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Set the scheduler.
+    pub fn with_scheduler(mut self, s: SchedulerKind) -> Self {
+        self.scheduler = s;
+        self
+    }
+
+    /// Set the placement policy.
+    pub fn with_placement(mut self, p: PlacementPolicy) -> Self {
+        self.placement = p;
+        self
+    }
+
+    /// Set the reconfiguration overhead.
+    pub fn with_overhead(mut self, o: ReconfigOverhead) -> Self {
+        self.overhead = o;
+        self
+    }
+
+    /// Set the horizon.
+    pub fn with_horizon(mut self, h: Horizon) -> Self {
+        self.horizon = h;
+        self
+    }
+
+    /// Set the release model.
+    pub fn with_release(mut self, r: ReleaseModel) -> Self {
+        self.release = r;
+        self
+    }
+
+    /// Run to the horizon collecting all misses.
+    pub fn collect_all_misses(mut self) -> Self {
+        self.stop_at_first_miss = false;
+        self
+    }
+
+    /// Record a full trace.
+    pub fn with_full_trace(mut self) -> Self {
+        self.trace = TraceLevel::Full;
+        self
+    }
+
+    /// Enable α-bound validation.
+    pub fn with_alpha_validation(mut self) -> Self {
+        self.validate_alpha = true;
+        self
+    }
+
+    /// Validate parameter sanity.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.overhead.validate()?;
+        self.release.validate()?;
+        if let SchedulerKind::EdfUs { threshold } = self.scheduler {
+            if !(threshold > 0.0 && threshold <= 1.0) {
+                return Err(SimError::InvalidThreshold { value: threshold });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_resolution() {
+        assert_eq!(Horizon::Absolute(50.0).resolve(7.0).unwrap(), 50.0);
+        assert_eq!(Horizon::PeriodsOfTmax(10.0).resolve(7.0).unwrap(), 70.0);
+        assert!(Horizon::Absolute(-1.0).resolve(7.0).is_err());
+        assert!(Horizon::PeriodsOfTmax(f64::INFINITY).resolve(7.0).is_err());
+    }
+
+    #[test]
+    fn overhead_model() {
+        assert_eq!(ReconfigOverhead::None.for_area(10), 0.0);
+        assert_eq!(ReconfigOverhead::Constant(0.5).for_area(10), 0.5);
+        assert_eq!(ReconfigOverhead::PerColumn(0.1).for_area(10), 1.0);
+        assert!(ReconfigOverhead::Constant(-0.1).validate().is_err());
+        assert!(ReconfigOverhead::PerColumn(0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn config_builder_and_validation() {
+        let c = SimConfig::default()
+            .with_scheduler(SchedulerKind::EdfFkf)
+            .with_overhead(ReconfigOverhead::Constant(0.25))
+            .collect_all_misses()
+            .with_full_trace()
+            .with_alpha_validation();
+        assert_eq!(c.scheduler, SchedulerKind::EdfFkf);
+        assert!(!c.stop_at_first_miss);
+        assert_eq!(c.trace, TraceLevel::Full);
+        assert!(c.validate_alpha);
+        assert!(c.validate().is_ok());
+        let bad = SimConfig::default().with_scheduler(SchedulerKind::EdfUs { threshold: 1.5 });
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(SchedulerKind::EdfFkf.name(), "EDF-FkF");
+        assert_eq!(SchedulerKind::EdfNf.name(), "EDF-NF");
+        assert_eq!(SchedulerKind::EdfUs { threshold: 0.5 }.name(), "EDF-US");
+    }
+
+    #[test]
+    fn hyperperiod_of_integer_periods() {
+        use fpga_rt_model::TaskSet;
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap();
+        assert_eq!(hyperperiod(&ts, 1e6), Some(35.0));
+        // Non-integer period → None.
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(1.0, 5.5, 5.5, 1)]).unwrap();
+        assert_eq!(hyperperiod(&ts, 1e6), None);
+        // Cap exceeded → None.
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (1.0, 97.0, 97.0, 1),
+            (1.0, 89.0, 89.0, 1),
+            (1.0, 83.0, 83.0, 1),
+        ])
+        .unwrap();
+        assert_eq!(hyperperiod(&ts, 1e4), None);
+        assert_eq!(hyperperiod(&ts, 1e6), Some(97.0 * 89.0 * 83.0));
+    }
+
+    #[test]
+    fn release_model_validation() {
+        assert!(ReleaseModel::Sporadic { jitter: 0.5, seed: 1 }.validate().is_ok());
+        assert!(ReleaseModel::Sporadic { jitter: -1.0, seed: 1 }.validate().is_err());
+        assert!(ReleaseModel::Synchronous.validate().is_ok());
+        assert!(ReleaseModel::RandomOffsets { seed: 7 }.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = SimConfig::default().with_overhead(ReconfigOverhead::PerColumn(0.01));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,932 @@
+//! The discrete-event simulation engine.
+//!
+//! Event model:
+//!
+//! * **Releases** and **deadline checks** are heap events with a total
+//!   deterministic order `(time, kind, payload)`.
+//! * **Completions** (and reconfiguration completions) are *derived*: the
+//!   engine advances time to `min(next heap event, earliest completion,
+//!   horizon)` and collects every job whose remaining work reached zero.
+//! * After each batch of simultaneous events the scheduler re-dispatches
+//!   (Definitions 1–2 are re-evaluated "at any time" — in a discrete-event
+//!   world, at every instant the active set or fabric state can change).
+//!
+//! Deadline misses follow a **kill-at-deadline** policy: the missing job is
+//! recorded and removed, so with constrained deadlines at most one job per
+//! task is ever live, matching the schedulability question the paper's
+//! simulation answers (it stops mattering after the first miss anyway, and
+//! `stop_at_first_miss` defaults to `true`).
+
+use crate::config::{ReleaseModel, SchedulerKind, SimConfig, TraceLevel};
+use crate::error::SimError;
+use crate::job::{Job, JobId, JobState};
+use crate::metrics::{AlphaViolation, MissRecord, ResponseStats, SimMetrics};
+use crate::placement::PlacementPolicy;
+use crate::rng::SplitMix64;
+use crate::scheduler::{edf_order, edf_us_order, place_by_rule, Dispatch, FitRule};
+use crate::trace::{RunningJob, Trace, TraceSegment};
+use fpga_rt_model::{Fpga, TaskId, TaskSet, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Slop for "has this job finished" comparisons, absolute time units.
+const EPS: f64 = 1e-9;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOutcome {
+    /// Aggregate counters.
+    pub metrics: SimMetrics,
+    /// Full trace when requested via [`TraceLevel::Full`].
+    pub trace: Option<Trace>,
+}
+
+impl SimOutcome {
+    /// `true` when no deadline was missed within the horizon — the paper's
+    /// simulation acceptance criterion (a *coarse upper bound* on true
+    /// schedulability: only the synchronous release offsets are explored).
+    pub fn schedulable(&self) -> bool {
+        self.metrics.no_misses()
+    }
+
+    /// The first miss, if any.
+    pub fn first_miss(&self) -> Option<&MissRecord> {
+        self.metrics.misses.first()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// Release the next job of task `.0`.
+    Release(usize),
+    /// Check the deadline of job slot `.0`.
+    DeadlineCheck(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Event {
+    fn rank(&self) -> (u8, usize) {
+        match self.kind {
+            EventKind::Release(t) => (0, t),
+            EventKind::DeadlineCheck(j) => (1, j),
+        }
+    }
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.rank().cmp(&self.rank()))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Simulate a taskset in any numeric representation (timing parameters are
+/// converted to `f64`; the engine itself runs in `f64`).
+pub fn simulate<T: Time>(
+    taskset: &TaskSet<T>,
+    device: &Fpga,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    let ts64 = taskset
+        .map_time(|v| v.to_f64())
+        .map_err(SimError::Model)?;
+    simulate_f64(&ts64, device, config)
+}
+
+/// Simulate an `f64` taskset. See the [module docs](self) for the event
+/// model.
+pub fn simulate_f64(
+    taskset: &TaskSet<f64>,
+    device: &Fpga,
+    config: &SimConfig,
+) -> Result<SimOutcome, SimError> {
+    config.validate()?;
+    taskset.validate_for(device)?;
+    let horizon = config.horizon.resolve(taskset.tmax().to_f64())?;
+    let mut engine = Engine::new(taskset, device, config, horizon)?;
+    engine.run();
+    Ok(engine.finish())
+}
+
+struct Engine<'a> {
+    taskset: &'a TaskSet<f64>,
+    device: Fpga,
+    config: &'a SimConfig,
+    horizon: f64,
+    now: f64,
+    events: BinaryHeap<Event>,
+    jobs: Vec<Job>,
+    active: Vec<usize>,
+    next_index: Vec<u64>,
+    heavy: Vec<bool>,
+    taskset_amax: u32,
+    release_rng: SplitMix64,
+    metrics: SimMetrics,
+    trace: Option<Trace>,
+    stop: bool,
+    /// Current dispatch (selected slots + waiting slots), refreshed after
+    /// every event batch.
+    current: Dispatch,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        taskset: &'a TaskSet<f64>,
+        device: &Fpga,
+        config: &'a SimConfig,
+        horizon: f64,
+    ) -> Result<Self, SimError> {
+        // EDF-US heavy classification: system-utilization share > threshold.
+        let heavy = match config.scheduler {
+            SchedulerKind::EdfUs { threshold } => taskset
+                .iter()
+                .map(|(_, t)| t.system_utilization() / device.area_f64() > threshold)
+                .collect(),
+            _ => vec![false; taskset.len()],
+        };
+        if let SchedulerKind::Partitioned(plan) = &config.scheduler {
+            if plan.assignment.len() != taskset.len() {
+                return Err(SimError::PartitioningFailed { task: plan.assignment.len() });
+            }
+        }
+        let mut release_rng = SplitMix64::new(match config.release {
+            ReleaseModel::Synchronous => 0,
+            ReleaseModel::RandomOffsets { seed } | ReleaseModel::Sporadic { seed, .. } => seed,
+        });
+        let mut events = BinaryHeap::with_capacity(taskset.len() * 4);
+        for k in 0..taskset.len() {
+            let offset = match config.release {
+                ReleaseModel::RandomOffsets { .. } => {
+                    release_rng.next_in(taskset.task(k).period().to_f64())
+                }
+                ReleaseModel::Synchronous | ReleaseModel::Sporadic { .. } => 0.0,
+            };
+            events.push(Event { time: offset, kind: EventKind::Release(k) });
+        }
+        Ok(Engine {
+            taskset,
+            device: *device,
+            config,
+            horizon,
+            now: 0.0,
+            events,
+            jobs: Vec::with_capacity(1024),
+            active: Vec::new(),
+            next_index: vec![0; taskset.len()],
+            heavy,
+            taskset_amax: taskset.amax(),
+            release_rng,
+            metrics: SimMetrics {
+                response: vec![ResponseStats::default(); taskset.len()],
+                ..SimMetrics::default()
+            },
+            trace: match config.trace {
+                TraceLevel::Off => None,
+                TraceLevel::Full => {
+                    Some(Trace { device_columns: device.columns(), segments: Vec::new() })
+                }
+            },
+            stop: false,
+            current: Dispatch {
+                selected: vec![],
+                waiting: vec![],
+                fragmentation_blocked: false,
+                busy_columns: 0,
+            },
+        })
+    }
+
+    fn run(&mut self) {
+        while !self.stop {
+            let t_event = self.events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
+            let t_completion = self
+                .current
+                .selected
+                .iter()
+                .map(|&(slot, _)| {
+                    let j = &self.jobs[slot];
+                    // Stop at reconfiguration end too, so trace segments are
+                    // purely "reconfiguring" or purely "executing".
+                    if j.reconfig_remaining > EPS {
+                        self.now + j.reconfig_remaining
+                    } else {
+                        self.now + j.time_to_completion()
+                    }
+                })
+                .fold(f64::INFINITY, f64::min);
+            let t_next = t_event.min(t_completion).min(self.horizon);
+            debug_assert!(t_next >= self.now - EPS, "time must not run backwards");
+
+            self.advance(t_next);
+            self.now = t_next;
+            if self.now >= self.horizon {
+                break;
+            }
+
+            self.collect_completions();
+            self.process_events();
+            if self.stop {
+                break;
+            }
+            self.dispatch();
+        }
+        self.metrics.span = self.now.min(self.horizon);
+    }
+
+    /// Move time forward to `t_next`, draining reconfiguration and execution
+    /// of running jobs and recording the trace segment.
+    fn advance(&mut self, t_next: f64) {
+        let dt = t_next - self.now;
+        if dt <= 0.0 {
+            return;
+        }
+        let mut busy_cols: u32 = 0;
+        let mut segment_running = Vec::new();
+        for &(slot, region) in &self.current.selected {
+            let job = &mut self.jobs[slot];
+            busy_cols += job.area;
+            let reconfiguring = job.reconfig_remaining > EPS;
+            if self.trace.is_some() {
+                segment_running.push(RunningJob {
+                    job: job.id,
+                    task: job.task,
+                    area: job.area,
+                    region,
+                    reconfiguring,
+                });
+            }
+            let r = job.reconfig_remaining.min(dt);
+            job.reconfig_remaining -= r;
+            if job.reconfig_remaining < EPS {
+                job.reconfig_remaining = 0.0;
+            }
+            job.remaining -= dt - r;
+            if job.remaining < EPS {
+                job.remaining = job.remaining.max(0.0);
+            }
+        }
+        self.metrics.busy_area_time += f64::from(busy_cols) * dt;
+        if let Some(trace) = &mut self.trace {
+            trace.segments.push(TraceSegment {
+                from: self.now,
+                to: t_next,
+                running: segment_running,
+                waiting: self
+                    .current
+                    .waiting
+                    .iter()
+                    .map(|&s| (self.jobs[s].id, self.jobs[s].area))
+                    .collect(),
+            });
+        }
+    }
+
+    /// Retire running jobs whose work has reached zero.
+    fn collect_completions(&mut self) {
+        let done: Vec<usize> = self
+            .current
+            .selected
+            .iter()
+            .map(|&(slot, _)| slot)
+            .filter(|&slot| {
+                let j = &self.jobs[slot];
+                j.reconfig_remaining <= EPS && j.remaining <= EPS
+            })
+            .collect();
+        for slot in done {
+            let job = &mut self.jobs[slot];
+            job.state = JobState::Completed;
+            job.completion = Some(self.now);
+            job.running = false;
+            self.metrics.completed += 1;
+            self.metrics.response[job.task.0].record(self.now - job.release);
+            self.active.retain(|&s| s != slot);
+        }
+    }
+
+    /// Process every heap event scheduled at the current instant.
+    fn process_events(&mut self) {
+        while let Some(ev) = self.events.peek() {
+            if ev.time > self.now + EPS {
+                break;
+            }
+            let ev = self.events.pop().expect("peeked");
+            match ev.kind {
+                EventKind::Release(task_idx) => self.release(task_idx, ev.time),
+                EventKind::DeadlineCheck(slot) => self.deadline_check(slot),
+            }
+        }
+    }
+
+    fn release(&mut self, task_idx: usize, at: f64) {
+        let task = self.taskset.task(task_idx);
+        let index = self.next_index[task_idx];
+        self.next_index[task_idx] += 1;
+        let slot = self.jobs.len();
+        let job = Job::new(
+            JobId(slot as u64),
+            TaskId(task_idx),
+            index,
+            at,
+            task.deadline().to_f64(),
+            task.exec().to_f64(),
+            task.area(),
+        );
+        self.events
+            .push(Event { time: job.abs_deadline, kind: EventKind::DeadlineCheck(slot) });
+        let gap = match self.config.release {
+            ReleaseModel::Synchronous | ReleaseModel::RandomOffsets { .. } => {
+                task.period().to_f64()
+            }
+            ReleaseModel::Sporadic { jitter, .. } => {
+                let t = task.period().to_f64();
+                t + self.release_rng.next_in(jitter * t)
+            }
+        };
+        let next_release = at + gap;
+        if next_release < self.horizon {
+            self.events
+                .push(Event { time: next_release, kind: EventKind::Release(task_idx) });
+        }
+        self.jobs.push(job);
+        self.active.push(slot);
+        self.metrics.released += 1;
+    }
+
+    fn deadline_check(&mut self, slot: usize) {
+        let job = &mut self.jobs[slot];
+        if job.state != JobState::Active || job.time_to_completion() <= EPS {
+            return;
+        }
+        self.metrics.misses.push(MissRecord {
+            task: job.task,
+            job_index: job.index,
+            time: job.abs_deadline,
+            remaining: job.remaining,
+        });
+        job.state = JobState::Missed;
+        job.running = false;
+        self.active.retain(|&s| s != slot);
+        if self.config.stop_at_first_miss {
+            self.stop = true;
+        }
+    }
+
+    /// Re-run the scheduler over the active set and reconcile fabric state.
+    fn dispatch(&mut self) {
+        let mut order = self.active.clone();
+        let dispatch = match &self.config.scheduler {
+            SchedulerKind::EdfFkf => {
+                edf_order(&self.jobs, &mut order);
+                place_by_rule(
+                    &self.jobs,
+                    &order,
+                    self.config.placement,
+                    self.device.columns(),
+                    FitRule::StopAtFirstBlock,
+                )
+            }
+            SchedulerKind::EdfNf => {
+                edf_order(&self.jobs, &mut order);
+                place_by_rule(
+                    &self.jobs,
+                    &order,
+                    self.config.placement,
+                    self.device.columns(),
+                    FitRule::SkipBlocked,
+                )
+            }
+            SchedulerKind::EdfUs { .. } => {
+                edf_us_order(&self.jobs, &self.heavy, &mut order);
+                place_by_rule(
+                    &self.jobs,
+                    &order,
+                    self.config.placement,
+                    self.device.columns(),
+                    FitRule::SkipBlocked,
+                )
+            }
+            SchedulerKind::Partitioned(plan) => {
+                // Per-partition uniprocessor EDF at fixed regions.
+                edf_order(&self.jobs, &mut order);
+                let mut busy = vec![false; plan.partitions.len()];
+                let mut selected = Vec::new();
+                let mut waiting = Vec::new();
+                let mut busy_columns = 0;
+                for &slot in &order {
+                    let pi = plan.assignment[self.jobs[slot].task.0];
+                    if busy[pi] {
+                        waiting.push(slot);
+                    } else {
+                        busy[pi] = true;
+                        busy_columns += self.jobs[slot].area;
+                        selected.push((slot, Some(plan.partitions[pi].region)));
+                    }
+                }
+                Dispatch { selected, waiting, fragmentation_blocked: false, busy_columns }
+            }
+        };
+        self.reconcile(dispatch);
+    }
+
+    /// Apply a new dispatch: count preemptions/migrations/placements, charge
+    /// reconfiguration overhead, update job state, validate α bounds.
+    fn reconcile(&mut self, dispatch: Dispatch) {
+        if dispatch.fragmentation_blocked {
+            self.metrics.fragmentation_blocks += 1;
+        }
+        // Preemptions: jobs running before, still active, no longer selected.
+        let newly_selected: Vec<usize> = dispatch.selected.iter().map(|s| s.0).collect();
+        for &(slot, _) in &self.current.selected {
+            let job = &self.jobs[slot];
+            if job.state == JobState::Active && !newly_selected.contains(&slot) {
+                self.metrics.preemptions += 1;
+            }
+        }
+        for &(slot, region) in &dispatch.selected {
+            let was_running = self.jobs[slot].running;
+            let prev_region = self.jobs[slot].region;
+            let job = &mut self.jobs[slot];
+            if !was_running {
+                // (Re)loading onto the fabric: a reconfiguration.
+                self.metrics.placements += 1;
+                job.reconfig_remaining = self.config.overhead.for_area(job.area);
+                if job.ever_placed && region != prev_region && region.is_some() {
+                    self.metrics.migrations += 1;
+                }
+                job.ever_placed = true;
+            } else if region != prev_region {
+                // Running job relocated by the allocator (free-migration
+                // semantics made explicit under contiguous placement).
+                self.metrics.migrations += 1;
+                self.metrics.placements += 1;
+                job.reconfig_remaining = self.config.overhead.for_area(job.area);
+            }
+            job.running = true;
+            job.region = region;
+        }
+        for &slot in &dispatch.waiting {
+            let job = &mut self.jobs[slot];
+            job.running = false;
+            // `region` is deliberately retained: it is the reclaim hint for
+            // the next dispatch (see `Job::region`).
+        }
+        // α-bound validation (Lemmas 1–2) under the lemmas' assumptions.
+        if self.config.validate_alpha
+            && self.config.placement == PlacementPolicy::FreeMigration
+            && !dispatch.waiting.is_empty()
+        {
+            let busy = dispatch.busy_columns;
+            match self.config.scheduler {
+                SchedulerKind::EdfFkf => {
+                    let required =
+                        self.device.columns().saturating_sub(self.taskset_amax.saturating_sub(1));
+                    if busy < required {
+                        self.metrics.alpha_violations.push(AlphaViolation {
+                            time: self.now,
+                            busy,
+                            required,
+                            waiting_area: self.taskset_amax,
+                        });
+                    }
+                }
+                SchedulerKind::EdfNf => {
+                    for &slot in &dispatch.waiting {
+                        let ak = self.jobs[slot].area;
+                        let required = self.device.columns().saturating_sub(ak.saturating_sub(1));
+                        if busy < required {
+                            self.metrics.alpha_violations.push(AlphaViolation {
+                                time: self.now,
+                                busy,
+                                required,
+                                waiting_area: ak,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.current = dispatch;
+    }
+
+    fn finish(self) -> SimOutcome {
+        SimOutcome { metrics: self.metrics, trace: self.trace }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Horizon, ReconfigOverhead};
+    use crate::placement::FitStrategy;
+
+    fn fpga(cols: u32) -> Fpga {
+        Fpga::new(cols).unwrap()
+    }
+
+    fn cfg(kind: SchedulerKind) -> SimConfig {
+        SimConfig::default()
+            .with_scheduler(kind)
+            .with_horizon(Horizon::PeriodsOfTmax(20.0))
+    }
+
+    /// A single task that fits runs immediately and never misses.
+    #[test]
+    fn single_task_schedulable() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(2.0, 5.0, 5.0, 4)]).unwrap();
+        let out = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        assert!(out.schedulable());
+        assert_eq!(out.metrics.released, 20);
+        assert_eq!(out.metrics.completed, 20);
+        // Response time equals C for an uncontended task.
+        assert!((out.metrics.response[0].max - 2.0).abs() < 1e-9);
+    }
+
+    /// Gross overload must miss, and kill-at-deadline must record it.
+    #[test]
+    fn overload_misses() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (4.0, 5.0, 5.0, 6),
+            (4.0, 5.0, 5.0, 6),
+        ])
+        .unwrap();
+        let out = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        assert!(!out.schedulable());
+        let miss = out.first_miss().unwrap();
+        assert_eq!(miss.time, 5.0);
+    }
+
+    /// The paper's §1 example shape: NF beats FkF because a wide
+    /// head-of-queue job blocks a narrow one that would fit.
+    ///
+    /// Hand-verified schedule on 10 columns over `[0, 8.9)`:
+    /// τ0 = (4, 8, 8, 6), τ1 = (4, 8.5, 8.5, 5), τ2 = (8, 8.8, 8.8, 4).
+    ///
+    /// * FkF at t=0 places τ0 (6 cols); τ1 (5 cols) does not fit and *stops
+    ///   the scan*, so τ2 idles although 4 columns are free. τ2 only gets
+    ///   [4, 8)∪[8, 8.8) = 4.8 < 8 of work → misses at t = 8.8.
+    /// * NF skips τ1 and runs τ2 from t=0: τ2 executes [0,8) and completes
+    ///   exactly at its release+8; nobody misses before the 8.9 horizon.
+    #[test]
+    fn nf_succeeds_where_fkf_fails() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (4.0, 8.0, 8.0, 6),
+            (4.0, 8.5, 8.5, 5),
+            (8.0, 8.8, 8.8, 4),
+        ])
+        .unwrap();
+        let short = |k: SchedulerKind| cfg(k).with_horizon(Horizon::Absolute(8.9));
+        let fkf = simulate_f64(&ts, &fpga(10), &short(SchedulerKind::EdfFkf)).unwrap();
+        let nf = simulate_f64(&ts, &fpga(10), &short(SchedulerKind::EdfNf)).unwrap();
+        assert!(!fkf.schedulable(), "FkF should miss τ2 at 8.8");
+        let miss = fkf.first_miss().unwrap();
+        assert_eq!(miss.task, TaskId(2));
+        assert!((miss.time - 8.8).abs() < 1e-9);
+        assert!((miss.remaining - 3.2).abs() < 1e-6, "got {}", miss.remaining);
+        assert!(nf.schedulable(), "NF miss: {:?}", nf.first_miss());
+    }
+
+    /// Table 3 of the paper is accepted by GN2, hence must simulate cleanly
+    /// under both schedulers (GN2 targets EDF-FkF; NF dominates).
+    #[test]
+    fn table3_simulates_clean() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap();
+        for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+            let out = simulate_f64(&ts, &fpga(10), &cfg(kind)).unwrap();
+            assert!(out.schedulable());
+        }
+    }
+
+    /// Two tasks whose areas exceed the device together serialize; EDF picks
+    /// the earlier deadline first.
+    #[test]
+    fn serialization_when_areas_conflict() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_full_trace().with_alpha_validation(),
+        )
+        .unwrap();
+        assert!(out.schedulable(), "UT=0.37 serialized load is trivially feasible");
+        let trace = out.trace.unwrap();
+        trace.check_invariants().unwrap();
+        // The two tasks never overlap on the fabric (9 + 6 > 10).
+        for seg in &trace.segments {
+            assert!(seg.running.len() <= 1);
+        }
+        assert!(out.metrics.alpha_violations.is_empty());
+    }
+
+    /// Reconfiguration overhead lengthens response times and can create
+    /// misses that the zero-overhead run avoids.
+    #[test]
+    fn overhead_costs_time() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(4.0, 5.0, 5.0, 5)]).unwrap();
+        let no = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        assert!(no.schedulable());
+        let with = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_overhead(ReconfigOverhead::Constant(1.5)),
+        )
+        .unwrap();
+        assert!(!with.schedulable(), "C+overhead = 5.5 > D = 5");
+        // Sub-slack overhead is absorbed.
+        let ok = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_overhead(ReconfigOverhead::Constant(0.5)),
+        )
+        .unwrap();
+        assert!(ok.schedulable());
+        assert!((ok.metrics.response[0].max - 4.5).abs() < 1e-9);
+    }
+
+    /// Per-column overhead scales with area.
+    #[test]
+    fn per_column_overhead_scales() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(1.0, 5.0, 5.0, 8)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_overhead(ReconfigOverhead::PerColumn(0.1)),
+        )
+        .unwrap();
+        assert!((out.metrics.response[0].max - 1.8).abs() < 1e-9);
+    }
+
+    /// Contiguous placement without migration can miss where free migration
+    /// succeeds (fragmentation), and the engine flags the fragmentation
+    /// block.
+    #[test]
+    fn fragmentation_can_break_schedulability() {
+        // τ0 and τ1 (areas 3) pin the ends... with first-fit they are placed
+        // adjacently, so craft areas so a hole split occurs: τ0 A=3 C long,
+        // τ1 A=4, τ2 A=4: total 11 > 10 forces rotation; with migration the
+        // pieces always pack, without it first-fit leaves 3+3 split when τ1
+        // finishes mid-flight.
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (6.0, 10.0, 10.0, 3),
+            (3.0, 10.0, 10.0, 4),
+            (6.5, 10.0, 10.0, 4),
+            (2.0, 11.0, 11.0, 3),
+        ])
+        .unwrap();
+        let free = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        let contig = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf)
+                .with_placement(PlacementPolicy::Contiguous(FitStrategy::FirstFit)),
+        )
+        .unwrap();
+        // Both runs are valid simulations; the contiguous one must never do
+        // better than free migration on this workload.
+        assert!(free.schedulable());
+        if !contig.schedulable() {
+            assert!(contig.metrics.fragmentation_blocks > 0);
+        }
+    }
+
+    /// Partitioned scheduling serializes within partitions.
+    #[test]
+    fn partitioned_dispatch_respects_plan() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (1.0, 5.0, 5.0, 3),
+            (1.0, 5.0, 5.0, 3),
+        ])
+        .unwrap();
+        let plan = crate::partitioned::partition_taskset(&ts, &fpga(10)).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::Partitioned(plan)).with_full_trace(),
+        )
+        .unwrap();
+        assert!(out.schedulable());
+        let trace = out.trace.unwrap();
+        trace.check_invariants().unwrap();
+        // Both tasks share one partition, so they never run concurrently.
+        for seg in &trace.segments {
+            assert!(seg.running.len() <= 1, "serialized partition");
+        }
+    }
+
+    /// EDF-US promotes a heavy task over an earlier-deadline light task:
+    /// the heavy task runs [0, 8) unpreempted (response 8), whereas plain
+    /// EDF-NF lets the light task in first and stretches the heavy task's
+    /// response to its deadline.
+    #[test]
+    fn edf_us_promotes_heavy_task() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (8.0, 10.0, 10.0, 8), // US share 0.64: heavy; cannot coexist with τ1
+            (1.0, 5.0, 5.0, 4),
+        ])
+        .unwrap();
+        let us = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfUs { threshold: 0.5 })
+                .collect_all_misses()
+                .with_horizon(Horizon::Absolute(10.0)),
+        )
+        .unwrap();
+        assert!((us.metrics.response[0].max - 8.0).abs() < 1e-9);
+        // Under plain EDF-NF the light task runs first at t=0 (earlier
+        // deadline); at t=5 the rereleased light job ties on deadline with
+        // the heavy one and loses the release-time tie-break, so the heavy
+        // task runs [1, 9): response 9.
+        let nf = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf)
+                .collect_all_misses()
+                .with_horizon(Horizon::Absolute(10.5)),
+        )
+        .unwrap();
+        assert!((nf.metrics.response[0].max - 9.0).abs() < 1e-6);
+        assert!(us.metrics.response[0].max < nf.metrics.response[0].max);
+    }
+
+    /// Deterministic: same inputs, same outcome (including full metrics).
+    #[test]
+    fn deterministic_replay() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (2.0, 6.0, 6.0, 5),
+            (3.0, 7.0, 7.0, 4),
+            (1.0, 5.0, 5.0, 6),
+        ])
+        .unwrap();
+        let a = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        let b = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// Busy-area accounting is consistent with total work done.
+    #[test]
+    fn busy_area_matches_completed_work() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(2.0, 5.0, 5.0, 4)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_horizon(Horizon::Absolute(50.0)),
+        )
+        .unwrap();
+        // 10 jobs × 2.0 time × 4 columns.
+        assert!((out.metrics.busy_area_time - 80.0).abs() < 1e-6);
+        assert!((out.metrics.mean_utilization(10) - 0.16).abs() < 1e-9);
+    }
+
+    /// Preemption/placement counters on a hand-verified schedule.
+    ///
+    /// τ0 = (3, 10, 10, A6), τ1 = (2, 4, 4, A6) on 10 columns: the two
+    /// tasks can never coexist (12 > 10). τ1 (deadline 4 < 10) preempts τ0
+    /// at t = 0? No — both release at 0 and τ1 wins immediately; τ0 starts
+    /// at 2, runs [2, 4), is preempted by τ1's second job at 4 (deadline 8
+    /// < 10), resumes at 6 and completes at 7. Exactly one preemption, and
+    /// τ0 is placed twice (initial + resume).
+    #[test]
+    fn preemption_and_placement_counters() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(3.0, 10.0, 10.0, 6), (2.0, 4.0, 4.0, 6)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_horizon(Horizon::Absolute(8.0)),
+        )
+        .unwrap();
+        assert!(out.schedulable());
+        assert_eq!(out.metrics.preemptions, 1, "τ0 preempted once at t=4");
+        // Placements: τ1 jobs at 0 and 4 (2) + τ0 at 2 and resume at 6 (2).
+        assert_eq!(out.metrics.placements, 4);
+        // τ0 response: completes at 7 → response 7.
+        assert!((out.metrics.response[0].max - 7.0).abs() < 1e-9);
+    }
+
+    /// Under contiguous placement, a preempted job reclaims its old columns
+    /// on resume when they are free again — no migration is counted.
+    ///
+    /// Hand-verified schedule on 10 columns, first-fit:
+    /// τ0 = (5, 20, 20, A4), τ1 = (2, 6, 6, A8) — they can never coexist.
+    /// t=0: τ1 (d6) placed at [0,8); τ0 waits (never started).
+    /// t=2: τ1 done; τ0 placed at [0,4), runs [2,6).
+    /// t=6: τ1 re-releases (d12), higher priority, takes [0,8) → τ0 is
+    ///      preempted with 1 unit remaining.
+    /// t=8: τ1 done; τ0 reclaims [0,4) (free again) and finishes at 9.
+    #[test]
+    fn migration_counter_under_contiguous_placement() {
+        use crate::placement::{FitStrategy, PlacementPolicy};
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(5.0, 20.0, 20.0, 4), (2.0, 6.0, 6.0, 8)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf)
+                .with_placement(PlacementPolicy::Contiguous(FitStrategy::FirstFit))
+                .with_horizon(Horizon::Absolute(10.0)),
+        )
+        .unwrap();
+        assert!(out.schedulable());
+        assert_eq!(out.metrics.preemptions, 1, "τ0 preempted at t=6");
+        assert_eq!(out.metrics.migrations, 0, "old region reclaimed at t=8");
+        assert_eq!(out.metrics.placements, 4, "τ1 twice + τ0 initial and resume");
+        assert!((out.metrics.response[0].max - 9.0).abs() < 1e-9);
+    }
+
+    /// Random offsets shift first releases into [0, Ti) and keep the
+    /// periodic gap; sporadic jitter stretches gaps beyond Ti.
+    #[test]
+    fn release_models_shape_arrivals() {
+        use crate::config::ReleaseModel;
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(1.0, 10.0, 10.0, 2)]).unwrap();
+        let horizon = Horizon::Absolute(100.0);
+
+        let sync = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
+            .with_horizon(horizon)).unwrap();
+        assert_eq!(sync.metrics.released, 10);
+
+        // Random offsets: first release in [0, 10) → 9 or 10 jobs fit.
+        let off = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
+            .with_horizon(horizon)
+            .with_release(ReleaseModel::RandomOffsets { seed: 3 })).unwrap();
+        assert!(off.metrics.released == 9 || off.metrics.released == 10);
+        assert!(off.schedulable());
+
+        // Sporadic with 50% jitter: strictly fewer arrivals than periodic
+        // in expectation; never more.
+        let spo = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
+            .with_horizon(horizon)
+            .with_release(ReleaseModel::Sporadic { jitter: 0.5, seed: 3 })).unwrap();
+        assert!(spo.metrics.released <= 10);
+        assert!(spo.metrics.released >= 7);
+        assert!(spo.schedulable());
+    }
+
+    /// Sporadic releases preserve the minimum inter-arrival time, so a
+    /// taskset that is schedulable under the synchronous pattern stays
+    /// schedulable when arrivals only get *sparser* — checked on a
+    /// deterministic batch.
+    #[test]
+    fn sporadic_never_adds_load() {
+        use crate::config::ReleaseModel;
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (2.10, 5.0, 5.0, 7),
+            (2.00, 7.0, 7.0, 7),
+        ])
+        .unwrap();
+        for seed in 0..20 {
+            let out = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
+                .with_release(ReleaseModel::Sporadic { jitter: 0.3, seed })).unwrap();
+            assert!(out.schedulable(), "seed {seed}: {:?}", out.first_miss());
+        }
+    }
+
+    /// Invalid jitter is rejected.
+    #[test]
+    fn invalid_jitter_rejected() {
+        use crate::config::ReleaseModel;
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(1.0, 5.0, 5.0, 1)]).unwrap();
+        let bad = cfg(SchedulerKind::EdfNf)
+            .with_release(ReleaseModel::Sporadic { jitter: -0.1, seed: 0 });
+        assert!(simulate_f64(&ts, &fpga(10), &bad).is_err());
+    }
+
+    /// Jobs whose deadline falls beyond the horizon are neither counted as
+    /// misses nor as completions when unfinished at the horizon.
+    #[test]
+    fn horizon_truncation_is_clean() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(4.0, 5.0, 5.0, 4)]).unwrap();
+        let out = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf).with_horizon(Horizon::Absolute(7.0)),
+        )
+        .unwrap();
+        // Releases at 0 and 5; the second job's deadline (10) is past the
+        // horizon.
+        assert_eq!(out.metrics.released, 2);
+        assert_eq!(out.metrics.completed, 1);
+        assert!(out.schedulable());
+        assert_eq!(out.metrics.span, 7.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Simulator error types.
+
+use core::fmt;
+use fpga_rt_model::ModelError;
+
+/// Errors raised when configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The taskset or device failed model validation.
+    Model(ModelError),
+    /// A non-positive or non-finite simulation horizon was requested.
+    InvalidHorizon {
+        /// The offending horizon value.
+        value: f64,
+    },
+    /// A negative or non-finite reconfiguration overhead was requested.
+    InvalidOverhead {
+        /// The offending overhead value.
+        value: f64,
+    },
+    /// Partitioned scheduling was requested but the allocator could not fit
+    /// every task (the partitioned test rejects such tasksets; simulation
+    /// needs a complete plan).
+    PartitioningFailed {
+        /// Index of the first task that could not be assigned.
+        task: usize,
+    },
+    /// An EDF-US utilization threshold outside `(0, 1]` was requested.
+    InvalidThreshold {
+        /// The offending threshold.
+        value: f64,
+    },
+    /// A negative or non-finite sporadic jitter fraction was requested.
+    InvalidJitter {
+        /// The offending jitter.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => write!(f, "model error: {e}"),
+            SimError::InvalidHorizon { value } => {
+                write!(f, "simulation horizon must be positive and finite, got {value}")
+            }
+            SimError::InvalidOverhead { value } => {
+                write!(f, "reconfiguration overhead must be non-negative and finite, got {value}")
+            }
+            SimError::PartitioningFailed { task } => {
+                write!(f, "partition allocator could not place task #{task}")
+            }
+            SimError::InvalidThreshold { value } => {
+                write!(f, "EDF-US threshold must lie in (0, 1], got {value}")
+            }
+            SimError::InvalidJitter { value } => {
+                write!(f, "sporadic jitter must be non-negative and finite, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SimError::from(ModelError::ZeroDevice);
+        assert!(e.to_string().contains("model error"));
+        assert!(e.source().is_some());
+        assert!(SimError::InvalidHorizon { value: -1.0 }.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Runtime job state.
+
+use crate::placement::Region;
+use fpga_rt_model::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique job identifier, assigned in release order. Ties in the
+/// EDF queue are broken by `(abs_deadline, release, JobId)`, making every
+/// dispatch deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl core::fmt::Display for JobId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Released, not finished, not past its deadline.
+    Active,
+    /// Finished all execution by its deadline.
+    Completed,
+    /// Reached its absolute deadline with work left; removed from the
+    /// system (kill-at-deadline policy, so `D ≤ T` tasksets keep at most
+    /// one live job per task).
+    Missed,
+}
+
+/// One invocation `J_k^j` of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id (release order).
+    pub id: JobId,
+    /// Owning task.
+    pub task: TaskId,
+    /// Zero-based invocation index `j`.
+    pub index: u64,
+    /// Release time `r_k^j`.
+    pub release: f64,
+    /// Absolute deadline `d_k^j = r + Dk`.
+    pub abs_deadline: f64,
+    /// Remaining execution time.
+    pub remaining: f64,
+    /// Remaining reconfiguration time: while positive and the job is on the
+    /// fabric, elapsed time drains this before any execution progresses.
+    pub reconfig_remaining: f64,
+    /// Area in columns.
+    pub area: u32,
+    /// Fabric location: the current columns while running, or the last
+    /// known columns while preempted (contiguous placement reclaims them on
+    /// resume when still free — no migration is counted then). `None` under
+    /// free migration or before first placement.
+    pub region: Option<Region>,
+    /// Whether the job is currently executing on the fabric.
+    pub running: bool,
+    /// Whether the job has ever been placed (used to classify preemptions
+    /// vs. first placements).
+    pub ever_placed: bool,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Completion time, once completed.
+    pub completion: Option<f64>,
+}
+
+impl Job {
+    /// Create a freshly released job.
+    pub fn new(
+        id: JobId,
+        task: TaskId,
+        index: u64,
+        release: f64,
+        deadline_rel: f64,
+        exec: f64,
+        area: u32,
+    ) -> Self {
+        Job {
+            id,
+            task,
+            index,
+            release,
+            abs_deadline: release + deadline_rel,
+            remaining: exec,
+            reconfig_remaining: 0.0,
+            area,
+            region: None,
+            running: false,
+            ever_placed: false,
+            state: JobState::Active,
+            completion: None,
+        }
+    }
+
+    /// `true` while the job may still execute.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.state == JobState::Active
+    }
+
+    /// Time until this running job completes (reconfiguration plus
+    /// execution). Only meaningful while running.
+    #[inline]
+    pub fn time_to_completion(&self) -> f64 {
+        self.reconfig_remaining + self.remaining
+    }
+
+    /// Response time, when completed.
+    pub fn response_time(&self) -> Option<f64> {
+        self.completion.map(|c| c - self.release)
+    }
+
+    /// EDF priority key: `(abs_deadline, release, id)` — non-decreasing
+    /// deadlines, ties by release time (paper Definitions 1–2), final tie by
+    /// release order for determinism.
+    #[inline]
+    pub fn edf_key(&self) -> (f64, f64, u64) {
+        (self.abs_deadline, self.release, self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_keys() {
+        let j = Job::new(JobId(3), TaskId(1), 0, 10.0, 5.0, 2.0, 4);
+        assert!(j.is_active());
+        assert_eq!(j.abs_deadline, 15.0);
+        assert_eq!(j.time_to_completion(), 2.0);
+        assert_eq!(j.edf_key(), (15.0, 10.0, 3));
+        assert_eq!(j.response_time(), None);
+    }
+
+    #[test]
+    fn edf_key_orders_by_deadline_then_release() {
+        let a = Job::new(JobId(1), TaskId(0), 0, 0.0, 5.0, 1.0, 1);
+        let b = Job::new(JobId(2), TaskId(1), 0, 1.0, 4.0, 1.0, 1);
+        let c = Job::new(JobId(3), TaskId(2), 0, 2.0, 3.0, 1.0, 1);
+        // b and c share deadline 5.0; b released earlier wins.
+        let mut v = [c.clone(), b.clone(), a.clone()];
+        v.sort_by(|x, y| x.edf_key().partial_cmp(&y.edf_key()).unwrap());
+        assert_eq!(v[0].id, a.id);
+        assert_eq!(v[1].id, b.id);
+        assert_eq!(v[2].id, c.id);
+    }
+
+    #[test]
+    fn response_time_after_completion() {
+        let mut j = Job::new(JobId(0), TaskId(0), 0, 2.0, 5.0, 1.0, 1);
+        j.state = JobState::Completed;
+        j.completion = Some(4.5);
+        assert_eq!(j.response_time(), Some(2.5));
+    }
+}

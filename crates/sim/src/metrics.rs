@@ -1,0 +1,142 @@
+//! Simulation metrics.
+
+use fpga_rt_model::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// One deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissRecord {
+    /// The task whose job missed.
+    pub task: TaskId,
+    /// The invocation index of the missing job.
+    pub job_index: u64,
+    /// The absolute deadline that was missed.
+    pub time: f64,
+    /// Execution time still owed at the deadline.
+    pub remaining: f64,
+}
+
+/// One recorded α-bound violation (only possible when the simulation breaks
+/// a Lemma 1/2 assumption, e.g. contiguous placement without migration —
+/// under the paper's assumptions these must never occur, which the
+/// integration tests assert).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AlphaViolation {
+    /// When the violation was observed.
+    pub time: f64,
+    /// Busy columns observed.
+    pub busy: u32,
+    /// Minimum busy columns the lemma requires.
+    pub required: u32,
+    /// Area of the waiting job that triggered the requirement.
+    pub waiting_area: u32,
+}
+
+/// Per-task response-time aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Jobs of this task that completed.
+    pub completed: u64,
+    /// Maximum observed response time.
+    pub max: f64,
+    /// Sum of response times (divide by `completed` for the mean).
+    pub sum: f64,
+}
+
+impl ResponseStats {
+    /// Record one completed job's response time.
+    pub fn record(&mut self, response: f64) {
+        self.completed += 1;
+        self.sum += response;
+        if response > self.max {
+            self.max = response;
+        }
+    }
+
+    /// Mean response time, if any job completed.
+    pub fn mean(&self) -> Option<f64> {
+        (self.completed > 0).then(|| self.sum / self.completed as f64)
+    }
+}
+
+/// Aggregate counters for one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimMetrics {
+    /// Simulated span (time actually covered, ≤ configured horizon when the
+    /// run stops at the first miss).
+    pub span: f64,
+    /// Jobs released.
+    pub released: u64,
+    /// Jobs completed on time.
+    pub completed: u64,
+    /// Deadline misses (first one only when `stop_at_first_miss`).
+    pub misses: Vec<MissRecord>,
+    /// Times a running job was stopped before completing.
+    pub preemptions: u64,
+    /// Times a previously started job resumed at a different location
+    /// (contiguous placement) — the migrations the paper's assumption 4
+    /// makes free.
+    pub migrations: u64,
+    /// Fabric (re)configurations: every transition of a job onto the fabric.
+    pub placements: u64,
+    /// Dispatch rounds in which some ready job was denied purely by
+    /// fragmentation (fits total idle area, no hole wide enough).
+    pub fragmentation_blocks: u64,
+    /// ∫ busy_columns dt over the simulated span.
+    pub busy_area_time: f64,
+    /// Per-task response-time aggregates (indexed by task id).
+    pub response: Vec<ResponseStats>,
+    /// Work-conserving bound violations (see [`AlphaViolation`]).
+    pub alpha_violations: Vec<AlphaViolation>,
+}
+
+impl SimMetrics {
+    /// Average fraction of the fabric kept busy: `busy_area_time /
+    /// (span · A(H))`.
+    pub fn mean_utilization(&self, device_columns: u32) -> f64 {
+        if self.span <= 0.0 {
+            return 0.0;
+        }
+        self.busy_area_time / (self.span * f64::from(device_columns))
+    }
+
+    /// `true` when no deadline was missed.
+    pub fn no_misses(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_stats_aggregate() {
+        let mut s = ResponseStats::default();
+        assert_eq!(s.mean(), None);
+        s.record(2.0);
+        s.record(4.0);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn mean_utilization() {
+        let m = SimMetrics { span: 10.0, busy_area_time: 50.0, ..SimMetrics::default() };
+        assert!((m.mean_utilization(10) - 0.5).abs() < 1e-12);
+        let empty = SimMetrics::default();
+        assert_eq!(empty.mean_utilization(10), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = SimMetrics {
+            misses: vec![MissRecord { task: TaskId(1), job_index: 3, time: 20.0, remaining: 0.5 }],
+            ..SimMetrics::default()
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SimMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

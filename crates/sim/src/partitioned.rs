@@ -1,0 +1,231 @@
+//! Partitioned EDF scheduling (Danne & Platzner, IPDPS/RAW 2006 — the
+//! paper's reference \[10\]).
+//!
+//! The fabric is statically divided into fixed-width partitions; every task
+//! is pinned to one partition and execution within a partition is
+//! *serialized* under uniprocessor EDF. Schedulability therefore reduces to
+//! bin-packing plus the uniprocessor density test `Σ Ci/min(Di,Ti) ≤ 1` per
+//! partition.
+//!
+//! The allocator is first-fit decreasing by area (widest tasks first, ties
+//! by higher density), the natural heuristic when partition width is fixed
+//! by the widest task assigned to it. This is the baseline the paper
+//! contrasts global scheduling against (experiment X7).
+
+use crate::error::SimError;
+use crate::placement::Region;
+use fpga_rt_model::{Fpga, TaskSet, Time};
+use serde::{Deserialize, Serialize};
+
+/// One fixed partition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Columns reserved for this partition.
+    pub region: Region,
+    /// Tasks (by index) pinned here.
+    pub tasks: Vec<usize>,
+    /// Total density `Σ Ci/min(Di,Ti)` of the pinned tasks (`f64`, for
+    /// reporting; the feasibility decision is made in exact arithmetic when
+    /// the taskset is exact).
+    pub density: f64,
+}
+
+/// A complete task-to-partition assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionPlan {
+    /// The partitions, in increasing column order.
+    pub partitions: Vec<Partition>,
+    /// `assignment[task] = partition index`.
+    pub assignment: Vec<usize>,
+}
+
+impl PartitionPlan {
+    /// Total columns consumed by partitions.
+    pub fn used_columns(&self) -> u32 {
+        self.partitions.iter().map(|p| p.region.width).sum()
+    }
+}
+
+/// First-fit-decreasing partitioner. Returns the plan, or the index of the
+/// first task that could not be placed.
+///
+/// A task fits an existing partition when its area does not exceed the
+/// partition width and the partition's density stays ≤ 1; otherwise a new
+/// partition as wide as the task is opened if columns remain.
+pub fn partition_taskset<T: Time>(
+    taskset: &TaskSet<T>,
+    device: &Fpga,
+) -> Result<PartitionPlan, SimError> {
+    taskset.validate_for(device)?;
+
+    let mut order: Vec<usize> = (0..taskset.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ta = taskset.task(a);
+        let tb = taskset.task(b);
+        tb.area()
+            .cmp(&ta.area())
+            .then_with(|| {
+                tb.density()
+                    .partial_cmp(&ta.density())
+                    .expect("validated times are ordered")
+            })
+            .then(a.cmp(&b))
+    });
+
+    // Density is accumulated in the generic arithmetic for exactness.
+    struct Bin<T> {
+        width: u32,
+        tasks: Vec<usize>,
+        density: T,
+    }
+    let mut bins: Vec<Bin<T>> = Vec::new();
+    let mut used: u32 = 0;
+    let mut assignment = vec![usize::MAX; taskset.len()];
+
+    for &ti in &order {
+        let task = taskset.task(ti);
+        let d = task.exec() / task.deadline().min_t(task.period());
+        let mut placed = false;
+        for (bi, bin) in bins.iter_mut().enumerate() {
+            if task.area() <= bin.width && bin.density + d <= T::ONE {
+                bin.density = bin.density + d;
+                bin.tasks.push(ti);
+                assignment[ti] = bi;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            let width = task.area();
+            if used + width > device.columns() || d > T::ONE {
+                return Err(SimError::PartitioningFailed { task: ti });
+            }
+            used += width;
+            assignment[ti] = bins.len();
+            bins.push(Bin { width, tasks: vec![ti], density: d });
+        }
+    }
+
+    let mut start = 0;
+    let partitions = bins
+        .into_iter()
+        .map(|b| {
+            let region = Region::new(start, b.width);
+            start += b.width;
+            Partition { region, tasks: b.tasks, density: b.density.to_f64() }
+        })
+        .collect();
+    Ok(PartitionPlan { partitions, assignment })
+}
+
+/// Schedulability-test wrapper: a taskset is accepted iff the first-fit-
+/// decreasing allocator produces a complete plan. (Uniprocessor EDF with
+/// density ≤ 1 per partition is then sufficient for every partition.)
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartitionedTest;
+
+impl PartitionedTest {
+    /// `true` when the allocator can place every task.
+    pub fn is_schedulable<T: Time>(&self, taskset: &TaskSet<T>, device: &Fpga) -> bool {
+        partition_taskset(taskset, device).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fpga10() -> Fpga {
+        Fpga::new(10).unwrap()
+    }
+
+    #[test]
+    fn packs_compatible_tasks_into_one_partition() {
+        // Two narrow tasks with low density share one 3-wide partition.
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 10.0, 10.0, 3), (2.0, 10.0, 10.0, 2)]).unwrap();
+        let plan = partition_taskset(&ts, &fpga10()).unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].region, Region::new(0, 3));
+        assert_eq!(plan.assignment, vec![0, 0]);
+        assert!((plan.partitions[0].density - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_overflow_opens_new_partition() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(6.0, 10.0, 10.0, 3), (5.0, 10.0, 10.0, 3)]).unwrap();
+        let plan = partition_taskset(&ts, &fpga10()).unwrap();
+        assert_eq!(plan.partitions.len(), 2, "0.6 + 0.5 > 1 forces a split");
+        assert_eq!(plan.used_columns(), 6);
+    }
+
+    #[test]
+    fn fails_when_columns_run_out() {
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (6.0, 10.0, 10.0, 6),
+            (6.0, 10.0, 10.0, 6),
+        ])
+        .unwrap();
+        assert!(matches!(
+            partition_taskset(&ts, &fpga10()),
+            Err(SimError::PartitioningFailed { .. })
+        ));
+        assert!(!PartitionedTest.is_schedulable(&ts, &fpga10()));
+    }
+
+    #[test]
+    fn widest_task_defines_partition_width() {
+        // FFD places the 7-wide first; the 2-wide one shares its partition.
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 10.0, 10.0, 2), (1.0, 10.0, 10.0, 7)]).unwrap();
+        let plan = partition_taskset(&ts, &fpga10()).unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].region.width, 7);
+        assert_eq!(plan.assignment[0], 0);
+        assert_eq!(plan.assignment[1], 0);
+    }
+
+    #[test]
+    fn constrained_deadline_uses_density() {
+        // C=2, D=4, T=10: density 0.5, utilization 0.2. Two of them fit
+        // (densities sum to 1.0 exactly).
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(2.0, 4.0, 10.0, 3), (2.0, 4.0, 10.0, 3)]).unwrap();
+        let plan = partition_taskset(&ts, &fpga10()).unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        // A third pushes density past 1.
+        let ts3: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (2.0, 4.0, 10.0, 3),
+            (2.0, 4.0, 10.0, 3),
+            (2.0, 4.0, 10.0, 3),
+        ])
+        .unwrap();
+        let plan3 = partition_taskset(&ts3, &fpga10()).unwrap();
+        assert_eq!(plan3.partitions.len(), 2);
+    }
+
+    #[test]
+    fn global_vs_partitioned_gap() {
+        // Global EDF-NF can interleave these on 10 columns, but partitioned
+        // scheduling needs 5+5 columns for the two heavy-density tasks plus
+        // a third — which no longer fits.
+        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+            (7.0, 10.0, 10.0, 5),
+            (7.0, 10.0, 10.0, 5),
+            (7.0, 10.0, 10.0, 5),
+        ])
+        .unwrap();
+        assert!(!PartitionedTest.is_schedulable(&ts, &fpga10()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 10.0, 10.0, 3), (2.0, 10.0, 10.0, 2)]).unwrap();
+        let plan = partition_taskset(&ts, &fpga10()).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PartitionPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,386 @@
+//! 1-D area management: free-migration pooling and contiguous free-list
+//! placement.
+//!
+//! The paper assumes unrestricted migration (Section 1): the fabric can be
+//! defragmented for free, so a job fits iff the total idle area is at least
+//! its area — [`PlacementPolicy::FreeMigration`]. The future-work section
+//! asks what happens *without* migration, when a job needs a contiguous run
+//! of idle columns and the allocator must pick a hole:
+//! [`PlacementPolicy::Contiguous`] with first-fit / best-fit / worst-fit
+//! hole selection implements exactly that (experiment X5).
+//!
+//! [`AreaManager`] is rebuilt at every dispatch from the priority-ordered
+//! job queue; a job that was already on the fabric re-claims its previous
+//! region when still free (no gratuitous movement), otherwise it is
+//! relocated (counted as a migration) or blocked.
+
+use serde::{Deserialize, Serialize};
+
+/// A contiguous run of columns `[start, start + width)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Region {
+    /// First column index.
+    pub start: u32,
+    /// Number of columns.
+    pub width: u32,
+}
+
+impl Region {
+    /// Construct a region.
+    pub fn new(start: u32, width: u32) -> Self {
+        Region { start, width }
+    }
+
+    /// One past the last column.
+    #[inline]
+    pub fn end(&self) -> u32 {
+        self.start + self.width
+    }
+
+    /// `true` when `other` lies fully within `self`.
+    #[inline]
+    pub fn contains(&self, other: &Region) -> bool {
+        self.start <= other.start && other.end() <= self.end()
+    }
+
+    /// `true` when the two regions share at least one column.
+    #[inline]
+    pub fn overlaps(&self, other: &Region) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+/// Hole-selection strategy for contiguous placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FitStrategy {
+    /// Lowest-start hole that fits.
+    #[default]
+    FirstFit,
+    /// Smallest hole that fits (ties: lowest start).
+    BestFit,
+    /// Largest hole (ties: lowest start).
+    WorstFit,
+}
+
+/// Placement policy for the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Paper assumption: free defragmentation; a job fits iff total idle
+    /// area ≥ its area. Positions are not modelled.
+    #[default]
+    FreeMigration,
+    /// Jobs occupy real column ranges; a job fits iff some hole is wide
+    /// enough, chosen by the given strategy. No defragmentation.
+    Contiguous(FitStrategy),
+}
+
+/// Zero-sized error: the requested area does not fit the current holes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoesNotFit;
+
+impl core::fmt::Display for DoesNotFit {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "job does not fit the available area")
+    }
+}
+
+impl std::error::Error for DoesNotFit {}
+
+/// Mutable area state during one dispatch round.
+#[derive(Debug, Clone)]
+pub enum AreaManager {
+    /// Total-area bookkeeping only.
+    Free {
+        /// Device size in columns.
+        total: u32,
+        /// Currently idle columns.
+        free: u32,
+    },
+    /// Real hole tracking.
+    Contiguous {
+        /// Device size in columns.
+        total: u32,
+        /// Idle holes, sorted by `start`, non-overlapping, coalesced.
+        holes: Vec<Region>,
+        /// Hole-selection strategy.
+        strategy: FitStrategy,
+    },
+}
+
+impl AreaManager {
+    /// Fresh, fully idle manager for a device of `total` columns.
+    pub fn new(policy: PlacementPolicy, total: u32) -> Self {
+        match policy {
+            PlacementPolicy::FreeMigration => AreaManager::Free { total, free: total },
+            PlacementPolicy::Contiguous(strategy) => AreaManager::Contiguous {
+                total,
+                holes: vec![Region::new(0, total)],
+                strategy,
+            },
+        }
+    }
+
+    /// Device size in columns.
+    pub fn total(&self) -> u32 {
+        match self {
+            AreaManager::Free { total, .. } | AreaManager::Contiguous { total, .. } => *total,
+        }
+    }
+
+    /// Currently idle columns (sum over holes for contiguous).
+    pub fn free_columns(&self) -> u32 {
+        match self {
+            AreaManager::Free { free, .. } => *free,
+            AreaManager::Contiguous { holes, .. } => holes.iter().map(|h| h.width).sum(),
+        }
+    }
+
+    /// Currently busy columns.
+    pub fn busy_columns(&self) -> u32 {
+        self.total() - self.free_columns()
+    }
+
+    /// Width of the largest idle hole (equals [`Self::free_columns`] under
+    /// free migration).
+    pub fn largest_hole(&self) -> u32 {
+        match self {
+            AreaManager::Free { free, .. } => *free,
+            AreaManager::Contiguous { holes, .. } => {
+                holes.iter().map(|h| h.width).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// `true` when a job of `area` columns could be placed right now.
+    pub fn can_place(&self, area: u32) -> bool {
+        self.largest_hole() >= area
+    }
+
+    /// `true` when a job of `area` columns is blocked *only* by
+    /// fragmentation: enough total idle area exists, but no hole is wide
+    /// enough. Always `false` under free migration.
+    pub fn blocked_by_fragmentation(&self, area: u32) -> bool {
+        self.free_columns() >= area && !self.can_place(area)
+    }
+
+    /// `true` when the exact `region` is currently idle (contiguous only;
+    /// free migration returns `true` iff enough idle area exists).
+    pub fn region_free(&self, region: &Region) -> bool {
+        match self {
+            AreaManager::Free { free, .. } => *free >= region.width,
+            AreaManager::Contiguous { holes, .. } => holes.iter().any(|h| h.contains(region)),
+        }
+    }
+
+    /// Place a job of `area` columns, preferring `previous` when it is still
+    /// free (avoids gratuitous relocation). Returns the assigned region
+    /// (`None` under free migration) or [`DoesNotFit`].
+    pub fn place(
+        &mut self,
+        area: u32,
+        previous: Option<Region>,
+    ) -> Result<Option<Region>, DoesNotFit> {
+        match self {
+            AreaManager::Free { free, .. } => {
+                if *free >= area {
+                    *free -= area;
+                    Ok(None)
+                } else {
+                    Err(DoesNotFit)
+                }
+            }
+            AreaManager::Contiguous { holes, strategy, .. } => {
+                if let Some(prev) = previous {
+                    debug_assert_eq!(prev.width, area);
+                    if let Some(idx) = holes.iter().position(|h| h.contains(&prev)) {
+                        Self::carve(holes, idx, prev);
+                        return Ok(Some(prev));
+                    }
+                }
+                let candidate = match strategy {
+                    FitStrategy::FirstFit => holes.iter().position(|h| h.width >= area),
+                    FitStrategy::BestFit => holes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| h.width >= area)
+                        .min_by_key(|(i, h)| (h.width, *i))
+                        .map(|(i, _)| i),
+                    FitStrategy::WorstFit => holes
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, h)| h.width >= area)
+                        .max_by_key(|(i, h)| (h.width, usize::MAX - *i))
+                        .map(|(i, _)| i),
+                };
+                match candidate {
+                    Some(idx) => {
+                        let region = Region::new(holes[idx].start, area);
+                        Self::carve(holes, idx, region);
+                        Ok(Some(region))
+                    }
+                    None => Err(DoesNotFit),
+                }
+            }
+        }
+    }
+
+    /// Remove `region` from hole `idx` (which must contain it), splitting
+    /// the hole as needed.
+    fn carve(holes: &mut Vec<Region>, idx: usize, region: Region) {
+        let hole = holes[idx];
+        debug_assert!(hole.contains(&region));
+        let left = Region::new(hole.start, region.start - hole.start);
+        let right = Region::new(region.end(), hole.end() - region.end());
+        holes.remove(idx);
+        let mut insert_at = idx;
+        if left.width > 0 {
+            holes.insert(insert_at, left);
+            insert_at += 1;
+        }
+        if right.width > 0 {
+            holes.insert(insert_at, right);
+        }
+    }
+
+    /// Fragmentation metric in `[0, 1]`: `1 − largest_hole/free` (0 when
+    /// fully compact or fully busy).
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_columns();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - f64::from(self.largest_hole()) / f64::from(free)
+    }
+
+    /// Internal invariant check (used by tests and the trace validator):
+    /// holes are sorted, disjoint, coalesced and within the device.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if let AreaManager::Contiguous { total, holes, .. } = self {
+            let mut prev_end: Option<u32> = None;
+            for h in holes {
+                if h.width == 0 {
+                    return Err(format!("zero-width hole at {}", h.start));
+                }
+                if h.end() > *total {
+                    return Err(format!("hole {h:?} beyond device end {total}"));
+                }
+                if let Some(pe) = prev_end {
+                    if h.start < pe {
+                        return Err(format!("hole {h:?} overlaps previous (end {pe})"));
+                    }
+                    if h.start == pe {
+                        return Err(format!("uncoalesced holes at column {pe}"));
+                    }
+                }
+                prev_end = Some(h.end());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_geometry() {
+        let a = Region::new(2, 4); // [2,6)
+        let b = Region::new(4, 2); // [4,6)
+        let c = Region::new(6, 2); // [6,8)
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.end(), 6);
+    }
+
+    #[test]
+    fn free_migration_pool() {
+        let mut m = AreaManager::new(PlacementPolicy::FreeMigration, 10);
+        assert_eq!(m.free_columns(), 10);
+        assert!(m.can_place(10));
+        assert_eq!(m.place(6, None).unwrap(), None);
+        assert_eq!(m.free_columns(), 4);
+        assert!(!m.can_place(5));
+        assert!(m.place(5, None).is_err());
+        assert!(!m.blocked_by_fragmentation(5), "free migration never fragments");
+        assert_eq!(m.busy_columns(), 6);
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_hole() {
+        let mut m = AreaManager::new(PlacementPolicy::Contiguous(FitStrategy::FirstFit), 10);
+        let r1 = m.place(3, None).unwrap().unwrap();
+        assert_eq!(r1, Region::new(0, 3));
+        let r2 = m.place(4, None).unwrap().unwrap();
+        assert_eq!(r2, Region::new(3, 4));
+        m.check_invariants().unwrap();
+    }
+
+    fn manager_with_holes(total: u32, holes: &[(u32, u32)], s: FitStrategy) -> AreaManager {
+        AreaManager::Contiguous {
+            total,
+            holes: holes.iter().map(|&(a, w)| Region::new(a, w)).collect(),
+            strategy: s,
+        }
+    }
+
+    #[test]
+    fn best_fit_takes_smallest_adequate_hole() {
+        let mut m = manager_with_holes(20, &[(0, 5), (8, 3), (15, 4)], FitStrategy::BestFit);
+        let r = m.place(3, None).unwrap().unwrap();
+        assert_eq!(r, Region::new(8, 3), "exact-size hole wins");
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn worst_fit_takes_largest_hole() {
+        let mut m = manager_with_holes(20, &[(0, 5), (8, 3), (15, 4)], FitStrategy::WorstFit);
+        let r = m.place(3, None).unwrap().unwrap();
+        assert_eq!(r, Region::new(0, 3));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn previous_region_is_preferred() {
+        let mut m = AreaManager::new(PlacementPolicy::Contiguous(FitStrategy::FirstFit), 10);
+        let prev = Region::new(6, 3);
+        let r = m.place(3, Some(prev)).unwrap().unwrap();
+        assert_eq!(r, prev, "job re-claims its old columns");
+        // First-fit would otherwise have chosen column 0.
+        let r2 = m.place(2, None).unwrap().unwrap();
+        assert_eq!(r2, Region::new(0, 2));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn fragmentation_blocking_detected() {
+        // Two holes of 3 and 4: total free 7, but a 5-wide job is blocked.
+        let m = manager_with_holes(20, &[(0, 3), (10, 4)], FitStrategy::FirstFit);
+        assert!(m.blocked_by_fragmentation(5));
+        assert!(!m.blocked_by_fragmentation(4));
+        assert!(!m.blocked_by_fragmentation(8), "genuinely too big, not fragmentation");
+        assert!((m.fragmentation() - (1.0 - 4.0 / 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn carve_splits_holes() {
+        let mut m = manager_with_holes(10, &[(0, 10)], FitStrategy::FirstFit);
+        // Claim the middle via `previous`.
+        let mid = Region::new(4, 2);
+        m.place(2, Some(mid)).unwrap();
+        if let AreaManager::Contiguous { holes, .. } = &m {
+            assert_eq!(holes, &vec![Region::new(0, 4), Region::new(6, 4)]);
+        }
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariant_checker_catches_overlap() {
+        let m = manager_with_holes(10, &[(0, 5), (3, 4)], FitStrategy::FirstFit);
+        assert!(m.check_invariants().is_err());
+        let m = manager_with_holes(10, &[(0, 5), (5, 2)], FitStrategy::FirstFit);
+        assert!(m.check_invariants().is_err(), "uncoalesced");
+    }
+}

@@ -1,0 +1,81 @@
+//! A tiny deterministic PRNG (SplitMix64) for release-model sampling.
+//!
+//! The engine needs randomness only for random initial offsets and sporadic
+//! inter-arrival jitter. Pulling in a full RNG crate for that would add a
+//! dependency to the simulator's public surface; SplitMix64 is 10 lines,
+//! well-studied, and — critically for reproducibility — *stable across
+//! platforms and versions*, so simulation outcomes are part of this crate's
+//! testable behaviour.
+
+/// SplitMix64 state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53-bit resolution.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform sample in `[0, hi)`.
+    pub fn next_in(&mut self, hi: f64) -> f64 {
+        self.next_f64() * hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let mut c = SplitMix64::new(8);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(SplitMix64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_range() {
+        let mut r = SplitMix64::new(42);
+        let mut min = 1.0f64;
+        let mut max = 0.0f64;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(min < 0.05 && max > 0.95, "covers the range: [{min}, {max}]");
+        let v = SplitMix64::new(1).next_in(5.0);
+        assert!((0.0..5.0).contains(&v));
+    }
+
+    /// Pin the sequence: simulation outcomes depend on it, so a silent
+    /// change would invalidate recorded experiments.
+    #[test]
+    fn pinned_sequence() {
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

@@ -1,0 +1,221 @@
+//! Dispatch logic: priority ordering plus the two fit rules of
+//! Definitions 1–2.
+//!
+//! Every global scheduler here is "sort the ready queue by a priority key,
+//! then walk it placing jobs", differing in:
+//!
+//! * the **key** — pure EDF for EDF-FkF/EDF-NF, or the EDF-US two-class key
+//!   (heavy tasks first);
+//! * the **fit rule** — [`FitRule::StopAtFirstBlock`] (Definition 1,
+//!   EDF-First-k-Fit picks the maximal feasible *prefix*) or
+//!   [`FitRule::SkipBlocked`] (Definition 2, EDF-Next-Fit keeps scanning
+//!   past jobs that do not fit).
+//!
+//! Partitioned EDF does not fit this shape and dispatches in
+//! [`crate::partitioned`].
+
+use crate::job::Job;
+use crate::placement::{AreaManager, PlacementPolicy, Region};
+
+/// What to do when the next job in priority order does not fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitRule {
+    /// Definition 1 (EDF-FkF): stop the scan; everything behind the blocked
+    /// job waits even if it would fit.
+    StopAtFirstBlock,
+    /// Definition 2 (EDF-NF): skip the blocked job and keep placing.
+    SkipBlocked,
+}
+
+/// Result of one dispatch round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dispatch {
+    /// Selected job slots with their assigned regions (region is `None`
+    /// under free migration), in priority order.
+    pub selected: Vec<(usize, Option<Region>)>,
+    /// Active-but-not-placed job slots, in priority order.
+    pub waiting: Vec<usize>,
+    /// `true` when at least one waiting job was blocked purely by
+    /// fragmentation (total idle area sufficed, no hole wide enough).
+    pub fragmentation_blocked: bool,
+    /// Busy columns after placement.
+    pub busy_columns: u32,
+}
+
+/// Order the active job slots by plain EDF (Definitions 1–2: non-decreasing
+/// absolute deadline, ties by release time, final tie by job id).
+pub fn edf_order(jobs: &[Job], active: &mut [usize]) {
+    active.sort_by(|&a, &b| {
+        jobs[a]
+            .edf_key()
+            .partial_cmp(&jobs[b].edf_key())
+            .expect("job times are finite")
+    });
+}
+
+/// Order for EDF-US: tasks marked heavy come first (among themselves by
+/// EDF), then the light tasks by EDF.
+pub fn edf_us_order(jobs: &[Job], heavy: &[bool], active: &mut [usize]) {
+    active.sort_by(|&a, &b| {
+        let ka = (!heavy[jobs[a].task.0], jobs[a].edf_key());
+        let kb = (!heavy[jobs[b].task.0], jobs[b].edf_key());
+        ka.partial_cmp(&kb).expect("job times are finite")
+    });
+}
+
+/// Walk `ordered` (already priority-sorted) placing jobs into a fresh
+/// [`AreaManager`], applying `rule` on the first misfit.
+///
+/// Jobs that were running keep their previous region when it is still free,
+/// so contiguous placement does not churn locations gratuitously.
+pub fn place_by_rule(
+    jobs: &[Job],
+    ordered: &[usize],
+    policy: PlacementPolicy,
+    total_columns: u32,
+    rule: FitRule,
+) -> Dispatch {
+    let mut manager = AreaManager::new(policy, total_columns);
+    let mut selected = Vec::with_capacity(ordered.len());
+    let mut waiting = Vec::new();
+    let mut fragmentation_blocked = false;
+    let mut stopped = false;
+
+    for &slot in ordered {
+        let job = &jobs[slot];
+        if stopped {
+            waiting.push(slot);
+            continue;
+        }
+        // Running jobs keep their columns; preempted jobs try to reclaim
+        // their last location (no migration when it is still free).
+        let previous = job.region;
+        match manager.place(job.area, previous) {
+            Ok(region) => selected.push((slot, region)),
+            Err(crate::placement::DoesNotFit) => {
+                if manager.blocked_by_fragmentation(job.area) {
+                    fragmentation_blocked = true;
+                }
+                waiting.push(slot);
+                if rule == FitRule::StopAtFirstBlock {
+                    stopped = true;
+                }
+            }
+        }
+    }
+    let busy_columns = manager.busy_columns();
+    debug_assert!(manager.check_invariants().is_ok());
+    Dispatch { selected, waiting, fragmentation_blocked, busy_columns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+    use crate::placement::FitStrategy;
+    use fpga_rt_model::TaskId;
+
+    fn job(id: u64, task: usize, release: f64, deadline: f64, area: u32) -> Job {
+        Job::new(JobId(id), TaskId(task), 0, release, deadline, 1.0, area)
+    }
+
+    /// The motivating example for NF ≻ FkF (paper §1): a big job at the
+    /// queue head blocks a small one that would fit; NF exploits the idle
+    /// area, FkF leaves it idle.
+    #[test]
+    fn fkf_blocks_nf_skips() {
+        // Device 10. Running: area 6 (deadline soonest). Next by deadline:
+        // area 7 (doesn't fit), then area 3 (fits).
+        let jobs = vec![
+            job(0, 0, 0.0, 5.0, 6),
+            job(1, 1, 0.0, 6.0, 7),
+            job(2, 2, 0.0, 7.0, 3),
+        ];
+        let order = [0usize, 1, 2];
+
+        let fkf = place_by_rule(&jobs, &order, PlacementPolicy::FreeMigration, 10,
+                                FitRule::StopAtFirstBlock);
+        assert_eq!(fkf.selected.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(fkf.waiting, vec![1, 2]);
+        assert_eq!(fkf.busy_columns, 6);
+
+        let nf = place_by_rule(&jobs, &order, PlacementPolicy::FreeMigration, 10,
+                               FitRule::SkipBlocked);
+        assert_eq!(nf.selected.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(nf.waiting, vec![1]);
+        assert_eq!(nf.busy_columns, 9);
+    }
+
+    #[test]
+    fn edf_order_breaks_ties_by_release_then_id() {
+        let jobs = vec![
+            job(0, 0, 1.0, 4.0, 1), // d=5
+            job(1, 1, 0.0, 5.0, 1), // d=5, released earlier
+            job(2, 2, 0.0, 3.0, 1), // d=3
+        ];
+        let mut order = vec![0, 1, 2];
+        edf_order(&jobs, &mut order);
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn edf_us_promotes_heavy_tasks() {
+        let jobs = vec![
+            job(0, 0, 0.0, 3.0, 1), // light, earliest deadline
+            job(1, 1, 0.0, 9.0, 8), // heavy, late deadline
+        ];
+        let heavy = vec![false, true];
+        let mut order = vec![0, 1];
+        edf_us_order(&jobs, &heavy, &mut order);
+        assert_eq!(order, vec![1, 0], "heavy task jumps the EDF queue");
+    }
+
+    #[test]
+    fn running_jobs_keep_their_region_under_contiguous() {
+        let mut j0 = job(0, 0, 0.0, 5.0, 4);
+        j0.running = true;
+        j0.region = Some(Region::new(6, 4));
+        let jobs = vec![j0, job(1, 1, 0.0, 6.0, 3)];
+        let d = place_by_rule(
+            &jobs,
+            &[0, 1],
+            PlacementPolicy::Contiguous(FitStrategy::FirstFit),
+            10,
+            FitRule::SkipBlocked,
+        );
+        assert_eq!(d.selected[0].1, Some(Region::new(6, 4)), "pinned to old columns");
+        assert_eq!(d.selected[1].1, Some(Region::new(0, 3)));
+    }
+
+    #[test]
+    fn fragmentation_block_is_flagged() {
+        // Two running jobs split the free space into 3 + 3; a 5-wide job is
+        // ready: fits by total area (6) but no hole.
+        let mut a = job(0, 0, 0.0, 1.0, 2);
+        a.running = true;
+        a.region = Some(Region::new(3, 2));
+        let mut b = job(1, 1, 0.0, 2.0, 2);
+        b.running = true;
+        b.region = Some(Region::new(8, 2));
+        let jobs = vec![a, b, job(2, 2, 0.0, 3.0, 5)];
+        let d = place_by_rule(
+            &jobs,
+            &[0, 1, 2],
+            PlacementPolicy::Contiguous(FitStrategy::FirstFit),
+            10,
+            FitRule::SkipBlocked,
+        );
+        assert_eq!(d.waiting, vec![2]);
+        assert!(d.fragmentation_blocked);
+        // Free migration would have packed it.
+        let jobs_fm = vec![
+            job(0, 0, 0.0, 1.0, 2),
+            job(1, 1, 0.0, 2.0, 2),
+            job(2, 2, 0.0, 3.0, 5),
+        ];
+        let d = place_by_rule(&jobs_fm, &[0, 1, 2], PlacementPolicy::FreeMigration, 10,
+                              FitRule::SkipBlocked);
+        assert!(d.waiting.is_empty());
+        assert!(!d.fragmentation_blocked);
+    }
+}

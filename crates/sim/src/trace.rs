@@ -1,0 +1,259 @@
+//! Execution traces and schedule invariant checking.
+
+use crate::job::JobId;
+use crate::placement::Region;
+use fpga_rt_model::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// One job's occupancy within a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunningJob {
+    /// The job.
+    pub job: JobId,
+    /// Its task.
+    pub task: TaskId,
+    /// Columns occupied.
+    pub area: u32,
+    /// Location (contiguous placement only).
+    pub region: Option<Region>,
+    /// `true` while the segment time is consumed by reconfiguration rather
+    /// than execution.
+    pub reconfiguring: bool,
+}
+
+/// A maximal interval during which the set of running jobs is constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSegment {
+    /// Segment start.
+    pub from: f64,
+    /// Segment end.
+    pub to: f64,
+    /// Jobs on the fabric during the segment.
+    pub running: Vec<RunningJob>,
+    /// Jobs that were ready but not placed during the segment.
+    pub waiting: Vec<(JobId, u32)>,
+}
+
+impl TraceSegment {
+    /// Busy columns during the segment.
+    pub fn busy_columns(&self) -> u32 {
+        self.running.iter().map(|r| r.area).sum()
+    }
+}
+
+/// A full schedule trace.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Device size, for rendering and invariant checks.
+    pub device_columns: u32,
+    /// Segments in time order.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl Trace {
+    /// Verify structural schedule invariants:
+    ///
+    /// 1. segments are contiguous in time and well-formed (`from ≤ to`);
+    /// 2. total occupied area never exceeds the device;
+    /// 3. under contiguous placement, no two concurrently running jobs
+    ///    overlap in columns.
+    ///
+    /// Returns the first violated invariant as an error string.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut prev_end: Option<f64> = None;
+        for (i, seg) in self.segments.iter().enumerate() {
+            if seg.from > seg.to {
+                return Err(format!("segment {i} has from > to"));
+            }
+            if let Some(pe) = prev_end {
+                if (seg.from - pe).abs() > 1e-9 {
+                    return Err(format!(
+                        "segment {i} starts at {} but previous ended at {pe}",
+                        seg.from
+                    ));
+                }
+            }
+            prev_end = Some(seg.to);
+            if seg.busy_columns() > self.device_columns {
+                return Err(format!(
+                    "segment {i} occupies {} of {} columns",
+                    seg.busy_columns(),
+                    self.device_columns
+                ));
+            }
+            let placed: Vec<&RunningJob> =
+                seg.running.iter().filter(|r| r.region.is_some()).collect();
+            for a in 0..placed.len() {
+                for b in a + 1..placed.len() {
+                    let (ra, rb) = (placed[a].region.unwrap(), placed[b].region.unwrap());
+                    if ra.overlaps(&rb) {
+                        return Err(format!(
+                            "segment {i}: jobs {} and {} overlap ({ra:?} vs {rb:?})",
+                            placed[a].job, placed[b].job
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total time work done by `task` inside `[from, to)` — the paper's
+    /// `WT_i`, measured on the actual schedule (reconfiguration time is not
+    /// execution and is excluded).
+    pub fn time_work(&self, task: TaskId, from: f64, to: f64) -> f64 {
+        let mut sum = 0.0;
+        for seg in &self.segments {
+            let lo = seg.from.max(from);
+            let hi = seg.to.min(to);
+            if hi <= lo {
+                continue;
+            }
+            for r in &seg.running {
+                if r.task == task && !r.reconfiguring {
+                    sum += hi - lo;
+                }
+            }
+        }
+        sum
+    }
+
+    /// System work `WS = Σ area·dt` of all tasks inside `[from, to)`
+    /// (execution only).
+    pub fn system_work(&self, from: f64, to: f64) -> f64 {
+        let mut sum = 0.0;
+        for seg in &self.segments {
+            let lo = seg.from.max(from);
+            let hi = seg.to.min(to);
+            if hi <= lo {
+                continue;
+            }
+            for r in &seg.running {
+                if !r.reconfiguring {
+                    sum += f64::from(r.area) * (hi - lo);
+                }
+            }
+        }
+        sum
+    }
+
+    /// Render an ASCII Gantt-style view (one row per task), `cols` characters
+    /// wide. Intended for examples and debugging, not precision.
+    pub fn render_ascii(&self, n_tasks: usize, cols: usize) -> String {
+        let Some(last) = self.segments.last() else {
+            return String::from("(empty trace)\n");
+        };
+        let span = last.to.max(1e-12);
+        let mut rows = vec![vec![b'.'; cols]; n_tasks];
+        for seg in &self.segments {
+            let a = ((seg.from / span) * cols as f64).floor() as usize;
+            let b = (((seg.to / span) * cols as f64).ceil() as usize).min(cols);
+            for r in &seg.running {
+                if r.task.0 < n_tasks {
+                    let ch = if r.reconfiguring { b'~' } else { b'#' };
+                    for c in &mut rows[r.task.0][a.min(cols - 1)..b] {
+                        *c = ch;
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in rows.into_iter().enumerate() {
+            out.push_str(&format!("τ{i:<3} |"));
+            out.push_str(core::str::from_utf8(&row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(from: f64, to: f64, running: Vec<RunningJob>) -> TraceSegment {
+        TraceSegment { from, to, running, waiting: vec![] }
+    }
+
+    fn rj(job: u64, task: usize, area: u32, region: Option<Region>) -> RunningJob {
+        RunningJob { job: JobId(job), task: TaskId(task), area, region, reconfiguring: false }
+    }
+
+    #[test]
+    fn invariants_pass_for_valid_trace() {
+        let t = Trace {
+            device_columns: 10,
+            segments: vec![
+                seg(0.0, 1.0, vec![rj(0, 0, 6, Some(Region::new(0, 6)))]),
+                seg(1.0, 2.0, vec![
+                    rj(0, 0, 6, Some(Region::new(0, 6))),
+                    rj(1, 1, 4, Some(Region::new(6, 4))),
+                ]),
+            ],
+        };
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invariants_catch_overcommit_and_overlap() {
+        let over = Trace {
+            device_columns: 5,
+            segments: vec![seg(0.0, 1.0, vec![rj(0, 0, 3, None), rj(1, 1, 3, None)])],
+        };
+        assert!(over.check_invariants().is_err());
+
+        let overlap = Trace {
+            device_columns: 10,
+            segments: vec![seg(0.0, 1.0, vec![
+                rj(0, 0, 4, Some(Region::new(0, 4))),
+                rj(1, 1, 4, Some(Region::new(2, 4))),
+            ])],
+        };
+        assert!(overlap.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariants_catch_time_gap() {
+        let t = Trace {
+            device_columns: 10,
+            segments: vec![seg(0.0, 1.0, vec![]), seg(1.5, 2.0, vec![])],
+        };
+        assert!(t.check_invariants().is_err());
+    }
+
+    #[test]
+    fn work_accounting() {
+        let t = Trace {
+            device_columns: 10,
+            segments: vec![
+                seg(0.0, 2.0, vec![rj(0, 0, 6, None)]),
+                seg(2.0, 3.0, vec![rj(0, 0, 6, None), rj(1, 1, 4, None)]),
+            ],
+        };
+        assert!((t.time_work(TaskId(0), 0.0, 3.0) - 3.0).abs() < 1e-12);
+        assert!((t.time_work(TaskId(1), 0.0, 3.0) - 1.0).abs() < 1e-12);
+        assert!((t.time_work(TaskId(0), 1.0, 2.5) - 1.5).abs() < 1e-12);
+        assert!((t.system_work(0.0, 3.0) - (6.0 * 3.0 + 4.0 * 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconfig_time_excluded_from_work() {
+        let mut r = rj(0, 0, 6, None);
+        r.reconfiguring = true;
+        let t = Trace { device_columns: 10, segments: vec![seg(0.0, 1.0, vec![r])] };
+        assert_eq!(t.time_work(TaskId(0), 0.0, 1.0), 0.0);
+        assert_eq!(t.system_work(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ascii_rendering_smoke() {
+        let t = Trace {
+            device_columns: 10,
+            segments: vec![seg(0.0, 1.0, vec![rj(0, 0, 6, None)])],
+        };
+        let art = t.render_ascii(2, 20);
+        assert!(art.contains('#'));
+        assert!(art.lines().count() == 2);
+        assert_eq!(Trace::default().render_ascii(1, 10), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests of the 1-D area manager: conservation, free-list
+//! invariants, strategy dominance relations and fragmentation detection
+//! under arbitrary placement sequences.
+
+use fpga_rt_sim::placement::{AreaManager, FitStrategy, PlacementPolicy, Region};
+use proptest::prelude::*;
+
+fn areas(max_len: usize) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(1u32..40, 1..max_len)
+}
+
+/// NF-style round: place each area, skipping misfits. Returns (manager,
+/// placed regions).
+fn run_round(policy: PlacementPolicy, total: u32, areas: &[u32]) -> (AreaManager, Vec<Region>) {
+    let mut m = AreaManager::new(policy, total);
+    let mut placed = Vec::new();
+    for &a in areas {
+        if let Ok(Some(r)) = m.place(a, None) {
+            placed.push(r);
+        } else if let Ok(None) = m.place(a, None) {
+            // free-migration: no region, tracked via counters only
+        }
+    }
+    (m, placed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// busy + free == total at every point, for every policy.
+    #[test]
+    fn conservation(areas in areas(24), strat in 0usize..4) {
+        let policy = match strat {
+            0 => PlacementPolicy::FreeMigration,
+            1 => PlacementPolicy::Contiguous(FitStrategy::FirstFit),
+            2 => PlacementPolicy::Contiguous(FitStrategy::BestFit),
+            _ => PlacementPolicy::Contiguous(FitStrategy::WorstFit),
+        };
+        let mut m = AreaManager::new(policy, 100);
+        for &a in &areas {
+            let _ = m.place(a, None);
+            prop_assert_eq!(m.busy_columns() + m.free_columns(), 100);
+            prop_assert!(m.check_invariants().is_ok());
+            prop_assert!(m.largest_hole() <= m.free_columns());
+        }
+    }
+
+    /// Contiguous placements never overlap and stay in bounds.
+    #[test]
+    fn placed_regions_are_disjoint(areas in areas(24), strat in 0usize..3) {
+        let strategy = [FitStrategy::FirstFit, FitStrategy::BestFit, FitStrategy::WorstFit][strat];
+        let (_, placed) = run_round(PlacementPolicy::Contiguous(strategy), 100, &areas);
+        for (i, a) in placed.iter().enumerate() {
+            prop_assert!(a.end() <= 100);
+            for b in placed.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    /// Free migration accepts a superset of any contiguous strategy's
+    /// placements *per prefix*: whenever contiguous placement succeeds for
+    /// a request, free migration (same prior successes) must too —
+    /// total-free ≥ largest-hole.
+    #[test]
+    fn free_migration_dominates_contiguous(areas in areas(24)) {
+        // Replay the same sequence against both managers simultaneously:
+        // if contiguous accepts, free must accept too (it has at least as
+        // much usable space because the placed sets are identical so far —
+        // maintained inductively by skipping the request for both when
+        // contiguous rejects).
+        let mut free = AreaManager::new(PlacementPolicy::FreeMigration, 100);
+        let mut contig =
+            AreaManager::new(PlacementPolicy::Contiguous(FitStrategy::FirstFit), 100);
+        for &a in &areas {
+            if contig.place(a, None).is_ok() {
+                prop_assert!(free.place(a, None).is_ok(),
+                    "contiguous placed {a} but free migration could not");
+            }
+        }
+    }
+
+    /// `blocked_by_fragmentation` is precise: true iff total free suffices
+    /// and no hole does.
+    #[test]
+    fn fragmentation_predicate_is_precise(areas in areas(24), probe in 1u32..60) {
+        let (m, _) = run_round(
+            PlacementPolicy::Contiguous(FitStrategy::FirstFit), 100, &areas);
+        let frag = m.blocked_by_fragmentation(probe);
+        prop_assert_eq!(
+            frag,
+            m.free_columns() >= probe && m.largest_hole() < probe
+        );
+        // And the fragmentation metric is in [0, 1].
+        let f = m.fragmentation();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Re-claiming a previously assigned region succeeds whenever that
+    /// region is still free, and yields exactly the same region.
+    #[test]
+    fn previous_region_reclaim(areas in areas(12)) {
+        let (_, placed) = run_round(
+            PlacementPolicy::Contiguous(FitStrategy::BestFit), 100, &areas);
+        // Rebuild an empty manager and pre-claim every region in reverse:
+        // each must land exactly where requested.
+        let mut m = AreaManager::new(PlacementPolicy::Contiguous(FitStrategy::BestFit), 100);
+        for r in placed.iter().rev() {
+            let got = m.place(r.width, Some(*r)).unwrap();
+            prop_assert_eq!(got, Some(*r));
+        }
+        prop_assert!(m.check_invariants().is_ok());
+    }
+}

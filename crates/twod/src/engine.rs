@@ -1,0 +1,388 @@
+//! Discrete-event simulation of EDF scheduling with 2-D rectangle
+//! placement.
+//!
+//! Mirrors the 1-D engine's event model (releases and deadline checks as
+//! heap events, completions derived, kill-at-deadline, deterministic tie
+//! order) over the [`crate::grid::Grid`] placer. Migration is *not* free in
+//! 2-D (the paper's future-work remark), so a running job keeps its
+//! rectangle when possible and is otherwise relocated (counted).
+
+use crate::grid::{Grid, Rect};
+use crate::task::{Device2D, TaskSet2D};
+use fpga_rt_model::{ModelError, Time};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+const EPS: f64 = 1e-9;
+
+/// Scheduler variant (the 1-D Definitions 1–2 transplanted to rectangles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Scheduler2D {
+    /// Stop the placement scan at the first ready job whose rectangle does
+    /// not fit.
+    EdfFkf,
+    /// Skip blocked jobs and keep placing (default).
+    #[default]
+    EdfNf,
+}
+
+/// Configuration for [`simulate_2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sim2DConfig {
+    /// Scheduler variant.
+    pub scheduler: Scheduler2D,
+    /// Simulation span as a multiple of the largest period.
+    pub horizon_periods: f64,
+    /// Stop at the first deadline miss.
+    pub stop_at_first_miss: bool,
+}
+
+impl Default for Sim2DConfig {
+    fn default() -> Self {
+        Sim2DConfig {
+            scheduler: Scheduler2D::default(),
+            horizon_periods: 100.0,
+            stop_at_first_miss: true,
+        }
+    }
+}
+
+/// One deadline miss.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Miss2D {
+    /// Task index.
+    pub task: usize,
+    /// Absolute deadline missed.
+    pub time: f64,
+}
+
+/// Result of a 2-D simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sim2DOutcome {
+    /// Deadline misses (first only, unless configured otherwise).
+    pub misses: Vec<Miss2D>,
+    /// Jobs released / completed.
+    pub released: u64,
+    /// Jobs completed on time.
+    pub completed: u64,
+    /// Dispatch rounds where a ready rectangle fit by area but not by
+    /// shape — the 2-D fragmentation events the paper anticipates.
+    pub shape_blocks: u64,
+    /// Relocations of previously started jobs.
+    pub relocations: u64,
+    /// Simulated span.
+    pub span: f64,
+}
+
+impl Sim2DOutcome {
+    /// `true` when no deadline was missed.
+    pub fn schedulable(&self) -> bool {
+        self.misses.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Release(usize),
+    DeadlineCheck(usize),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Event {
+    fn rank(&self) -> (u8, usize) {
+        match self.kind {
+            EventKind::Release(t) => (0, t),
+            EventKind::DeadlineCheck(j) => (1, j),
+        }
+    }
+}
+
+impl Eq for Event {}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.rank().cmp(&self.rank()))
+    }
+}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Job2D {
+    task: usize,
+    release: f64,
+    abs_deadline: f64,
+    remaining: f64,
+    w: u32,
+    h: u32,
+    rect: Option<Rect>,
+    running: bool,
+    started: bool,
+    alive: bool,
+}
+
+/// Simulate a 2-D taskset (synchronous release) on a grid device.
+pub fn simulate_2d<T: Time>(
+    taskset: &TaskSet2D<T>,
+    device: &Device2D,
+    config: &Sim2DConfig,
+) -> Result<Sim2DOutcome, ModelError> {
+    if !taskset.fits_device(device) {
+        return Err(ModelError::TaskWiderThanDevice {
+            task: taskset
+                .tasks()
+                .iter()
+                .position(|t| t.w() > device.width() || t.h() > device.height())
+                .unwrap_or(0),
+            area: 0,
+            device: device.cells(),
+        });
+    }
+    let n = taskset.len();
+    let periods: Vec<f64> = taskset.tasks().iter().map(|t| t.period().to_f64()).collect();
+    let deadlines: Vec<f64> = taskset.tasks().iter().map(|t| t.deadline().to_f64()).collect();
+    let execs: Vec<f64> = taskset.tasks().iter().map(|t| t.exec().to_f64()).collect();
+    let horizon = config.horizon_periods * taskset.tmax().to_f64();
+
+    let mut events = BinaryHeap::new();
+    for k in 0..n {
+        events.push(Event { time: 0.0, kind: EventKind::Release(k) });
+    }
+    let mut jobs: Vec<Job2D> = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    let mut running: Vec<usize> = Vec::new();
+    let mut out = Sim2DOutcome {
+        misses: vec![],
+        released: 0,
+        completed: 0,
+        shape_blocks: 0,
+        relocations: 0,
+        span: 0.0,
+    };
+    let mut now = 0.0f64;
+    let mut stop = false;
+
+    while !stop {
+        let t_event = events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
+        let t_comp = running
+            .iter()
+            .map(|&s| now + jobs[s].remaining)
+            .fold(f64::INFINITY, f64::min);
+        let t_next = t_event.min(t_comp).min(horizon);
+        let dt = t_next - now;
+        if dt > 0.0 {
+            for &s in &running {
+                jobs[s].remaining -= dt;
+                if jobs[s].remaining < EPS {
+                    jobs[s].remaining = 0.0;
+                }
+            }
+        }
+        now = t_next;
+        if now >= horizon {
+            break;
+        }
+
+        // Completions.
+        let done: Vec<usize> = running
+            .iter()
+            .copied()
+            .filter(|&s| jobs[s].remaining <= EPS)
+            .collect();
+        for s in done {
+            jobs[s].alive = false;
+            jobs[s].running = false;
+            out.completed += 1;
+            active.retain(|&a| a != s);
+        }
+
+        // Heap events at this instant.
+        while let Some(ev) = events.peek() {
+            if ev.time > now + EPS {
+                break;
+            }
+            let ev = events.pop().expect("peeked");
+            match ev.kind {
+                EventKind::Release(k) => {
+                    let slot = jobs.len();
+                    jobs.push(Job2D {
+                        task: k,
+                        release: ev.time,
+                        abs_deadline: ev.time + deadlines[k],
+                        remaining: execs[k],
+                        w: taskset.task(k).w(),
+                        h: taskset.task(k).h(),
+                        rect: None,
+                        running: false,
+                        started: false,
+                        alive: true,
+                    });
+                    active.push(slot);
+                    out.released += 1;
+                    events.push(Event {
+                        time: jobs[slot].abs_deadline,
+                        kind: EventKind::DeadlineCheck(slot),
+                    });
+                    let next = ev.time + periods[k];
+                    if next < horizon {
+                        events.push(Event { time: next, kind: EventKind::Release(k) });
+                    }
+                }
+                EventKind::DeadlineCheck(slot) => {
+                    if jobs[slot].alive && jobs[slot].remaining > EPS {
+                        out.misses.push(Miss2D { task: jobs[slot].task, time: ev.time });
+                        jobs[slot].alive = false;
+                        jobs[slot].running = false;
+                        active.retain(|&a| a != slot);
+                        if config.stop_at_first_miss {
+                            stop = true;
+                        }
+                    }
+                }
+            }
+        }
+        if stop {
+            break;
+        }
+
+        // Dispatch: EDF order, bottom-left placement, fit rule.
+        let mut order = active.clone();
+        order.sort_by(|&a, &b| {
+            (jobs[a].abs_deadline, jobs[a].release, a)
+                .partial_cmp(&(jobs[b].abs_deadline, jobs[b].release, b))
+                .expect("finite")
+        });
+        let mut grid = Grid::new(device);
+        let mut new_running = Vec::new();
+        let mut blocked = false;
+        let mut shape_block_seen = false;
+        for &slot in &order {
+            if blocked {
+                break;
+            }
+            let prev = if jobs[slot].running { jobs[slot].rect } else { None };
+            let (w, h) = (jobs[slot].w, jobs[slot].h);
+            match grid.place(w, h, prev) {
+                Some(rect) => {
+                    if jobs[slot].started && jobs[slot].rect != Some(rect) {
+                        out.relocations += 1;
+                    }
+                    jobs[slot].rect = Some(rect);
+                    jobs[slot].running = true;
+                    jobs[slot].started = true;
+                    new_running.push(slot);
+                }
+                None => {
+                    if grid.blocked_by_shape(w, h) {
+                        shape_block_seen = true;
+                    }
+                    jobs[slot].running = false;
+                    if config.scheduler == Scheduler2D::EdfFkf {
+                        blocked = true;
+                    }
+                }
+            }
+        }
+        if shape_block_seen {
+            out.shape_blocks += 1;
+        }
+        debug_assert!(grid.check_invariants().is_ok());
+        running = new_running;
+    }
+    out.span = now.min(horizon);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(w: u32, h: u32) -> Device2D {
+        Device2D::new(w, h).unwrap()
+    }
+
+    #[test]
+    fn single_task_runs_clean() {
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 3, 3)]).unwrap();
+        let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
+        assert!(out.schedulable());
+        assert_eq!(out.released, 100);
+        assert_eq!(out.completed, 100);
+    }
+
+    #[test]
+    fn oversized_task_rejected() {
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 5, 3)]).unwrap();
+        assert!(simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).is_err());
+    }
+
+    #[test]
+    fn overload_misses() {
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
+            (4.0, 5.0, 5.0, 3, 3),
+            (4.0, 5.0, 5.0, 3, 3),
+        ])
+        .unwrap();
+        // 3×3 + 3×3 cannot coexist on 4×4 → serialized 8 > 5.
+        let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
+        assert!(!out.schedulable());
+        assert_eq!(out.misses[0].time, 5.0);
+    }
+
+    #[test]
+    fn parallel_when_rectangles_fit() {
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
+            (4.0, 5.0, 5.0, 2, 4),
+            (4.0, 5.0, 5.0, 2, 4),
+        ])
+        .unwrap();
+        let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
+        assert!(out.schedulable(), "two 2×4 halves run side by side");
+    }
+
+    /// The 2-D analogue of head-of-line blocking: NF outruns FkF.
+    #[test]
+    fn nf_beats_fkf_in_2d() {
+        // Device 4×4. τ0 3×3 runs; τ1 3×3 blocked; τ2 1×4 fits beside τ0
+        // under NF but is starved by FkF.
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
+            (4.0, 8.0, 8.0, 3, 3),
+            (4.0, 8.5, 8.5, 3, 3),
+            (8.0, 8.8, 8.8, 1, 4),
+        ])
+        .unwrap();
+        let mut cfg = Sim2DConfig { horizon_periods: 1.02, ..Sim2DConfig::default() };
+        cfg.scheduler = Scheduler2D::EdfFkf;
+        let fkf = simulate_2d(&ts, &dev(4, 4), &cfg).unwrap();
+        cfg.scheduler = Scheduler2D::EdfNf;
+        let nf = simulate_2d(&ts, &dev(4, 4), &cfg).unwrap();
+        assert!(!fkf.schedulable());
+        assert!(nf.schedulable());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
+            (1.5, 6.0, 6.0, 2, 3),
+            (2.0, 7.0, 7.0, 3, 2),
+            (1.0, 5.0, 5.0, 1, 4),
+        ])
+        .unwrap();
+        let a = simulate_2d(&ts, &dev(5, 4), &Sim2DConfig::default()).unwrap();
+        let b = simulate_2d(&ts, &dev(5, 4), &Sim2DConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+//! Random 2-D taskset generation for the 2-D extension study.
+
+use crate::task::{Task2D, TaskSet2D};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of random rectangular tasksets, mirroring the paper's 1-D
+/// generator with a rectangle size range instead of a column count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TasksetSpec2D {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Uniform period range.
+    pub period_range: (f64, f64),
+    /// Uniform execution-factor range (`C = T·f`).
+    pub exec_factor_range: (f64, f64),
+    /// Inclusive uniform rectangle width range.
+    pub w_range: (u32, u32),
+    /// Inclusive uniform rectangle height range.
+    pub h_range: (u32, u32),
+}
+
+impl TasksetSpec2D {
+    /// Sanity-check the ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_tasks == 0 {
+            return Err("n_tasks must be ≥ 1".into());
+        }
+        let (plo, phi) = self.period_range;
+        if !(plo > 0.0 && phi > plo && phi.is_finite()) {
+            return Err(format!("invalid period range ({plo}, {phi})"));
+        }
+        let (flo, fhi) = self.exec_factor_range;
+        if !(flo >= 0.0 && fhi > flo && fhi <= 1.0) {
+            return Err(format!("invalid factor range ({flo}, {fhi})"));
+        }
+        if self.w_range.0 == 0 || self.w_range.1 < self.w_range.0 {
+            return Err("invalid width range".into());
+        }
+        if self.h_range.0 == 0 || self.h_range.1 < self.h_range.0 {
+            return Err("invalid height range".into());
+        }
+        Ok(())
+    }
+
+    /// Draw one 2-D taskset.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> TaskSet2D<f64> {
+        debug_assert!(self.validate().is_ok(), "invalid spec {self:?}");
+        let tasks = (0..self.n_tasks)
+            .map(|_| {
+                let period = rng.gen_range(self.period_range.0..self.period_range.1);
+                let factor = loop {
+                    let f = rng.gen_range(self.exec_factor_range.0..=self.exec_factor_range.1);
+                    if f > 0.0 {
+                        break f;
+                    }
+                };
+                let w = rng.gen_range(self.w_range.0..=self.w_range.1);
+                let h = rng.gen_range(self.h_range.0..=self.h_range.1);
+                Task2D::implicit(period * factor, period, w, h).expect("positive by construction")
+            })
+            .collect();
+        TaskSet2D::new(tasks).expect("n ≥ 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spec() -> TasksetSpec2D {
+        TasksetSpec2D {
+            n_tasks: 6,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.0, 0.5),
+            w_range: (1, 5),
+            h_range: (1, 4),
+        }
+    }
+
+    #[test]
+    fn generated_respects_ranges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let ts = spec().generate(&mut rng);
+            assert_eq!(ts.len(), 6);
+            for t in &ts {
+                assert!((1..=5).contains(&t.w()));
+                assert!((1..=4).contains(&t.h()));
+                assert!(t.exec() > 0.0);
+                assert!(t.time_utilization() <= 0.5 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = spec().generate(&mut StdRng::seed_from_u64(9));
+        let b = spec().generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut s = spec();
+        s.w_range = (0, 3);
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.h_range = (4, 2);
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.n_tasks = 0;
+        assert!(s.validate().is_err());
+    }
+}

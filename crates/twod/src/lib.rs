@@ -1,0 +1,41 @@
+//! # fpga-rt-2d
+//!
+//! 2-D reconfigurable FPGA extension — the first item on the paper's
+//! future-work list (§7):
+//!
+//! > "we plan to relax some of the assumptions ... to handle 2D
+//! > reconfigurable FPGAs ... Especially for 2D reconfiguration, task
+//! > placement strategy has a large effect on FPGA fragmentation, and we
+//! > cannot assume that a task can fit on the FPGA as long as there is
+//! > enough free area, even with free task migrations."
+//!
+//! This crate provides:
+//!
+//! * a rectangular task model ([`Task2D`], [`TaskSet2D`]) over a
+//!   [`Device2D`] grid of CLBs;
+//! * an occupancy-grid placer ([`grid::Grid`]) with bottom-left
+//!   first-fit rectangle placement and fragmentation metrics — in 2-D,
+//!   *placement feasibility is no longer a function of free area*, which is
+//!   precisely why the 1-D bounds do not transfer;
+//! * EDF-NF/EDF-FkF schedulers and a discrete-event engine mirroring the
+//!   1-D simulator ([`engine::simulate_2d`]);
+//! * the **column-projection bridge** ([`projection`]): reserving full
+//!   device height for every task reduces the 2-D problem to the paper's
+//!   1-D model, so the IPDPS'07 tests become *sound* (if pessimistic) 2-D
+//!   admission tests. The gap between projected-analysis acceptance and
+//!   native 2-D simulation quantifies what the 1-D abstraction costs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod gen2d;
+pub mod grid;
+pub mod projection;
+pub mod task;
+
+pub use engine::{simulate_2d, Scheduler2D, Sim2DConfig, Sim2DOutcome};
+pub use gen2d::TasksetSpec2D;
+pub use grid::{Grid, Placement2D, Rect};
+pub use projection::project_to_columns;
+pub use task::{Device2D, Task2D, TaskSet2D};

@@ -1,0 +1,240 @@
+//! Rectangular hardware tasks on a 2-D reconfigurable device.
+
+use fpga_rt_model::{ModelError, Time};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D reconfigurable fabric: a `width × height` grid of CLBs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Device2D {
+    width: u32,
+    height: u32,
+}
+
+impl Device2D {
+    /// A device with the given dimensions (both ≥ 1).
+    pub fn new(width: u32, height: u32) -> Result<Self, ModelError> {
+        if width == 0 || height == 0 {
+            return Err(ModelError::ZeroDevice);
+        }
+        Ok(Device2D { width, height })
+    }
+
+    /// Grid width in CLB columns.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Grid height in CLB rows.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Total CLB count.
+    #[inline]
+    pub fn cells(&self) -> u32 {
+        self.width * self.height
+    }
+}
+
+impl core::fmt::Display for Device2D {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "FPGA[{}×{}]", self.width, self.height)
+    }
+}
+
+/// A periodic task occupying a `w × h` rectangle of CLBs while executing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Task2D<T> {
+    exec: T,
+    deadline: T,
+    period: T,
+    w: u32,
+    h: u32,
+}
+
+impl<T: Time> Task2D<T> {
+    /// Create a task, validating all parameters.
+    pub fn new(exec: T, deadline: T, period: T, w: u32, h: u32) -> Result<Self, ModelError> {
+        // Reuse the 1-D validation for the timing fields.
+        let probe = fpga_rt_model::Task::new(exec, deadline, period, 1)?;
+        let _ = probe;
+        if w == 0 || h == 0 {
+            return Err(ModelError::ZeroArea);
+        }
+        Ok(Task2D { exec, deadline, period, w, h })
+    }
+
+    /// Implicit-deadline constructor (`D = T`).
+    pub fn implicit(exec: T, period: T, w: u32, h: u32) -> Result<Self, ModelError> {
+        Self::new(exec, period, period, w, h)
+    }
+
+    /// Execution time `C`.
+    #[inline]
+    pub fn exec(&self) -> T {
+        self.exec
+    }
+
+    /// Relative deadline `D`.
+    #[inline]
+    pub fn deadline(&self) -> T {
+        self.deadline
+    }
+
+    /// Period `T`.
+    #[inline]
+    pub fn period(&self) -> T {
+        self.period
+    }
+
+    /// Rectangle width in columns.
+    #[inline]
+    pub fn w(&self) -> u32 {
+        self.w
+    }
+
+    /// Rectangle height in rows.
+    #[inline]
+    pub fn h(&self) -> u32 {
+        self.h
+    }
+
+    /// Occupied CLB count `w·h`.
+    #[inline]
+    pub fn cells(&self) -> u32 {
+        self.w * self.h
+    }
+
+    /// Time utilization `C/T`.
+    #[inline]
+    pub fn time_utilization(&self) -> T {
+        self.exec / self.period
+    }
+
+    /// System utilization in CLB·time: `C·w·h/T`.
+    #[inline]
+    pub fn system_utilization(&self) -> T {
+        self.exec * T::from_u32(self.cells()) / self.period
+    }
+}
+
+/// A non-empty collection of 2-D tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSet2D<T> {
+    tasks: Vec<Task2D<T>>,
+}
+
+impl<T: Time> TaskSet2D<T> {
+    /// Build from validated tasks; rejects empty input.
+    pub fn new(tasks: Vec<Task2D<T>>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyTaskSet);
+        }
+        Ok(TaskSet2D { tasks })
+    }
+
+    /// Convenience constructor from `(C, D, T, w, h)` tuples.
+    pub fn try_from_tuples(tuples: &[(T, T, T, u32, u32)]) -> Result<Self, ModelError> {
+        let tasks = tuples
+            .iter()
+            .map(|&(c, d, t, w, h)| Task2D::new(c, d, t, w, h))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(tasks)
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Always `false` (construction rejects empty sets).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The tasks.
+    #[inline]
+    pub fn tasks(&self) -> &[Task2D<T>] {
+        &self.tasks
+    }
+
+    /// The task with index `k`.
+    #[inline]
+    pub fn task(&self, k: usize) -> &Task2D<T> {
+        &self.tasks[k]
+    }
+
+    /// Total system utilization `Σ C·w·h/T` in CLB·time.
+    pub fn system_utilization(&self) -> T {
+        self.tasks
+            .iter()
+            .fold(T::ZERO, |acc, t| acc + t.system_utilization())
+    }
+
+    /// Largest period (for horizon selection).
+    pub fn tmax(&self) -> T {
+        self.tasks
+            .iter()
+            .map(Task2D::period)
+            .fold(T::ZERO, |a, b| a.max_t(b))
+    }
+
+    /// `true` when every rectangle fits the device in isolation.
+    pub fn fits_device(&self, dev: &Device2D) -> bool {
+        self.tasks
+            .iter()
+            .all(|t| t.w() <= dev.width() && t.h() <= dev.height())
+    }
+}
+
+impl<'a, T: Time> IntoIterator for &'a TaskSet2D<T> {
+    type Item = &'a Task2D<T>;
+    type IntoIter = core::slice::Iter<'a, Task2D<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_validation() {
+        assert!(Device2D::new(8, 6).is_ok());
+        assert!(Device2D::new(0, 6).is_err());
+        assert!(Device2D::new(8, 0).is_err());
+        let d = Device2D::new(8, 6).unwrap();
+        assert_eq!(d.cells(), 48);
+        assert_eq!(d.to_string(), "FPGA[8×6]");
+    }
+
+    #[test]
+    fn task_validation_and_metrics() {
+        let t = Task2D::implicit(2.0, 8.0, 3, 4).unwrap();
+        assert_eq!(t.cells(), 12);
+        assert_eq!(t.time_utilization(), 0.25);
+        assert_eq!(t.system_utilization(), 3.0);
+        assert!(Task2D::new(2.0, 8.0, 8.0, 0, 4).is_err());
+        assert!(Task2D::new(-1.0, 8.0, 8.0, 1, 4).is_err());
+    }
+
+    #[test]
+    fn taskset_aggregate() {
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
+            (2.0, 8.0, 8.0, 3, 4),
+            (1.0, 4.0, 4.0, 2, 2),
+        ])
+        .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.system_utilization(), 4.0);
+        assert_eq!(ts.tmax(), 8.0);
+        assert!(ts.fits_device(&Device2D::new(4, 4).unwrap()));
+        assert!(!ts.fits_device(&Device2D::new(2, 4).unwrap()));
+        assert!(TaskSet2D::<f64>::new(vec![]).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Device sizing: how many columns does a given hardware taskset need?
+//!
+//! At design time the question is inverted from admission control: the
+//! taskset is fixed (e.g. the processing kernels of a radar pipeline) and
+//! the engineer picks the smallest — cheapest — fabric that passes a
+//! schedulability test. Because DP, GN1 and GN2 are incomparable, the
+//! minimum size differs per test; the composite gives the best
+//! analytically-safe answer, and simulation provides the (unsafe,
+//! offsets-0-only) lower bound.
+//!
+//! ```text
+//! cargo run --release --example device_sizing
+//! ```
+
+use fpga_rt::analysis::SchedTest;
+use fpga_rt::prelude::*;
+
+/// Smallest column count in `[lo, hi]` accepted by `test`, if any.
+fn minimal_columns<S: SchedTest<f64>>(
+    test: &S,
+    ts: &TaskSet<f64>,
+    lo: u32,
+    hi: u32,
+) -> Option<u32> {
+    // Acceptance is monotone in device size for all tests here, so binary
+    // search applies.
+    let mut lo = lo.max(ts.amax());
+    let mut hi = hi;
+    if !test.is_schedulable(ts, &Fpga::new(hi).ok()?) {
+        return None;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if test.is_schedulable(ts, &Fpga::new(mid).ok()?) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A radar processing pipeline: six kernels.
+    let taskset: TaskSet<f64> = TaskSet::try_from_tuples(&[
+        (3.0, 12.0, 12.0, 25), // pulse compression
+        (2.0, 10.0, 10.0, 18), // doppler filter
+        (4.0, 16.0, 16.0, 30), // CFAR detector
+        (1.0, 6.0, 6.0, 10),   // beam steering
+        (2.5, 14.0, 14.0, 22), // tracker update
+        (0.5, 5.0, 5.0, 8),    // telemetry pack
+    ])?;
+    println!(
+        "pipeline: N={} UT={:.3} US={:.1}, widest kernel {} columns\n",
+        taskset.len(),
+        taskset.time_utilization(),
+        taskset.system_utilization(),
+        taskset.amax()
+    );
+
+    let lo = taskset.amax();
+    let hi = 400;
+
+    let dp = minimal_columns(&DpTest::default(), &taskset, lo, hi);
+    let gn1 = minimal_columns(&Gn1Test::default(), &taskset, lo, hi);
+    let gn2 = minimal_columns(&Gn2Test::default(), &taskset, lo, hi);
+    let any = minimal_columns(&AnyOfTest::paper_suite(), &taskset, lo, hi);
+
+    println!("minimal fabric size guaranteed schedulable (EDF, global):");
+    for (name, cols) in [("DP", dp), ("GN1", gn1), ("GN2", gn2), ("DP∪GN1∪GN2", any)] {
+        match cols {
+            Some(c) => println!("  {name:<12} {c:>4} columns"),
+            None => println!("  {name:<12} none ≤ {hi}"),
+        }
+    }
+
+    // Simulation lower bound (synchronous offsets only — NOT a guarantee).
+    let mut sim_min = None;
+    for cols in lo..=hi {
+        let fpga = Fpga::new(cols)?;
+        let out = sim::simulate(
+            &taskset,
+            &fpga,
+            &SimConfig::default().with_scheduler(SchedulerKind::EdfNf),
+        )?;
+        if out.schedulable() {
+            sim_min = Some(cols);
+            break;
+        }
+    }
+    println!(
+        "  {:<12} {:>4} columns (offsets-0 simulation, no guarantee)",
+        "SIM-NF",
+        sim_min.map(|c| c.to_string()).unwrap_or_else(|| "-".into())
+    );
+
+    let analytic = any.expect("composite must size this pipeline");
+    let empirical = sim_min.expect("simulation must size this pipeline");
+    println!(
+        "\nanalytic margin over the empirical lower bound: {} columns ({:+.0}%)",
+        analytic - empirical,
+        100.0 * (f64::from(analytic) / f64::from(empirical) - 1.0)
+    );
+    Ok(())
+}

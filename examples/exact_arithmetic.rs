@@ -1,0 +1,77 @@
+//! Why this library carries exact rational arithmetic: the paper's
+//! Table 1 sits on a knife edge where the GN2 verdict is decided by an
+//! *exact equality* — invisible (and unstable) in floating point.
+//!
+//! ```text
+//! cargo run --release --example exact_arithmetic
+//! ```
+
+use fpga_rt::analysis::{Gn2Config, Gn2Test, SchedTest};
+use fpga_rt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fpga = Fpga::new(10)?;
+
+    // Table 1 in exact rationals: C1 = 1.26 = 63/50, C2 = 0.95 = 19/20.
+    let r = |n, d| Rat64::new(n, d).unwrap();
+    let exact: TaskSet<Rat64> = TaskSet::try_from_tuples(&[
+        (r(63, 50), r(7, 1), r(7, 1), 9),
+        (r(19, 20), r(5, 1), r(5, 1), 6),
+    ])?;
+
+    println!("Table 1 on {fpga}: τ1=(1.26,7,7,9), τ2=(0.95,5,5,6)\n");
+
+    // Inspect GN2's condition 2 at λ = C2/T2 for k = 1.
+    let test = Gn2Test::default();
+    let attempts = test.attempts_for_task(&exact, &fpga, 0);
+    for a in &attempts {
+        println!(
+            "λ = {:.4}: condition 2 compares LHS = {} with RHS = {}",
+            a.lambda, a.lhs2, a.rhs2
+        );
+    }
+    println!();
+
+    // The knife edge, in exact arithmetic: both sides are 69/25.
+    let lhs = r(9, 1) * (r(63, 50) / r(7, 1)) + r(6, 1) * (r(19, 20) / r(5, 1));
+    let abnd = r(10 - 9 + 1, 1);
+    let amin = r(6, 1);
+    let rhs = (abnd - amin) * (Rat64::ONE - r(19, 100)) + amin;
+    println!("exact LHS = {lhs}, exact RHS = {rhs}  (both 69/25 = 2.76)");
+    assert_eq!(lhs, rhs);
+
+    // Strict vs non-strict condition 2 therefore decide the verdict:
+    let strict = Gn2Test::default(); // paper's Table-1 behaviour
+    let printed = Gn2Test::new(Gn2Config { condition2_strict: false, ..Gn2Config::default() });
+    println!(
+        "\nGN2 with strict '<'  (reproduces Table 1): {}",
+        if strict.is_schedulable(&exact, &fpga) { "accept" } else { "reject" }
+    );
+    println!(
+        "GN2 with printed '≤' (the theorem as typeset): {}",
+        if printed.is_schedulable(&exact, &fpga) { "accept" } else { "reject" }
+    );
+
+    // In f64 the two sides happen to round to the *same* double on this
+    // evaluation path, so the float test agrees with the exact one here —
+    // but "the rounded sides coincide" is an observation, not a proof.
+    // Only Rat64 demonstrates the equality is exact:
+    let float: TaskSet<f64> =
+        TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)])?;
+    let f_attempt = &test.attempts_for_task(&float, &fpga, 0)[1];
+    println!(
+        "\nf64 view of the same comparison: LHS = {:.17}, RHS = {:.17}, diff = {:e}",
+        f_attempt.lhs2,
+        f_attempt.rhs2,
+        f_attempt.lhs2 - f_attempt.rhs2
+    );
+
+    // Either way the taskset is actually schedulable — the two tasks can
+    // never run concurrently (9 + 6 > 10) and UT = 0.37 ≪ 1.
+    let out = sim::simulate(&exact, &fpga, &SimConfig::default())?;
+    println!(
+        "simulation (EDF-NF, 100·Tmax): {}",
+        if out.schedulable() { "no deadline miss — rejection is pure test pessimism" } else { "miss" }
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: define a hardware taskset, run all three schedulability
+//! bound tests, and cross-check with the discrete-event simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fpga_rt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10-column partially runtime-reconfigurable FPGA.
+    let fpga = Fpga::new(10)?;
+
+    // Two periodic hardware tasks (C, D, T, area-in-columns) — the paper's
+    // Table 3, the example accepted only by the GN2 test.
+    let taskset: TaskSet<f64> = TaskSet::try_from_tuples(&[
+        (2.10, 5.0, 5.0, 7),
+        (2.00, 7.0, 7.0, 7),
+    ])?;
+
+    println!("taskset: N={}", taskset.len());
+    println!("  UT(Γ) = {:.3}", taskset.time_utilization());
+    println!("  US(Γ) = {:.3} on {}", taskset.system_utilization(), fpga);
+    println!("  Amax = {}, Amin = {}", taskset.amax(), taskset.amin());
+    println!();
+
+    // The three bound tests of Guan et al. (IPDPS 2007).
+    let dp = DpTest::default().check(&taskset, &fpga);
+    let gn1 = Gn1Test::default().check(&taskset, &fpga);
+    let gn2 = Gn2Test::default().check(&taskset, &fpga);
+    for rep in [&dp, &gn1, &gn2] {
+        print!("{}", rep.summarize());
+    }
+
+    // The composite the paper recommends: accept if ANY test accepts.
+    let suite = AnyOfTest::paper_suite();
+    let verdict = suite.is_schedulable(&taskset, &fpga);
+    println!("\ncomposite DP∪GN1∪GN2: {}", if verdict { "ACCEPTED" } else { "REJECTED" });
+
+    // Cross-check with simulation under both schedulers (synchronous
+    // release, 100 periods of the slowest task).
+    for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+        let config = SimConfig::default().with_scheduler(kind.clone());
+        let outcome = sim::simulate(&taskset, &fpga, &config)?;
+        println!(
+            "simulation {:>8}: {}",
+            kind.name(),
+            match outcome.first_miss() {
+                None => "no deadline miss".to_string(),
+                Some(m) => format!("{} missed at t={:.2}", m.task, m.time),
+            }
+        );
+    }
+
+    // Exact arithmetic for knife-edge verdicts: the same taskset in Rat64.
+    let exact = taskset.map_time(|v| Rat64::approx_f64(v, 1_000_000).unwrap())?;
+    let exact_verdict = Gn2Test::default().is_schedulable(&exact, &fpga);
+    println!("GN2 in exact rational arithmetic: {}", if exact_verdict { "accept" } else { "reject" });
+
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Property tests of the FPGA→multiprocessor reduction: with unit areas on
+//! an m-column device, the paper's tests must coincide *verdict-exactly*
+//! with their multiprocessor ancestors (which are implemented independently
+//! from the original formulas).
+
+use fpga_rt::analysis::mp::{Bak2Test, BclTest, GfbTest};
+use fpga_rt::prelude::*;
+use proptest::prelude::*;
+
+fn unit_area_taskset(n: usize) -> impl Strategy<Value = TaskSet<f64>> {
+    proptest::collection::vec(
+        (1u32..200, 1u32..100).prop_map(|(t10, f100)| {
+            let period = f64::from(t10) / 10.0 + 0.5;
+            let exec = period * f64::from(f100) / 100.0;
+            (exec, period, period, 1u32)
+        }),
+        n..=n,
+    )
+    .prop_map(|v| TaskSet::try_from_tuples(&v).expect("positive params"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// DP with unit areas is exactly GFB (the integer `+1` correction is
+    /// what makes this exact — Danne's original real-valued bound reduces
+    /// to `m − 1` processors instead).
+    #[test]
+    fn dp_equals_gfb(ts in unit_area_taskset(5), m in 1u32..8) {
+        let dev = Fpga::multiprocessor(m).unwrap();
+        prop_assert_eq!(
+            DpTest::default().is_schedulable(&ts, &dev),
+            GfbTest.is_schedulable(&ts, &dev)
+        );
+    }
+
+    /// GN1 with the BCL denominator and unit areas is exactly BCL.
+    #[test]
+    fn gn1_equals_bcl(ts in unit_area_taskset(4), m in 1u32..8) {
+        let dev = Fpga::multiprocessor(m).unwrap();
+        prop_assert_eq!(
+            Gn1Test::bcl_faithful().is_schedulable(&ts, &dev),
+            BclTest.is_schedulable(&ts, &dev)
+        );
+    }
+
+    /// GN2 with unit areas is exactly the BAK2-style CPU test.
+    #[test]
+    fn gn2_equals_bak2(ts in unit_area_taskset(4), m in 1u32..8) {
+        let dev = Fpga::multiprocessor(m).unwrap();
+        prop_assert_eq!(
+            Gn2Test::default().is_schedulable(&ts, &dev),
+            Bak2Test.is_schedulable(&ts, &dev)
+        );
+    }
+
+    /// On a single processor, any taskset with UT ≤ 1 passes GFB (EDF
+    /// optimality boundary) and overloads fail.
+    #[test]
+    fn gfb_matches_uniprocessor_edf_boundary(ts in unit_area_taskset(3)) {
+        let dev = Fpga::multiprocessor(1).unwrap();
+        let ut = ts.time_utilization();
+        // m = 1 ⇒ bound = 1·(1−umax)+umax = 1.
+        prop_assert_eq!(GfbTest.is_schedulable(&ts, &dev), ut <= 1.0);
+    }
+}

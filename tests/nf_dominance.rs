@@ -1,0 +1,67 @@
+//! Danne & Platzner's dominance result, checked empirically on the
+//! synchronous release pattern: whenever EDF-FkF schedules a taskset
+//! without a miss, EDF-NF does too (EDF-NF only ever adds fitting jobs
+//! behind a blocked head-of-queue job, never removes capacity).
+
+use fpga_rt::gen::TasksetSpec;
+use fpga_rt::prelude::*;
+use fpga_rt::sim::{simulate_f64, Horizon};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn clean(ts: &TaskSet<f64>, dev: &Fpga, kind: SchedulerKind) -> bool {
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_horizon(Horizon::PeriodsOfTmax(60.0));
+    simulate_f64(ts, dev, &cfg).unwrap().schedulable()
+}
+
+#[test]
+fn fkf_schedulable_implies_nf_schedulable() {
+    let dev = Fpga::new(100).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD0_13A9);
+    let mut fkf_ok = 0;
+    let mut nf_extra = 0;
+    for trial in 0..1200u64 {
+        let n = 3 + (trial as usize % 8);
+        // Mid-load shapes where the schedulers actually differ.
+        let spec = TasksetSpec {
+            n_tasks: n,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.1, 0.7),
+            area_range: (5, 70),
+        };
+        let ts = spec.generate(&mut rng);
+        let fkf = clean(&ts, &dev, SchedulerKind::EdfFkf);
+        let nf = clean(&ts, &dev, SchedulerKind::EdfNf);
+        if fkf {
+            fkf_ok += 1;
+            assert!(nf, "FkF clean but NF missed — dominance violated: {ts:?}");
+        }
+        if nf && !fkf {
+            nf_extra += 1;
+        }
+    }
+    assert!(fkf_ok > 100, "sample must exercise the property ({fkf_ok})");
+    // The inclusion should be strict somewhere in a sample this large.
+    assert!(nf_extra > 0, "expected at least one NF-only schedulable taskset");
+}
+
+/// The deterministic counterexample from the paper's §1 intuition, as a
+/// pinned regression: FkF head-of-line blocking starves a narrow job that
+/// NF runs.
+#[test]
+fn pinned_head_of_line_blocking_case() {
+    let dev = Fpga::new(10).unwrap();
+    let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+        (4.0, 8.0, 8.0, 6),
+        (4.0, 8.5, 8.5, 5),
+        (8.0, 8.8, 8.8, 4),
+    ])
+    .unwrap();
+    let short = |k: SchedulerKind| {
+        SimConfig::default().with_scheduler(k).with_horizon(Horizon::Absolute(8.9))
+    };
+    assert!(!simulate_f64(&ts, &dev, &short(SchedulerKind::EdfFkf)).unwrap().schedulable());
+    assert!(simulate_f64(&ts, &dev, &short(SchedulerKind::EdfNf)).unwrap().schedulable());
+}

@@ -1,0 +1,101 @@
+//! Time-unit scale invariance: all three bound tests are ratio tests, so
+//! multiplying every C, D, T by a positive constant must not change any
+//! verdict. Checked exactly in rational arithmetic, and with power-of-two
+//! factors (exact in binary floating point) for `f64`.
+
+use fpga_rt::prelude::*;
+use proptest::prelude::*;
+
+fn small_rat() -> impl Strategy<Value = Rat64> {
+    (1i64..400, 1i64..40).prop_map(|(n, d)| Rat64::new(n, d).unwrap())
+}
+
+fn rational_taskset(n: usize) -> impl Strategy<Value = TaskSet<Rat64>> {
+    proptest::collection::vec(
+        (small_rat(), 1i64..30, 1u32..12).prop_map(|(f, t, a)| {
+            let period = Rat64::from_int(t);
+            // exec = period · f / (f + 4) keeps utilization in (0, 1).
+            let util = f / (f + Rat64::from_int(4));
+            (period * util, period, period, a)
+        }),
+        n..=n,
+    )
+    .prop_map(|v| TaskSet::try_from_tuples(&v).expect("positive"))
+}
+
+fn verdicts<T: Time>(ts: &TaskSet<T>, dev: &Fpga) -> (bool, bool, bool) {
+    (
+        DpTest::default().is_schedulable(ts, dev),
+        Gn1Test::default().is_schedulable(ts, dev),
+        Gn2Test::default().is_schedulable(ts, dev),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Exact invariance under rational rescaling of the time axis.
+    #[test]
+    fn exact_scale_invariance(
+        ts in rational_taskset(4),
+        num in 1i64..20,
+        den in 1i64..20,
+    ) {
+        let dev = Fpga::new(12).unwrap();
+        let scale = Rat64::new(num, den).unwrap();
+        let scaled = ts.map_time(|v| v * scale).unwrap();
+        prop_assert_eq!(verdicts(&ts, &dev), verdicts(&scaled, &dev));
+    }
+
+    /// f64 invariance under power-of-two rescaling (exact in binary FP).
+    #[test]
+    fn f64_power_of_two_scale_invariance(
+        ts in rational_taskset(4),
+        exp in -3i32..6,
+    ) {
+        let dev = Fpga::new(12).unwrap();
+        let fts = ts.map_time(|v| v.to_f64()).unwrap();
+        let scale = 2f64.powi(exp);
+        let scaled = fts.map_time(|v| v * scale).unwrap();
+        prop_assert_eq!(verdicts(&fts, &dev), verdicts(&scaled, &dev));
+    }
+
+    /// Shrinking an execution time never turns an accept into a reject for
+    /// DP (its bound is monotone in C through both US and UT).
+    #[test]
+    fn dp_monotone_in_exec(ts in rational_taskset(4)) {
+        let dev = Fpga::new(12).unwrap();
+        if DpTest::default().is_schedulable(&ts, &dev) {
+            let half = Rat64::new(1, 2).unwrap();
+            let shrunk = TaskSet::new(
+                ts.iter()
+                    .map(|(_, t)| {
+                        fpga_rt::model::Task::new(
+                            t.exec() * half,
+                            t.deadline(),
+                            t.period(),
+                            t.area(),
+                        )
+                        .unwrap()
+                    })
+                    .collect(),
+            )
+            .unwrap();
+            prop_assert!(DpTest::default().is_schedulable(&shrunk, &dev));
+        }
+    }
+
+    /// Growing the device never turns an accept into a reject (all three
+    /// tests are monotone in A(H)) — the property behind binary-searched
+    /// device sizing in the `device_sizing` example.
+    #[test]
+    fn verdicts_monotone_in_device(ts in rational_taskset(4), extra in 1u32..30) {
+        let small = Fpga::new(12).unwrap();
+        let big = Fpga::new(12 + extra).unwrap();
+        let (dp_s, gn1_s, gn2_s) = verdicts(&ts, &small);
+        let (dp_b, gn1_b, gn2_b) = verdicts(&ts, &big);
+        if dp_s { prop_assert!(dp_b); }
+        if gn1_s { prop_assert!(gn1_b); }
+        if gn2_s { prop_assert!(gn2_b); }
+    }
+}

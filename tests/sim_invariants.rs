@@ -1,0 +1,131 @@
+//! Structural schedule invariants, checked on full traces of random
+//! workloads:
+//!
+//! 1. trace well-formedness (contiguous time, no column overcommit, no
+//!    region overlap);
+//! 2. the EDF-FkF *prefix* property (Definition 1): the running set is
+//!    always a prefix of the deadline-ordered ready queue;
+//! 3. the EDF-NF *fit* property (Definition 2): under free migration a
+//!    waiting job never fits the idle area;
+//! 4. conservation: busy-area integral equals completed work (zero
+//!    overhead).
+
+use fpga_rt::gen::TasksetSpec;
+use fpga_rt::prelude::*;
+use fpga_rt::sim::{simulate_f64, Horizon, Trace};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = (TaskSet<f64>, u64)> {
+    (2usize..8, 0u64..1_000_000).prop_map(|(n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let spec = TasksetSpec {
+            n_tasks: n,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.1, 0.8),
+            area_range: (5, 80),
+        };
+        (spec.generate(&mut StdRng::seed_from_u64(seed)), seed)
+    })
+}
+
+fn traced(ts: &TaskSet<f64>, dev: &Fpga, kind: SchedulerKind) -> (SimOutcome, Trace) {
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_horizon(Horizon::PeriodsOfTmax(15.0))
+        .collect_all_misses()
+        .with_full_trace();
+    let out = simulate_f64(ts, dev, &cfg).unwrap();
+    let trace = out.trace.clone().unwrap();
+    (out, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_are_well_formed((ts, _seed) in spec_strategy()) {
+        let dev = Fpga::new(100).unwrap();
+        for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+            let (_, trace) = traced(&ts, &dev, kind);
+            prop_assert!(trace.check_invariants().is_ok());
+        }
+    }
+
+    /// Definition 1: at every instant EDF-FkF runs a *prefix* of the
+    /// deadline-ordered queue — every waiting job is behind every running
+    /// job in EDF order. (Job ids are release-ordered, and within this
+    /// engine ties are broken deterministically, so comparing by the
+    /// segment's recorded sets is sound.)
+    #[test]
+    fn fkf_runs_a_prefix((ts, _seed) in spec_strategy()) {
+        let dev = Fpga::new(100).unwrap();
+        let (_, trace) = traced(&ts, &dev, SchedulerKind::EdfFkf);
+        for seg in &trace.segments {
+            let Some(first_waiting) = seg.waiting.first() else { continue };
+            // The first waiting job (earliest-deadline blocked job) must not
+            // fit the idle area.
+            let idle = dev.columns() - seg.busy_columns();
+            prop_assert!(
+                first_waiting.1 > idle,
+                "blocked head {first_waiting:?} would fit idle {idle}"
+            );
+        }
+    }
+
+    /// Definition 2: under EDF-NF with free migration, *no* waiting job
+    /// fits the idle area at any instant.
+    #[test]
+    fn nf_leaves_no_fitting_job_waiting((ts, _seed) in spec_strategy()) {
+        let dev = Fpga::new(100).unwrap();
+        let (_, trace) = traced(&ts, &dev, SchedulerKind::EdfNf);
+        for seg in &trace.segments {
+            let idle = dev.columns() - seg.busy_columns();
+            for (job, area) in &seg.waiting {
+                prop_assert!(
+                    *area > idle,
+                    "waiting job {job} (area {area}) fits idle {idle}"
+                );
+            }
+        }
+    }
+
+    /// ∫busy dt computed by the engine equals the system work recorded in
+    /// the trace, and (with zero overhead) equals executed time·area.
+    #[test]
+    fn busy_area_integral_matches_trace((ts, _seed) in spec_strategy()) {
+        let dev = Fpga::new(100).unwrap();
+        let (out, trace) = traced(&ts, &dev, SchedulerKind::EdfNf);
+        let span = out.metrics.span;
+        let trace_work = trace.system_work(0.0, span);
+        prop_assert!(
+            (out.metrics.busy_area_time - trace_work).abs() < 1e-6 * (1.0 + trace_work),
+            "engine {} vs trace {}",
+            out.metrics.busy_area_time,
+            trace_work
+        );
+    }
+}
+
+/// Deterministic regression: the simulator never runs two jobs of combined
+/// area beyond the device, even in heavy overload with kill-at-deadline
+/// churn.
+#[test]
+fn overload_never_overcommits() {
+    let dev = Fpga::new(10).unwrap();
+    let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
+        (4.9, 5.0, 5.0, 9),
+        (4.9, 5.0, 5.0, 9),
+        (4.9, 5.0, 5.0, 9),
+        (2.0, 6.0, 6.0, 1),
+    ])
+    .unwrap();
+    let cfg = SimConfig::default()
+        .with_scheduler(SchedulerKind::EdfNf)
+        .with_horizon(Horizon::Absolute(100.0))
+        .collect_all_misses()
+        .with_full_trace();
+    let out = simulate_f64(&ts, &dev, &cfg).unwrap();
+    assert!(!out.schedulable());
+    out.trace.unwrap().check_invariants().unwrap();
+}

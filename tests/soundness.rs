@@ -1,0 +1,131 @@
+//! Soundness cross-check: whenever a bound test accepts a taskset, the
+//! discrete-event simulation of the targeted scheduler must run without a
+//! deadline miss (the synchronous release pattern is one of the patterns
+//! the tests quantify over, so a miss would disprove the test).
+//!
+//! DP and GN2 target EDF-FkF (and EDF-NF via Danne's dominance); GN1
+//! targets EDF-NF only.
+
+use fpga_rt::gen::TasksetSpec;
+use fpga_rt::prelude::*;
+use fpga_rt::sim::{simulate_f64, Horizon};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sim_clean(ts: &TaskSet<f64>, dev: &Fpga, kind: SchedulerKind) -> bool {
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_horizon(Horizon::PeriodsOfTmax(100.0));
+    simulate_f64(ts, dev, &cfg).unwrap().schedulable()
+}
+
+#[test]
+fn accepting_tests_imply_clean_simulation() {
+    let dev = Fpga::new(100).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xF1DE);
+    let mut accepted_any = 0;
+    for trial in 0..2000u64 {
+        let n = 2 + (trial as usize % 9);
+        let ts = TasksetSpec::unconstrained(n).generate(&mut rng);
+
+        let dp = DpTest::default().is_schedulable(&ts, &dev);
+        let gn1 = Gn1Test::default().is_schedulable(&ts, &dev);
+        let gn2 = Gn2Test::default().is_schedulable(&ts, &dev);
+        if !(dp || gn1 || gn2) {
+            continue;
+        }
+        accepted_any += 1;
+
+        if dp || gn2 {
+            assert!(
+                sim_clean(&ts, &dev, SchedulerKind::EdfFkf),
+                "DP/GN2 accepted but EDF-FkF missed: {ts:?}"
+            );
+        }
+        // All three imply EDF-NF schedulability.
+        assert!(
+            sim_clean(&ts, &dev, SchedulerKind::EdfNf),
+            "test accepted (dp={dp} gn1={gn1} gn2={gn2}) but EDF-NF missed: {ts:?}"
+        );
+    }
+    assert!(accepted_any > 50, "sample must exercise the accept path ({accepted_any})");
+}
+
+/// Same property for the constrained figure-4 *area shapes*. Raw draws
+/// from those distributions land far above utilization 1 (nothing would be
+/// accepted), so the binned generator rescales execution times into the
+/// acceptable range while keeping the wide/narrow area mixes that stress
+/// the different βλ cases.
+#[test]
+fn soundness_on_constrained_distributions() {
+    use fpga_rt::gen::{BinnedGenerator, UtilizationBins};
+    let dev = Fpga::new(100).unwrap();
+    let specs = [
+        // fig4a shape: spatially heavy.
+        TasksetSpec {
+            n_tasks: 10,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.0, 0.3),
+            area_range: (50, 100),
+        },
+        // fig4b shape: spatially light, temporally heavy.
+        TasksetSpec {
+            n_tasks: 10,
+            period_range: (5.0, 20.0),
+            exec_factor_range: (0.5, 1.0),
+            area_range: (1, 50),
+        },
+    ];
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut accepted_any = 0;
+    let bins = UtilizationBins::new(0.0, 0.5, 5);
+    for spec in &specs {
+        let generator = BinnedGenerator::new(*spec, dev.columns(), bins);
+        for i in 0..300 {
+            let Some(ts) = generator.sample_in_bin(i % bins.n, &mut rng) else {
+                continue;
+            };
+            let dp = DpTest::default().is_schedulable(&ts, &dev);
+            let gn1 = Gn1Test::default().is_schedulable(&ts, &dev);
+            let gn2 = Gn2Test::default().is_schedulable(&ts, &dev);
+            if !(dp || gn1 || gn2) {
+                continue;
+            }
+            accepted_any += 1;
+            if dp || gn2 {
+                assert!(sim_clean(&ts, &dev, SchedulerKind::EdfFkf), "{ts:?}");
+            }
+            assert!(sim_clean(&ts, &dev, SchedulerKind::EdfNf), "{ts:?}");
+        }
+    }
+    assert!(accepted_any > 10, "sample must exercise the accept path ({accepted_any})");
+}
+
+/// The multiprocessor baselines are sound on unit-area tasksets too.
+#[test]
+fn mp_baselines_are_sound_on_unit_areas() {
+    use fpga_rt::analysis::mp::{Bak2Test, BclTest, GfbTest};
+    let dev = Fpga::multiprocessor(4).unwrap();
+    let spec = TasksetSpec {
+        n_tasks: 6,
+        period_range: (5.0, 20.0),
+        exec_factor_range: (0.0, 1.0),
+        area_range: (1, 1),
+    };
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut accepted_any = 0;
+    for _ in 0..500 {
+        let ts = spec.generate(&mut rng);
+        let gfb = GfbTest.is_schedulable(&ts, &dev);
+        let bcl = BclTest.is_schedulable(&ts, &dev);
+        let bak2 = Bak2Test.is_schedulable(&ts, &dev);
+        if !(gfb || bcl || bak2) {
+            continue;
+        }
+        accepted_any += 1;
+        // With unit areas EDF-FkF and EDF-NF coincide with plain global EDF.
+        assert!(sim_clean(&ts, &dev, SchedulerKind::EdfNf), "{ts:?}");
+        assert!(sim_clean(&ts, &dev, SchedulerKind::EdfFkf), "{ts:?}");
+    }
+    assert!(accepted_any > 20, "({accepted_any})");
+}

@@ -1,0 +1,93 @@
+//! Cross-crate validation of the 2-D extension: the column-projection
+//! bridge is sound (projection-accepted ⇒ native 2-D simulation clean),
+//! NF dominance carries over to rectangles, and shape-fragmentation is
+//! observable exactly where the 1-D model says it cannot be.
+
+use fpga_rt::analysis::SchedTest;
+use fpga_rt::prelude::*;
+use fpga_rt::twod::{
+    project_to_columns, simulate_2d, Device2D, Scheduler2D, Sim2DConfig, TasksetSpec2D,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec() -> TasksetSpec2D {
+    TasksetSpec2D {
+        n_tasks: 5,
+        period_range: (5.0, 20.0),
+        exec_factor_range: (0.0, 0.6),
+        w_range: (2, 10),
+        h_range: (1, 6),
+    }
+}
+
+#[test]
+fn projection_soundness_over_random_tasksets() {
+    let device = Device2D::new(16, 8).unwrap();
+    let suite = AnyOfTest::paper_suite();
+    let mut rng = StdRng::seed_from_u64(0x2D2D);
+    let mut accepted = 0;
+    for _ in 0..600 {
+        let ts = spec().generate(&mut rng);
+        let (ts1d, fpga) = project_to_columns(&ts, &device).unwrap();
+        if !suite.is_schedulable(&ts1d, &fpga) {
+            continue;
+        }
+        accepted += 1;
+        let out = simulate_2d(&ts, &device, &Sim2DConfig::default()).unwrap();
+        assert!(out.schedulable(), "projection soundness violated: {ts:?}");
+    }
+    assert!(accepted > 30, "sample must exercise the accept path ({accepted})");
+}
+
+#[test]
+fn nf_dominates_fkf_in_2d_over_random_tasksets() {
+    let device = Device2D::new(16, 8).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x2DFF);
+    let mut fkf_ok = 0;
+    for _ in 0..400 {
+        let ts = spec().generate(&mut rng);
+        let mut cfg = Sim2DConfig { horizon_periods: 30.0, ..Sim2DConfig::default() };
+        cfg.scheduler = Scheduler2D::EdfFkf;
+        let fkf = simulate_2d(&ts, &device, &cfg).unwrap();
+        if !fkf.schedulable() {
+            continue;
+        }
+        fkf_ok += 1;
+        cfg.scheduler = Scheduler2D::EdfNf;
+        let nf = simulate_2d(&ts, &device, &cfg).unwrap();
+        assert!(nf.schedulable(), "2-D NF dominance violated: {ts:?}");
+    }
+    assert!(fkf_ok > 50, "sample must exercise the property ({fkf_ok})");
+}
+
+/// The 1-D free-migration model can never block a job that fits by area;
+/// the 2-D grid can. Observe real shape blocks on a random workload — the
+/// phenomenon that motivates the paper's future-work caveat.
+#[test]
+fn shape_blocks_occur_in_2d() {
+    let device = Device2D::new(12, 6).unwrap();
+    let heavy = TasksetSpec2D {
+        n_tasks: 7,
+        period_range: (5.0, 20.0),
+        exec_factor_range: (0.3, 0.9),
+        w_range: (3, 9),
+        h_range: (2, 5),
+    };
+    let mut rng = StdRng::seed_from_u64(0x5A5A);
+    let mut saw = false;
+    for _ in 0..200 {
+        let ts = heavy.generate(&mut rng);
+        let out = simulate_2d(
+            &ts,
+            &device,
+            &Sim2DConfig { stop_at_first_miss: false, horizon_periods: 20.0, ..Sim2DConfig::default() },
+        )
+        .unwrap();
+        if out.shape_blocks > 0 {
+            saw = true;
+            break;
+        }
+    }
+    assert!(saw, "expected at least one shape-fragmentation block");
+}
