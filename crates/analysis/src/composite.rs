@@ -62,11 +62,7 @@ impl<T: Time> SchedTest<T> for AnyOfTest<T> {
             let accepted = rep.accepted();
             checks.extend(rep.checks);
             if accepted {
-                return TestReport {
-                    test: self.name.clone(),
-                    verdict: Verdict::Accepted,
-                    checks,
-                };
+                return TestReport { test: self.name.clone(), verdict: Verdict::Accepted, checks };
             }
         }
         TestReport {
@@ -147,12 +143,9 @@ mod tests {
 
     #[test]
     fn paper_suite_rejects_gross_overload() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (4.9, 5.0, 5.0, 9),
-            (4.9, 5.0, 5.0, 9),
-            (4.9, 5.0, 5.0, 9),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(4.9, 5.0, 5.0, 9), (4.9, 5.0, 5.0, 9), (4.9, 5.0, 5.0, 9)])
+                .unwrap();
         assert!(!AnyOfTest::paper_suite().is_schedulable(&ts, &fpga10()));
     }
 

@@ -101,10 +101,7 @@ impl<T: Time> SchedTest<T> for DpTest {
                 passed,
                 lhs: us_total.to_f64(),
                 rhs: rhs.to_f64(),
-                note: format!(
-                    "US(Γ) ≤ Abnd·(1−UT({id})) + US({id}), Abnd={}",
-                    abnd.to_f64()
-                ),
+                note: format!("US(Γ) ≤ Abnd·(1−UT({id})) + US({id}), Abnd={}", abnd.to_f64()),
             });
             if !passed {
                 return TestReport {

@@ -56,10 +56,7 @@ pub struct Gn1Config {
 
 impl Default for Gn1Config {
     fn default() -> Self {
-        Gn1Config {
-            rhs_plus_one: true,
-            beta_denominator: Gn1BetaDenominator::InterferingDi,
-        }
+        Gn1Config { rhs_plus_one: true, beta_denominator: Gn1BetaDenominator::InterferingDi }
     }
 }
 
@@ -101,9 +98,7 @@ pub fn job_count_ni<T: Time>(interfering: &Task<T>, dk: T) -> i64 {
 /// length `Dk` (Lemma 4): `Wi = Ni·Ci + min(Ci, max(Dk − Ni·Ti, 0))`.
 pub fn time_work_bound<T: Time>(interfering: &Task<T>, dk: T) -> T {
     let ni = T::from_i64(job_count_ni(interfering, dk));
-    let carry_in = interfering
-        .exec()
-        .min_t((dk - ni * interfering.period()).max_zero());
+    let carry_in = interfering.exec().min_t((dk - ni * interfering.period()).max_zero());
     ni * interfering.exec() + carry_in
 }
 
@@ -125,11 +120,8 @@ impl<T: Time> SchedTest<T> for Gn1Test {
         for (k, tk) in taskset.iter() {
             let slack_ratio = T::ONE - tk.density(); // 1 − Ck/Dk ≥ 0 (precondition)
             let abnd_base = i64::from(device.columns()) - i64::from(tk.area());
-            let abnd = T::from_i64(if self.config.rhs_plus_one {
-                abnd_base + 1
-            } else {
-                abnd_base
-            });
+            let abnd =
+                T::from_i64(if self.config.rhs_plus_one { abnd_base + 1 } else { abnd_base });
 
             let mut lhs = T::ZERO;
             for (i, ti) in taskset.iter() {

@@ -238,11 +238,7 @@ impl Gn2Test {
         let rhs1 = abnd * one_minus;
         let rhs2 = (abnd - amin) * one_minus + amin;
         let cond1 = lhs1 < rhs1;
-        let cond2 = if self.config.condition2_strict {
-            lhs2 < rhs2
-        } else {
-            lhs2 <= rhs2
-        };
+        let cond2 = if self.config.condition2_strict { lhs2 < rhs2 } else { lhs2 <= rhs2 };
         Gn2Attempt {
             lambda: lambda.to_f64(),
             lambda_k: lambda_k.to_f64(),
@@ -322,11 +318,9 @@ impl<T: Time> SchedTest<T> for Gn2Test {
                 }
                 None => {
                     let (lhs, rhs, note) = match best {
-                        Some(b) => (
-                            b.lhs2,
-                            b.rhs2,
-                            format!("no λ works; closest at λ={:.6}", b.lambda),
-                        ),
+                        Some(b) => {
+                            (b.lhs2, b.rhs2, format!("no λ works; closest at λ={:.6}", b.lambda))
+                        }
                         None => (f64::INFINITY, 0.0, "no feasible λ candidate".to_string()),
                     };
                     checks.push(TaskCheck { task: id, passed: false, lhs, rhs, note });
@@ -418,18 +412,13 @@ mod tests {
         let strict = Gn2Test::default();
         assert!(!strict.is_schedulable(&ts, &fpga10()));
 
-        let nonstrict = Gn2Test::new(Gn2Config {
-            condition2_strict: false,
-            ..Gn2Config::default()
-        });
+        let nonstrict =
+            Gn2Test::new(Gn2Config { condition2_strict: false, ..Gn2Config::default() });
         assert!(nonstrict.is_schedulable(&ts, &fpga10()));
 
         // Exhibit the equality itself.
         let attempts = nonstrict.attempts_for_task(&ts, &fpga10(), 0);
-        let at = attempts
-            .iter()
-            .find(|a| (a.lambda - 0.19).abs() < 1e-12)
-            .unwrap();
+        let at = attempts.iter().find(|a| (a.lambda - 0.19).abs() < 1e-12).unwrap();
         assert_eq!(at.lhs2, at.rhs2, "both sides are exactly 69/25 = 2.76");
     }
 

@@ -38,10 +38,8 @@ impl<T: Time> SchedTest<T> for GfbTest {
     fn check(&self, taskset: &TaskSet<T>, device: &Fpga) -> TestReport {
         let m = T::from_u32(device.columns());
         let ut = taskset.time_utilization();
-        let umax = taskset
-            .iter()
-            .map(|(_, t)| t.time_utilization())
-            .fold(T::ZERO, |a, b| a.max_t(b));
+        let umax =
+            taskset.iter().map(|(_, t)| t.time_utilization()).fold(T::ZERO, |a, b| a.max_t(b));
         let bound = m * (T::ONE - umax) + umax;
         let passed = ut <= bound;
         let check = TaskCheck {
@@ -199,23 +197,17 @@ mod tests {
     /// UT = 1.5 = 2(1 − 0.5) + 0.5 exactly; accepted.
     #[test]
     fn gfb_boundary_accepts() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (1.0, 2.0, 2.0, 1),
-            (1.0, 2.0, 2.0, 1),
-            (2.0, 4.0, 4.0, 1),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 2.0, 2.0, 1), (1.0, 2.0, 2.0, 1), (2.0, 4.0, 4.0, 1)])
+                .unwrap();
         let m2 = Fpga::multiprocessor(2).unwrap();
         assert!(GfbTest.is_schedulable(&ts, &m2));
     }
 
     #[test]
     fn gfb_rejects_overload() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (1.9, 2.0, 2.0, 1),
-            (1.9, 2.0, 2.0, 1),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.9, 2.0, 2.0, 1), (1.9, 2.0, 2.0, 1)]).unwrap();
         let m2 = Fpga::multiprocessor(2).unwrap();
         assert!(!GfbTest.is_schedulable(&ts, &m2));
     }
@@ -227,12 +219,8 @@ mod tests {
         let sets: Vec<TaskSet<f64>> = vec![
             TaskSet::try_from_tuples(&[(1.0, 3.0, 3.0, 1), (2.0, 5.0, 5.0, 1)]).unwrap(),
             TaskSet::try_from_tuples(&[(1.9, 2.0, 2.0, 1), (1.9, 2.0, 2.0, 1)]).unwrap(),
-            TaskSet::try_from_tuples(&[
-                (1.0, 2.0, 2.0, 1),
-                (1.0, 2.0, 2.0, 1),
-                (2.0, 4.0, 4.0, 1),
-            ])
-            .unwrap(),
+            TaskSet::try_from_tuples(&[(1.0, 2.0, 2.0, 1), (1.0, 2.0, 2.0, 1), (2.0, 4.0, 4.0, 1)])
+                .unwrap(),
         ];
         for m in [1u32, 2, 4] {
             let dev = Fpga::multiprocessor(m).unwrap();
@@ -293,22 +281,16 @@ mod tests {
     fn gfb_and_bcl_are_incomparable() {
         let m2 = Fpga::multiprocessor(2).unwrap();
         // Time-light tasks favour GFB.
-        let light: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (1.0, 2.0, 2.0, 1),
-            (1.0, 2.0, 2.0, 1),
-            (2.0, 4.0, 4.0, 1),
-        ])
-        .unwrap();
+        let light: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 2.0, 2.0, 1), (1.0, 2.0, 2.0, 1), (2.0, 4.0, 4.0, 1)])
+                .unwrap();
         assert!(GfbTest.is_schedulable(&light, &m2));
         assert!(!BclTest.is_schedulable(&light, &m2), "BCL strict < fails at the boundary");
         // A heavy task plus a medium one favours BCL: GFB's bound
         // m(1−umax)+umax = 1.1 < UT = 1.4, but BCL passes both tasks
         // (the heavy task has only one interferer on two processors).
-        let heavy: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (9.0, 10.0, 10.0, 1),
-            (5.0, 10.0, 10.0, 1),
-        ])
-        .unwrap();
+        let heavy: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(9.0, 10.0, 10.0, 1), (5.0, 10.0, 10.0, 1)]).unwrap();
         assert!(!GfbTest.is_schedulable(&heavy, &m2));
         assert!(BclTest.is_schedulable(&heavy, &m2));
     }

@@ -48,20 +48,14 @@ impl<T: Time> SchedTest<T> for NecessaryTest {
             if !fits {
                 return TestReport {
                     test: "NEC".into(),
-                    verdict: Verdict::rejected(
-                        Some(id),
-                        format!("{id} is wider than the device"),
-                    ),
+                    verdict: Verdict::rejected(Some(id), format!("{id} is wider than the device")),
                     checks,
                 };
             }
             if !feasible {
                 return TestReport {
                     test: "NEC".into(),
-                    verdict: Verdict::rejected(
-                        Some(id),
-                        format!("{id} has C exceeding D or T"),
-                    ),
+                    verdict: Verdict::rejected(Some(id), format!("{id} has C exceeding D or T")),
                     checks,
                 };
             }
@@ -116,11 +110,8 @@ mod tests {
 
     #[test]
     fn rejects_utilization_overload() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (4.0, 5.0, 5.0, 9),
-            (4.0, 5.0, 5.0, 9),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(4.0, 5.0, 5.0, 9), (4.0, 5.0, 5.0, 9)]).unwrap();
         // US = 2·(4·9/5) = 14.4 > 10.
         let rep = NecessaryTest.check(&ts, &fpga10());
         assert!(!rep.accepted());

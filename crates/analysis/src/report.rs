@@ -149,11 +149,7 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let rep = TestReport {
-            test: "GN2".into(),
-            verdict: Verdict::Accepted,
-            checks: vec![],
-        };
+        let rep = TestReport { test: "GN2".into(), verdict: Verdict::Accepted, checks: vec![] };
         let json = serde_json::to_string(&rep).unwrap();
         let back: TestReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rep);

@@ -2,9 +2,7 @@
 //! consistency, configuration relations, and the paper's structural claims
 //! about the three tests.
 
-use fpga_rt_analysis::{
-    AnyOfTest, DpTest, Gn1Test, Gn2LambdaSearch, Gn2Test, SchedTest, Verdict,
-};
+use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2LambdaSearch, Gn2Test, SchedTest, Verdict};
 use fpga_rt_model::{Fpga, TaskSet};
 use proptest::prelude::*;
 

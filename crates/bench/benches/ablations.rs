@@ -17,7 +17,10 @@ fn bench_ablations(c: &mut Criterion) {
         ("gn2/paper-points", Box::new(move |ts| Gn2Test::default().is_schedulable(ts, &dev))),
         ("gn2/grid-64", Box::new(move |ts| Gn2Test::with_grid_search(64).is_schedulable(ts, &dev))),
         ("gn1/denominator-di", Box::new(move |ts| Gn1Test::default().is_schedulable(ts, &dev))),
-        ("gn1/denominator-dk", Box::new(move |ts| Gn1Test::bcl_faithful().is_schedulable(ts, &dev))),
+        (
+            "gn1/denominator-dk",
+            Box::new(move |ts| Gn1Test::bcl_faithful().is_schedulable(ts, &dev)),
+        ),
         ("dp/integer-bound", Box::new(move |ts| DpTest::default().is_schedulable(ts, &dev))),
         ("dp/real-bound", Box::new(move |ts| DpTest::original_danne().is_schedulable(ts, &dev))),
     ];

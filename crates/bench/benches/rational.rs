@@ -10,12 +10,7 @@ fn exact_ts(n: usize) -> TaskSet<Rat64> {
     let tuples: Vec<_> = (0..n)
         .map(|i| {
             let p = Rat64::from_int(5 + (i as i64 % 15));
-            (
-                Rat64::new(3 * (i as i64 + 1), 2 * (i as i64 + 2)).unwrap(),
-                p,
-                p,
-                1 + (i as u32 % 40),
-            )
+            (Rat64::new(3 * (i as i64 + 1), 2 * (i as i64 + 2)).unwrap(), p, p, 1 + (i as u32 % 40))
         })
         .collect();
     TaskSet::try_from_tuples(&tuples).unwrap()
@@ -38,9 +33,7 @@ fn bench_rational(c: &mut Criterion) {
     // Raw operation cost.
     let a = Rat64::new(63, 50).unwrap();
     let bb = Rat64::new(19, 20).unwrap();
-    group.bench_function("rat64/mul-add-div", |b| {
-        b.iter(|| black_box((a * bb + a) / bb))
-    });
+    group.bench_function("rat64/mul-add-div", |b| b.iter(|| black_box((a * bb + a) / bb)));
     group.bench_function("f64/mul-add-div", |b| {
         let (x, y) = (1.26f64, 0.95f64);
         b.iter(|| black_box((x * y + x) / y))

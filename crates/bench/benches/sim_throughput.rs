@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fpga_rt_bench::{device100, light_taskset};
-use fpga_rt_sim::{
-    simulate_f64, FitStrategy, Horizon, PlacementPolicy, SchedulerKind, SimConfig,
-};
+use fpga_rt_sim::{simulate_f64, FitStrategy, Horizon, PlacementPolicy, SchedulerKind, SimConfig};
 use std::hint::black_box;
 
 fn bench_sim(c: &mut Criterion) {

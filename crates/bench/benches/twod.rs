@@ -2,9 +2,7 @@
 //! a full 2-D simulation run, plus the column-projection bridge cost.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpga_rt_2d::{
-    project_to_columns, simulate_2d, Device2D, Grid, Sim2DConfig, TasksetSpec2D,
-};
+use fpga_rt_2d::{project_to_columns, simulate_2d, Device2D, Grid, Sim2DConfig, TasksetSpec2D};
 use fpga_rt_analysis::{AnyOfTest, SchedTest};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

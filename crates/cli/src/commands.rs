@@ -2,15 +2,12 @@
 
 use crate::io::{device_from, taskset_from};
 use crate::ExitCode;
-use fpga_rt_analysis::{
-    AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport,
-};
+use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport};
 use fpga_rt_exp::cli::Args;
 use fpga_rt_gen::{FigureWorkload, TasksetSpec};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
 use fpga_rt_sim::{
-    simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind,
-    SimConfig,
+    simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind, SimConfig,
 };
 use std::io::Write;
 
@@ -20,12 +17,8 @@ fn report_line(out: &mut dyn Write, rep: &TestReport, verbose: bool) {
     if verbose {
         let _ = write!(out, "{}", rep.summarize());
     } else {
-        let _ = writeln!(
-            out,
-            "{:<12} {}",
-            rep.test,
-            if rep.accepted() { "accept" } else { "reject" }
-        );
+        let _ =
+            writeln!(out, "{:<12} {}", rep.test, if rep.accepted() { "accept" } else { "reject" });
     }
 }
 
@@ -46,15 +39,35 @@ pub fn check(args: &Args, out: &mut dyn Write) -> CmdResult {
                     Rat64::approx_f64(v, 1_000_000).expect("validated finite task parameters")
                 })
                 .map_err(|e| e.to_string())?;
-            selected_tests(which)?
-                .iter()
-                .map(|t| t.check_exact(&ts_x, &dev))
-                .collect()
+            let tests = selected_tests(which)?;
+            // Rat64 operators panic on i64 overflow (by design — exact mode
+            // must never silently lose precision). Full-precision f64 inputs
+            // can drive GN2's products past i64 range, so surface that as a
+            // usage error instead of a crash. Any other panic is a real bug
+            // and keeps unwinding.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                tests.iter().map(|t| t.check_exact(&ts_x, &dev)).collect::<Vec<_>>()
+            }));
+            match caught {
+                Ok(reports) => reports,
+                Err(payload) => {
+                    let is_overflow = payload
+                        .downcast_ref::<String>()
+                        .is_some_and(|s| s.contains("Rat64 overflow"))
+                        || payload
+                            .downcast_ref::<&str>()
+                            .is_some_and(|s| s.contains("Rat64 overflow"));
+                    if is_overflow {
+                        return Err("exact arithmetic overflowed i64 for this taskset; \
+                                    --exact is meant for small-denominator (knife-edge) \
+                                    parameters — rerun without --exact"
+                            .to_string());
+                    }
+                    std::panic::resume_unwind(payload);
+                }
+            }
         } else {
-            selected_tests(which)?
-                .iter()
-                .map(|t| t.check_f64(ts_f, &dev))
-                .collect()
+            selected_tests(which)?.iter().map(|t| t.check_f64(ts_f, &dev)).collect()
         };
         let mut any = false;
         for rep in &reports {
@@ -131,9 +144,7 @@ pub fn simulate(args: &Args, out: &mut dyn Write) -> CmdResult {
         "best-fit" => PlacementPolicy::Contiguous(FitStrategy::BestFit),
         "worst-fit" => PlacementPolicy::Contiguous(FitStrategy::WorstFit),
         other => {
-            return Err(format!(
-                "unknown placement {other:?} (free|first-fit|best-fit|worst-fit)"
-            ))
+            return Err(format!("unknown placement {other:?} (free|first-fit|best-fit|worst-fit)"))
         }
     };
     let mut config = SimConfig::default()
@@ -228,11 +239,7 @@ pub fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
     use rand::SeedableRng;
     let seed = args.get("seed", 42u64);
     let spec = match args.flags.get("figure") {
-        Some(id) => {
-            FigureWorkload::by_id(id)
-                .ok_or_else(|| format!("unknown figure {id:?}"))?
-                .spec
-        }
+        Some(id) => FigureWorkload::by_id(id).ok_or_else(|| format!("unknown figure {id:?}"))?.spec,
         None => TasksetSpec::unconstrained(args.get("n", 10usize)),
     };
     let ts = spec.generate(&mut StdRng::seed_from_u64(seed));
@@ -313,8 +320,7 @@ mod tests {
     fn simulate_reports_miss_and_clean() {
         let clean = write_taskset("clean.json", &[(1.0, 5.0, 5.0, 4)]);
         let mut buf = Vec::new();
-        let code =
-            simulate(&args(&["--taskset", &clean, "--columns", "10"]), &mut buf).unwrap();
+        let code = simulate(&args(&["--taskset", &clean, "--columns", "10"]), &mut buf).unwrap();
         assert_eq!(code, ExitCode::Accepted);
         assert!(String::from_utf8(buf).unwrap().contains("no deadline miss"));
 

@@ -5,8 +5,7 @@ use fpga_rt_model::{Fpga, TaskSet};
 /// Load a `TaskSet<f64>` from a JSON file (the serde wire form: an array of
 /// `{"exec", "deadline", "period", "area"}` objects).
 pub fn load_taskset(path: &str) -> Result<TaskSet<f64>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     serde_json::from_str(&text).map_err(|e| format!("invalid taskset in {path}: {e}"))
 }
 

@@ -72,10 +72,7 @@ mod tests {
     #[test]
     fn ablation_catalogue_is_complete() {
         let ids: Vec<&str> = all_ablations().iter().map(|a| a.id).collect();
-        assert_eq!(
-            ids,
-            vec!["X1-gn1-denominator", "X2-gn2-lambda-search", "X3-dp-area-bound"]
-        );
+        assert_eq!(ids, vec!["X1-gn1-denominator", "X2-gn2-lambda-search", "X3-dp-area-bound"]);
         for a in all_ablations() {
             assert_eq!(a.evaluators.len(), 2);
         }

@@ -191,12 +191,9 @@ pub fn run_sweep(
     use rand::SeedableRng;
 
     let device = config.workload.device();
-    let generator = BinnedGenerator::new(
-        config.workload.spec,
-        config.workload.device_columns,
-        config.bins,
-    )
-    .with_strategy(config.strategy);
+    let generator =
+        BinnedGenerator::new(config.workload.spec, config.workload.device_columns, config.bins)
+            .with_strategy(config.strategy);
 
     let n_bins = config.bins.n;
     let n_eval = evaluators.len();
@@ -228,8 +225,7 @@ pub fn run_sweep(
                         }
                         let bin = unit / config.per_bin;
                         let sample = unit % config.per_bin;
-                        let mut rng =
-                            StdRng::seed_from_u64(sample_seed(config.seed, bin, sample));
+                        let mut rng = StdRng::seed_from_u64(sample_seed(config.seed, bin, sample));
                         if let Some(ts) = generator.sample_in_bin(bin, &mut rng) {
                             for (e, ev) in evaluators.iter().enumerate() {
                                 let ok = ev.accepts(&ts, device);
@@ -291,10 +287,8 @@ mod tests {
         let mut config = SweepConfig::new(FigureWorkload::fig3a(), 8, 42);
         config.bins = UtilizationBins::new(0.0, 1.0, 5);
         config.threads = threads;
-        let evals = vec![
-            Evaluator::from_test(DpTest::default()),
-            Evaluator::from_test(Gn1Test::default()),
-        ];
+        let evals =
+            vec![Evaluator::from_test(DpTest::default()), Evaluator::from_test(Gn1Test::default())];
         run_sweep(&config, &evals, None)
     }
 

@@ -14,11 +14,7 @@ fn main() {
     let args = Args::parse();
     let per_bin = args.get("per-bin", 200usize);
     let seed = args.get("seed", 20070326u64);
-    let workload_id = args
-        .positional
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "fig3b".to_string());
+    let workload_id = args.positional.first().cloned().unwrap_or_else(|| "fig3b".to_string());
     let workload =
         FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));
 

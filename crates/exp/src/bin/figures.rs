@@ -33,8 +33,9 @@ fn main() {
         args.positional
             .iter()
             .map(|id| {
-                FigureWorkload::by_id(id)
-                    .unwrap_or_else(|| panic!("unknown figure id {id:?} (use fig3a/fig3b/fig4a/fig4b)"))
+                FigureWorkload::by_id(id).unwrap_or_else(|| {
+                    panic!("unknown figure id {id:?} (use fig3a/fig3b/fig4a/fig4b)")
+                })
             })
             .collect()
     };

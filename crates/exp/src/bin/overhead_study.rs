@@ -12,11 +12,11 @@
 //! cargo run --release -p fpga-rt-exp --bin overhead_study -- --per-bin 200
 //! ```
 
+use fpga_rt_analysis::{AnyOfTest, SchedTest};
 use fpga_rt_exp::acceptance::{run_sweep, Evaluator, SweepConfig};
 use fpga_rt_exp::cli::{out_dir, write_result, Args};
 use fpga_rt_exp::output::render_text;
 use fpga_rt_gen::FigureWorkload;
-use fpga_rt_analysis::{AnyOfTest, SchedTest};
 use fpga_rt_sim::{Horizon, ReconfigOverhead, SchedulerKind, SimConfig};
 
 fn main() {
@@ -24,11 +24,7 @@ fn main() {
     let per_bin = args.get("per-bin", 200usize);
     let seed = args.get("seed", 20070326u64);
     let horizon = args.get("sim-horizon", 50.0f64);
-    let workload_id = args
-        .positional
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "fig3b".to_string());
+    let workload_id = args.positional.first().cloned().unwrap_or_else(|| "fig3b".to_string());
     let workload =
         FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));
 
@@ -46,12 +42,8 @@ fn main() {
         // Analysis view: inflate C by the task's own reconfiguration cost
         // (per-column overhead × its area) and run the composite test.
         evaluators.push(Evaluator::new(format!("ANY@{oh}"), move |ts, dev| {
-            let inflated: Result<Vec<_>, _> = ts
-                .iter()
-                .map(|(_, t)| {
-                    t.with_exec_inflated(oh * f64::from(t.area()))
-                })
-                .collect();
+            let inflated: Result<Vec<_>, _> =
+                ts.iter().map(|(_, t)| t.with_exec_inflated(oh * f64::from(t.area()))).collect();
             match inflated.and_then(fpga_rt_model::TaskSet::new) {
                 Ok(its) => AnyOfTest::paper_suite().is_schedulable(&its, dev),
                 Err(_) => false,

@@ -27,11 +27,7 @@ fn main() {
     let seed = args.get("seed", 20070326u64);
     let horizon = args.get("sim-horizon", 50.0f64);
     let offset_runs = args.get("offset-runs", 5usize);
-    let workload_id = args
-        .positional
-        .first()
-        .cloned()
-        .unwrap_or_else(|| "fig3b".to_string());
+    let workload_id = args.positional.first().cloned().unwrap_or_else(|| "fig3b".to_string());
     let workload =
         FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));
 

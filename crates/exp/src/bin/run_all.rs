@@ -10,9 +10,7 @@ use fpga_rt_exp::ablations::{all_ablations, run_ablation};
 use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
 use fpga_rt_exp::cli::{out_dir, write_result, Args};
 use fpga_rt_exp::output::{render_csv, render_markdown, render_text};
-use fpga_rt_exp::tables::{
-    paper_tables, render_gn2_walkthrough, render_table_case, table_device,
-};
+use fpga_rt_exp::tables::{paper_tables, render_gn2_walkthrough, render_table_case, table_device};
 use fpga_rt_gen::FigureWorkload;
 use std::time::Instant;
 
@@ -32,10 +30,7 @@ fn main() {
         tables_report.push('\n');
     }
     tables_report.push_str("GN2 λ walkthrough for Table 3:\n");
-    tables_report.push_str(&render_gn2_walkthrough(
-        &paper_tables()[2].taskset,
-        &table_device(),
-    ));
+    tables_report.push_str(&render_gn2_walkthrough(&paper_tables()[2].taskset, &table_device()));
     println!("{tables_report}");
     write_result(&dir, "tables.txt", &tables_report).expect("write");
 
@@ -50,8 +45,7 @@ fn main() {
         write_result(&dir, &format!("{}.txt", workload.id), &text).expect("write");
         write_result(&dir, &format!("{}.md", workload.id), &render_markdown(&result))
             .expect("write");
-        write_result(&dir, &format!("{}.csv", workload.id), &render_csv(&result))
-            .expect("write");
+        write_result(&dir, &format!("{}.csv", workload.id), &render_csv(&result)).expect("write");
     }
 
     // ---- Ablations X1–X3 --------------------------------------------------
@@ -63,7 +57,11 @@ fn main() {
         write_result(&dir, &format!("{}.txt", ablation.id), &text).expect("write");
     }
 
-    println!("run_all finished in {:.1}s — outputs in {}", t0.elapsed().as_secs_f64(), dir.display());
+    println!(
+        "run_all finished in {:.1}s — outputs in {}",
+        t0.elapsed().as_secs_f64(),
+        dir.display()
+    );
     println!(
         "(extension studies: placement_study / overhead_study / partitioned_study / release_study / twod_study)"
     );

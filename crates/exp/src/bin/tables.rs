@@ -8,9 +8,7 @@
 //! ```
 
 use fpga_rt_exp::cli::{out_dir, write_result, Args};
-use fpga_rt_exp::tables::{
-    paper_tables, render_gn2_walkthrough, render_table_case, table_device,
-};
+use fpga_rt_exp::tables::{paper_tables, render_gn2_walkthrough, render_table_case, table_device};
 use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
 
 fn main() {

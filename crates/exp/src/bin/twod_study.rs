@@ -84,9 +84,7 @@ fn main() {
     }
 
     let mut text = String::new();
-    text.push_str(&format!(
-        "2-D study on {device}: native simulation vs column projection\n"
-    ));
+    text.push_str(&format!("2-D study on {device}: native simulation vs column projection\n"));
     text.push_str(&format!(
         "{:>6} {:>8} {:>9} {:>10} {:>9} {:>9}\n",
         "US/A", "samples", "2D-SIM-NF", "2D-SIM-FkF", "PROJ-ANY", "PROJ-SIM"

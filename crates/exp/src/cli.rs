@@ -40,10 +40,7 @@ impl Args {
 
     /// `--key` as a typed value with a default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.flags
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
     /// `true` when `--key` was present (with or without a value).
@@ -55,11 +52,7 @@ impl Args {
 /// Directory where experiment binaries drop their outputs
 /// (`results/` under the workspace root, honouring `--out-dir`).
 pub fn out_dir(args: &Args) -> PathBuf {
-    let dir = args
-        .flags
-        .get("out-dir")
-        .cloned()
-        .unwrap_or_else(|| "results".to_string());
+    let dir = args.flags.get("out-dir").cloned().unwrap_or_else(|| "results".to_string());
     PathBuf::from(dir)
 }
 

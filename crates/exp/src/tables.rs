@@ -51,12 +51,7 @@ fn exact(tuples: &[(i64, i64, i64, i64, u32)]) -> TaskSet<Rat64> {
     let tasks: Vec<_> = tuples
         .iter()
         .map(|&(cn, cd, d, t, a)| {
-            (
-                Rat64::new(cn, cd).unwrap(),
-                Rat64::from_int(d),
-                Rat64::from_int(t),
-                a,
-            )
+            (Rat64::new(cn, cd).unwrap(), Rat64::from_int(d), Rat64::from_int(t), a)
         })
         .collect();
     TaskSet::try_from_tuples(&tasks).unwrap()
@@ -72,22 +67,19 @@ pub fn paper_tables() -> Vec<TableCase> {
     vec![
         TableCase {
             name: "Table 1",
-            taskset: TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)])
-                .unwrap(),
+            taskset: TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap(),
             taskset_exact: exact(&[(126, 100, 7, 7, 9), (95, 100, 5, 5, 6)]),
             expected: (true, false, false),
         },
         TableCase {
             name: "Table 2",
-            taskset: TaskSet::try_from_tuples(&[(4.50, 8.0, 8.0, 3), (8.00, 9.0, 9.0, 5)])
-                .unwrap(),
+            taskset: TaskSet::try_from_tuples(&[(4.50, 8.0, 8.0, 3), (8.00, 9.0, 9.0, 5)]).unwrap(),
             taskset_exact: exact(&[(450, 100, 8, 8, 3), (800, 100, 9, 9, 5)]),
             expected: (false, true, false),
         },
         TableCase {
             name: "Table 3",
-            taskset: TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)])
-                .unwrap(),
+            taskset: TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap(),
             taskset_exact: exact(&[(210, 100, 5, 5, 7), (200, 100, 7, 7, 7)]),
             expected: (false, false, true),
         },
@@ -116,20 +108,22 @@ pub fn render_table_case(case: &TableCase) -> String {
     }
     let _ = writeln!(out, "  {:<12} {:>8} {:>8} {:>8}", "", "DP", "GN1", "GN2");
     let e = case.expected;
+    let _ = writeln!(out, "  {:<12} {:>8} {:>8} {:>8}", "paper", mark(e.0), mark(e.1), mark(e.2));
     let _ = writeln!(
         out,
         "  {:<12} {:>8} {:>8} {:>8}",
-        "paper", mark(e.0), mark(e.1), mark(e.2)
+        "ours (f64)",
+        mark(f.dp),
+        mark(f.gn1),
+        mark(f.gn2)
     );
     let _ = writeln!(
         out,
         "  {:<12} {:>8} {:>8} {:>8}",
-        "ours (f64)", mark(f.dp), mark(f.gn1), mark(f.gn2)
-    );
-    let _ = writeln!(
-        out,
-        "  {:<12} {:>8} {:>8} {:>8}",
-        "ours (exact)", mark(x.dp), mark(x.gn1), mark(x.gn2)
+        "ours (exact)",
+        mark(x.dp),
+        mark(x.gn1),
+        mark(x.gn2)
     );
     out
 }
@@ -183,10 +177,8 @@ mod tests {
     #[test]
     fn each_table_is_accepted_by_exactly_one_test() {
         for case in paper_tables() {
-            let n = [case.expected.0, case.expected.1, case.expected.2]
-                .iter()
-                .filter(|&&b| b)
-                .count();
+            let n =
+                [case.expected.0, case.expected.1, case.expected.2].iter().filter(|&&b| b).count();
             assert_eq!(n, 1, "{}", case.name);
         }
     }

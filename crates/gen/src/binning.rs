@@ -261,9 +261,8 @@ mod tests {
         );
         let mut rng = StdRng::seed_from_u64(1);
         for bin in 0..gen.bins.n {
-            let ts = gen
-                .sample_in_bin(bin, &mut rng)
-                .unwrap_or_else(|| panic!("bin {bin} unfillable"));
+            let ts =
+                gen.sample_in_bin(bin, &mut rng).unwrap_or_else(|| panic!("bin {bin} unfillable"));
             let u = ts.system_utilization() / 100.0;
             let (lo, hi) = gen.bins.edges(bin);
             assert!(u >= lo - 1e-9 && u < hi + 1e-9, "u={u} outside [{lo},{hi})");

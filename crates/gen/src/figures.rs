@@ -3,11 +3,15 @@
 use crate::binning::BinningStrategy;
 use crate::spec::TasksetSpec;
 use fpga_rt_model::Fpga;
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One figure's workload: the taskset distribution plus the device it is
 /// evaluated on (always 100 columns in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` identifier fields cannot be
+/// deserialized from owned JSON text; rebuild workloads via
+/// [`FigureWorkload::by_id`] instead.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct FigureWorkload {
     /// Stable identifier: `"fig3a"`, `"fig3b"`, `"fig4a"`, `"fig4b"`.
     pub id: &'static str,

@@ -68,8 +68,7 @@ impl TasksetSpec {
             .map(|_| {
                 let period = rng.gen_range(self.period_range.0..self.period_range.1);
                 let factor = loop {
-                    let f =
-                        rng.gen_range(self.exec_factor_range.0..=self.exec_factor_range.1);
+                    let f = rng.gen_range(self.exec_factor_range.0..=self.exec_factor_range.1);
                     if f > 0.0 {
                         break f;
                     }

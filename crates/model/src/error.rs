@@ -58,10 +58,9 @@ impl fmt::Display for ModelError {
             ModelError::RationalOverflow { op } => {
                 write!(f, "rational {op} overflowed the normalized 64-bit representation")
             }
-            ModelError::TaskWiderThanDevice { task, area, device } => write!(
-                f,
-                "task #{task} occupies {area} columns but the device only has {device}"
-            ),
+            ModelError::TaskWiderThanDevice { task, area, device } => {
+                write!(f, "task #{task} occupies {area} columns but the device only has {device}")
+            }
             ModelError::EmptyTaskSet => write!(f, "taskset must contain at least one task"),
             ModelError::InexactConversion { value } => {
                 write!(f, "{value} has no exact small-rational representation")

@@ -256,9 +256,8 @@ macro_rules! panicking_op {
             type Output = Rat64;
             #[inline]
             fn $method(self, rhs: Rat64) -> Rat64 {
-                self.$checked(rhs).unwrap_or_else(|| {
-                    panic!("Rat64 overflow: {self} {} {rhs}", $sym)
-                })
+                self.$checked(rhs)
+                    .unwrap_or_else(|| panic!("Rat64 overflow: {self} {} {rhs}", $sym))
             }
         }
     };

@@ -203,9 +203,7 @@ mod tests {
     #[test]
     fn map_time_to_rational() {
         let t = Task::implicit(1.26, 7.0, 9).unwrap();
-        let r = t
-            .map_time(|v| Rat64::approx_f64(v, 10_000).unwrap())
-            .unwrap();
+        let r = t.map_time(|v| Rat64::approx_f64(v, 10_000).unwrap()).unwrap();
         assert_eq!(r.exec(), Rat64::new(63, 50).unwrap());
         assert_eq!(r.area(), 9);
     }

@@ -106,16 +106,12 @@ impl<T: Time> TaskSet<T> {
 
     /// Total time utilization `UT(Γ) = Σ Ci/Ti`.
     pub fn time_utilization(&self) -> T {
-        self.tasks
-            .iter()
-            .fold(T::ZERO, |acc, t| acc + t.time_utilization())
+        self.tasks.iter().fold(T::ZERO, |acc, t| acc + t.time_utilization())
     }
 
     /// Total system utilization `US(Γ) = Σ Ci·Ai/Ti`.
     pub fn system_utilization(&self) -> T {
-        self.tasks
-            .iter()
-            .fold(T::ZERO, |acc, t| acc + t.system_utilization())
+        self.tasks.iter().fold(T::ZERO, |acc, t| acc + t.system_utilization())
     }
 
     /// Normalized system utilization `US(Γ)/A(H)` in `[0, ∞)`; the x-axis of
@@ -136,10 +132,7 @@ impl<T: Time> TaskSet<T> {
 
     /// Largest period in the set (used to pick simulation horizons).
     pub fn tmax(&self) -> T {
-        self.tasks
-            .iter()
-            .map(Task::period)
-            .fold(T::ZERO, |a, b| a.max_t(b))
+        self.tasks.iter().map(Task::period).fold(T::ZERO, |a, b| a.max_t(b))
     }
 
     /// `true` when every task fits the device (`Ak ≤ A(H)`).
@@ -174,15 +167,8 @@ impl<T: Time> TaskSet<T> {
     }
 
     /// Convert the timing representation (e.g. `f64` → `Rat64`) through `f`.
-    pub fn map_time<U: Time>(
-        &self,
-        mut f: impl FnMut(T) -> U,
-    ) -> Result<TaskSet<U>, ModelError> {
-        let tasks = self
-            .tasks
-            .iter()
-            .map(|t| t.map_time(&mut f))
-            .collect::<Result<Vec<_>, _>>()?;
+    pub fn map_time<U: Time>(&self, mut f: impl FnMut(T) -> U) -> Result<TaskSet<U>, ModelError> {
+        let tasks = self.tasks.iter().map(|t| t.map_time(&mut f)).collect::<Result<Vec<_>, _>>()?;
         TaskSet::new(tasks)
     }
 
@@ -239,10 +225,7 @@ mod tests {
         assert!(ts.fits_device(&Fpga::new(10).unwrap()));
         assert!(!ts.fits_device(&Fpga::new(8).unwrap()));
         let err = ts.validate_for(&Fpga::new(8).unwrap()).unwrap_err();
-        assert_eq!(
-            err,
-            ModelError::TaskWiderThanDevice { task: 0, area: 9, device: 8 }
-        );
+        assert_eq!(err, ModelError::TaskWiderThanDevice { task: 0, area: 9, device: 8 });
     }
 
     #[test]
@@ -255,18 +238,8 @@ mod tests {
     #[test]
     fn exact_aggregates() {
         let ts: TaskSet<Rat64> = TaskSet::try_from_tuples(&[
-            (
-                Rat64::new(63, 50).unwrap(),
-                Rat64::from_int(7),
-                Rat64::from_int(7),
-                9,
-            ),
-            (
-                Rat64::new(19, 20).unwrap(),
-                Rat64::from_int(5),
-                Rat64::from_int(5),
-                6,
-            ),
+            (Rat64::new(63, 50).unwrap(), Rat64::from_int(7), Rat64::from_int(7), 9),
+            (Rat64::new(19, 20).unwrap(), Rat64::from_int(5), Rat64::from_int(5), 6),
         ])
         .unwrap();
         assert_eq!(ts.system_utilization(), Rat64::new(69, 25).unwrap());
@@ -298,9 +271,7 @@ mod tests {
     #[test]
     fn map_time_round_trip() {
         let ts = table1();
-        let exact = ts
-            .map_time(|v| Rat64::approx_f64(v, 10_000).unwrap())
-            .unwrap();
+        let exact = ts.map_time(|v| Rat64::approx_f64(v, 10_000).unwrap()).unwrap();
         assert_eq!(exact.system_utilization(), Rat64::new(69, 25).unwrap());
         let back = exact.map_time(|v| v.to_f64()).unwrap();
         assert_eq!(back, ts);

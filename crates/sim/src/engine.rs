@@ -83,10 +83,7 @@ impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for earliest-first.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.rank().cmp(&self.rank()))
+        other.time.total_cmp(&self.time).then_with(|| other.rank().cmp(&self.rank()))
     }
 }
 
@@ -103,9 +100,7 @@ pub fn simulate<T: Time>(
     device: &Fpga,
     config: &SimConfig,
 ) -> Result<SimOutcome, SimError> {
-    let ts64 = taskset
-        .map_time(|v| v.to_f64())
-        .map_err(SimError::Model)?;
+    let ts64 = taskset.map_time(|v| v.to_f64()).map_err(SimError::Model)?;
     simulate_f64(&ts64, device, config)
 }
 
@@ -348,8 +343,7 @@ impl<'a> Engine<'a> {
             task.exec().to_f64(),
             task.area(),
         );
-        self.events
-            .push(Event { time: job.abs_deadline, kind: EventKind::DeadlineCheck(slot) });
+        self.events.push(Event { time: job.abs_deadline, kind: EventKind::DeadlineCheck(slot) });
         let gap = match self.config.release {
             ReleaseModel::Synchronous | ReleaseModel::RandomOffsets { .. } => {
                 task.period().to_f64()
@@ -361,8 +355,7 @@ impl<'a> Engine<'a> {
         };
         let next_release = at + gap;
         if next_release < self.horizon {
-            self.events
-                .push(Event { time: next_release, kind: EventKind::Release(task_idx) });
+            self.events.push(Event { time: next_release, kind: EventKind::Release(task_idx) });
         }
         self.jobs.push(job);
         self.active.push(slot);
@@ -542,9 +535,7 @@ mod tests {
     }
 
     fn cfg(kind: SchedulerKind) -> SimConfig {
-        SimConfig::default()
-            .with_scheduler(kind)
-            .with_horizon(Horizon::PeriodsOfTmax(20.0))
+        SimConfig::default().with_scheduler(kind).with_horizon(Horizon::PeriodsOfTmax(20.0))
     }
 
     /// A single task that fits runs immediately and never misses.
@@ -562,11 +553,8 @@ mod tests {
     /// Gross overload must miss, and kill-at-deadline must record it.
     #[test]
     fn overload_misses() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (4.0, 5.0, 5.0, 6),
-            (4.0, 5.0, 5.0, 6),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(4.0, 5.0, 5.0, 6), (4.0, 5.0, 5.0, 6)]).unwrap();
         let out = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
         assert!(!out.schedulable());
         let miss = out.first_miss().unwrap();
@@ -586,12 +574,9 @@ mod tests {
     ///   exactly at its release+8; nobody misses before the 8.9 horizon.
     #[test]
     fn nf_succeeds_where_fkf_fails() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (4.0, 8.0, 8.0, 6),
-            (4.0, 8.5, 8.5, 5),
-            (8.0, 8.8, 8.8, 4),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(4.0, 8.0, 8.0, 6), (4.0, 8.5, 8.5, 5), (8.0, 8.8, 8.8, 4)])
+                .unwrap();
         let short = |k: SchedulerKind| cfg(k).with_horizon(Horizon::Absolute(8.9));
         let fkf = simulate_f64(&ts, &fpga(10), &short(SchedulerKind::EdfFkf)).unwrap();
         let nf = simulate_f64(&ts, &fpga(10), &short(SchedulerKind::EdfNf)).unwrap();
@@ -711,18 +696,12 @@ mod tests {
     /// Partitioned scheduling serializes within partitions.
     #[test]
     fn partitioned_dispatch_respects_plan() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (1.0, 5.0, 5.0, 3),
-            (1.0, 5.0, 5.0, 3),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(1.0, 5.0, 5.0, 3), (1.0, 5.0, 5.0, 3)]).unwrap();
         let plan = crate::partitioned::partition_taskset(&ts, &fpga(10)).unwrap();
-        let out = simulate_f64(
-            &ts,
-            &fpga(10),
-            &cfg(SchedulerKind::Partitioned(plan)).with_full_trace(),
-        )
-        .unwrap();
+        let out =
+            simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::Partitioned(plan)).with_full_trace())
+                .unwrap();
         assert!(out.schedulable());
         let trace = out.trace.unwrap();
         trace.check_invariants().unwrap();
@@ -759,9 +738,7 @@ mod tests {
         let nf = simulate_f64(
             &ts,
             &fpga(10),
-            &cfg(SchedulerKind::EdfNf)
-                .collect_all_misses()
-                .with_horizon(Horizon::Absolute(10.5)),
+            &cfg(SchedulerKind::EdfNf).collect_all_misses().with_horizon(Horizon::Absolute(10.5)),
         )
         .unwrap();
         assert!((nf.metrics.response[0].max - 9.0).abs() < 1e-6);
@@ -771,12 +748,9 @@ mod tests {
     /// Deterministic: same inputs, same outcome (including full metrics).
     #[test]
     fn deterministic_replay() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (2.0, 6.0, 6.0, 5),
-            (3.0, 7.0, 7.0, 4),
-            (1.0, 5.0, 5.0, 6),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(2.0, 6.0, 6.0, 5), (3.0, 7.0, 7.0, 4), (1.0, 5.0, 5.0, 6)])
+                .unwrap();
         let a = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
         let b = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)).unwrap();
         assert_eq!(a, b);
@@ -861,22 +835,32 @@ mod tests {
         let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[(1.0, 10.0, 10.0, 2)]).unwrap();
         let horizon = Horizon::Absolute(100.0);
 
-        let sync = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
-            .with_horizon(horizon)).unwrap();
+        let sync =
+            simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf).with_horizon(horizon)).unwrap();
         assert_eq!(sync.metrics.released, 10);
 
         // Random offsets: first release in [0, 10) → 9 or 10 jobs fit.
-        let off = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
-            .with_horizon(horizon)
-            .with_release(ReleaseModel::RandomOffsets { seed: 3 })).unwrap();
+        let off = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf)
+                .with_horizon(horizon)
+                .with_release(ReleaseModel::RandomOffsets { seed: 3 }),
+        )
+        .unwrap();
         assert!(off.metrics.released == 9 || off.metrics.released == 10);
         assert!(off.schedulable());
 
         // Sporadic with 50% jitter: strictly fewer arrivals than periodic
         // in expectation; never more.
-        let spo = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
-            .with_horizon(horizon)
-            .with_release(ReleaseModel::Sporadic { jitter: 0.5, seed: 3 })).unwrap();
+        let spo = simulate_f64(
+            &ts,
+            &fpga(10),
+            &cfg(SchedulerKind::EdfNf)
+                .with_horizon(horizon)
+                .with_release(ReleaseModel::Sporadic { jitter: 0.5, seed: 3 }),
+        )
+        .unwrap();
         assert!(spo.metrics.released <= 10);
         assert!(spo.metrics.released >= 7);
         assert!(spo.schedulable());
@@ -889,14 +873,16 @@ mod tests {
     #[test]
     fn sporadic_never_adds_load() {
         use crate::config::ReleaseModel;
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (2.10, 5.0, 5.0, 7),
-            (2.00, 7.0, 7.0, 7),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap();
         for seed in 0..20 {
-            let out = simulate_f64(&ts, &fpga(10), &cfg(SchedulerKind::EdfNf)
-                .with_release(ReleaseModel::Sporadic { jitter: 0.3, seed })).unwrap();
+            let out = simulate_f64(
+                &ts,
+                &fpga(10),
+                &cfg(SchedulerKind::EdfNf)
+                    .with_release(ReleaseModel::Sporadic { jitter: 0.3, seed }),
+            )
+            .unwrap();
             assert!(out.schedulable(), "seed {seed}: {:?}", out.first_miss());
         }
     }

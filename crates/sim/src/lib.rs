@@ -58,7 +58,9 @@ pub mod rng;
 pub mod scheduler;
 pub mod trace;
 
-pub use config::{hyperperiod, Horizon, ReconfigOverhead, ReleaseModel, SchedulerKind, SimConfig, TraceLevel};
+pub use config::{
+    hyperperiod, Horizon, ReconfigOverhead, ReleaseModel, SchedulerKind, SimConfig, TraceLevel,
+};
 pub use engine::{simulate, simulate_f64, SimOutcome};
 pub use error::SimError;
 pub use job::{Job, JobId, JobState};

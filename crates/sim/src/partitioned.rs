@@ -65,9 +65,7 @@ pub fn partition_taskset<T: Time>(
         tb.area()
             .cmp(&ta.area())
             .then_with(|| {
-                tb.density()
-                    .partial_cmp(&ta.density())
-                    .expect("validated times are ordered")
+                tb.density().partial_cmp(&ta.density()).expect("validated times are ordered")
             })
             .then(a.cmp(&b))
     });
@@ -162,11 +160,8 @@ mod tests {
 
     #[test]
     fn fails_when_columns_run_out() {
-        let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-            (6.0, 10.0, 10.0, 6),
-            (6.0, 10.0, 10.0, 6),
-        ])
-        .unwrap();
+        let ts: TaskSet<f64> =
+            TaskSet::try_from_tuples(&[(6.0, 10.0, 10.0, 6), (6.0, 10.0, 10.0, 6)]).unwrap();
         assert!(matches!(
             partition_taskset(&ts, &fpga10()),
             Err(SimError::PartitioningFailed { .. })

@@ -112,11 +112,9 @@ impl AreaManager {
     pub fn new(policy: PlacementPolicy, total: u32) -> Self {
         match policy {
             PlacementPolicy::FreeMigration => AreaManager::Free { total, free: total },
-            PlacementPolicy::Contiguous(strategy) => AreaManager::Contiguous {
-                total,
-                holes: vec![Region::new(0, total)],
-                strategy,
-            },
+            PlacementPolicy::Contiguous(strategy) => {
+                AreaManager::Contiguous { total, holes: vec![Region::new(0, total)], strategy }
+            }
         }
     }
 

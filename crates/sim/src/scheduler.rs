@@ -46,10 +46,7 @@ pub struct Dispatch {
 /// absolute deadline, ties by release time, final tie by job id).
 pub fn edf_order(jobs: &[Job], active: &mut [usize]) {
     active.sort_by(|&a, &b| {
-        jobs[a]
-            .edf_key()
-            .partial_cmp(&jobs[b].edf_key())
-            .expect("job times are finite")
+        jobs[a].edf_key().partial_cmp(&jobs[b].edf_key()).expect("job times are finite")
     });
 }
 
@@ -126,21 +123,22 @@ mod tests {
     fn fkf_blocks_nf_skips() {
         // Device 10. Running: area 6 (deadline soonest). Next by deadline:
         // area 7 (doesn't fit), then area 3 (fits).
-        let jobs = vec![
-            job(0, 0, 0.0, 5.0, 6),
-            job(1, 1, 0.0, 6.0, 7),
-            job(2, 2, 0.0, 7.0, 3),
-        ];
+        let jobs = vec![job(0, 0, 0.0, 5.0, 6), job(1, 1, 0.0, 6.0, 7), job(2, 2, 0.0, 7.0, 3)];
         let order = [0usize, 1, 2];
 
-        let fkf = place_by_rule(&jobs, &order, PlacementPolicy::FreeMigration, 10,
-                                FitRule::StopAtFirstBlock);
+        let fkf = place_by_rule(
+            &jobs,
+            &order,
+            PlacementPolicy::FreeMigration,
+            10,
+            FitRule::StopAtFirstBlock,
+        );
         assert_eq!(fkf.selected.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0]);
         assert_eq!(fkf.waiting, vec![1, 2]);
         assert_eq!(fkf.busy_columns, 6);
 
-        let nf = place_by_rule(&jobs, &order, PlacementPolicy::FreeMigration, 10,
-                               FitRule::SkipBlocked);
+        let nf =
+            place_by_rule(&jobs, &order, PlacementPolicy::FreeMigration, 10, FitRule::SkipBlocked);
         assert_eq!(nf.selected.iter().map(|s| s.0).collect::<Vec<_>>(), vec![0, 2]);
         assert_eq!(nf.waiting, vec![1]);
         assert_eq!(nf.busy_columns, 9);
@@ -208,13 +206,14 @@ mod tests {
         assert_eq!(d.waiting, vec![2]);
         assert!(d.fragmentation_blocked);
         // Free migration would have packed it.
-        let jobs_fm = vec![
-            job(0, 0, 0.0, 1.0, 2),
-            job(1, 1, 0.0, 2.0, 2),
-            job(2, 2, 0.0, 3.0, 5),
-        ];
-        let d = place_by_rule(&jobs_fm, &[0, 1, 2], PlacementPolicy::FreeMigration, 10,
-                              FitRule::SkipBlocked);
+        let jobs_fm = vec![job(0, 0, 0.0, 1.0, 2), job(1, 1, 0.0, 2.0, 2), job(2, 2, 0.0, 3.0, 5)];
+        let d = place_by_rule(
+            &jobs_fm,
+            &[0, 1, 2],
+            PlacementPolicy::FreeMigration,
+            10,
+            FitRule::SkipBlocked,
+        );
         assert!(d.waiting.is_empty());
         assert!(!d.fragmentation_blocked);
     }

@@ -185,10 +185,14 @@ mod tests {
             device_columns: 10,
             segments: vec![
                 seg(0.0, 1.0, vec![rj(0, 0, 6, Some(Region::new(0, 6)))]),
-                seg(1.0, 2.0, vec![
-                    rj(0, 0, 6, Some(Region::new(0, 6))),
-                    rj(1, 1, 4, Some(Region::new(6, 4))),
-                ]),
+                seg(
+                    1.0,
+                    2.0,
+                    vec![
+                        rj(0, 0, 6, Some(Region::new(0, 6))),
+                        rj(1, 1, 4, Some(Region::new(6, 4))),
+                    ],
+                ),
             ],
         };
         t.check_invariants().unwrap();
@@ -204,10 +208,11 @@ mod tests {
 
         let overlap = Trace {
             device_columns: 10,
-            segments: vec![seg(0.0, 1.0, vec![
-                rj(0, 0, 4, Some(Region::new(0, 4))),
-                rj(1, 1, 4, Some(Region::new(2, 4))),
-            ])],
+            segments: vec![seg(
+                0.0,
+                1.0,
+                vec![rj(0, 0, 4, Some(Region::new(0, 4))), rj(1, 1, 4, Some(Region::new(2, 4)))],
+            )],
         };
         assert!(overlap.check_invariants().is_err());
     }
@@ -247,10 +252,8 @@ mod tests {
 
     #[test]
     fn ascii_rendering_smoke() {
-        let t = Trace {
-            device_columns: 10,
-            segments: vec![seg(0.0, 1.0, vec![rj(0, 0, 6, None)])],
-        };
+        let t =
+            Trace { device_columns: 10, segments: vec![seg(0.0, 1.0, vec![rj(0, 0, 6, None)])] };
         let art = t.render_ascii(2, 20);
         assert!(art.contains('#'));
         assert!(art.lines().count() == 2);

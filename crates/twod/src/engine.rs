@@ -106,10 +106,7 @@ impl Event {
 impl Eq for Event {}
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.rank().cmp(&self.rank()))
+        other.time.total_cmp(&self.time).then_with(|| other.rank().cmp(&self.rank()))
     }
 }
 impl PartialOrd for Event {
@@ -175,10 +172,7 @@ pub fn simulate_2d<T: Time>(
 
     while !stop {
         let t_event = events.peek().map(|e| e.time).unwrap_or(f64::INFINITY);
-        let t_comp = running
-            .iter()
-            .map(|&s| now + jobs[s].remaining)
-            .fold(f64::INFINITY, f64::min);
+        let t_comp = running.iter().map(|&s| now + jobs[s].remaining).fold(f64::INFINITY, f64::min);
         let t_next = t_event.min(t_comp).min(horizon);
         let dt = t_next - now;
         if dt > 0.0 {
@@ -195,11 +189,8 @@ pub fn simulate_2d<T: Time>(
         }
 
         // Completions.
-        let done: Vec<usize> = running
-            .iter()
-            .copied()
-            .filter(|&s| jobs[s].remaining <= EPS)
-            .collect();
+        let done: Vec<usize> =
+            running.iter().copied().filter(|&s| jobs[s].remaining <= EPS).collect();
         for s in done {
             jobs[s].alive = false;
             jobs[s].running = false;
@@ -314,8 +305,7 @@ mod tests {
 
     #[test]
     fn single_task_runs_clean() {
-        let ts: TaskSet2D<f64> =
-            TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 3, 3)]).unwrap();
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 3, 3)]).unwrap();
         let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
         assert!(out.schedulable());
         assert_eq!(out.released, 100);
@@ -324,18 +314,14 @@ mod tests {
 
     #[test]
     fn oversized_task_rejected() {
-        let ts: TaskSet2D<f64> =
-            TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 5, 3)]).unwrap();
+        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[(2.0, 5.0, 5.0, 5, 3)]).unwrap();
         assert!(simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).is_err());
     }
 
     #[test]
     fn overload_misses() {
-        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-            (4.0, 5.0, 5.0, 3, 3),
-            (4.0, 5.0, 5.0, 3, 3),
-        ])
-        .unwrap();
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(4.0, 5.0, 5.0, 3, 3), (4.0, 5.0, 5.0, 3, 3)]).unwrap();
         // 3×3 + 3×3 cannot coexist on 4×4 → serialized 8 > 5.
         let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
         assert!(!out.schedulable());
@@ -344,11 +330,8 @@ mod tests {
 
     #[test]
     fn parallel_when_rectangles_fit() {
-        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-            (4.0, 5.0, 5.0, 2, 4),
-            (4.0, 5.0, 5.0, 2, 4),
-        ])
-        .unwrap();
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(4.0, 5.0, 5.0, 2, 4), (4.0, 5.0, 5.0, 2, 4)]).unwrap();
         let out = simulate_2d(&ts, &dev(4, 4), &Sim2DConfig::default()).unwrap();
         assert!(out.schedulable(), "two 2×4 halves run side by side");
     }

@@ -265,8 +265,8 @@ mod tests {
         let mut g = Grid::new(&dev(4, 4));
         g.place(4, 1, None).unwrap(); // bottom row
         g.place(1, 3, None).unwrap(); // left column above it
-        // Free: a 3×3 block at (1,1). 2×4 needs height 4 → blocked by shape
-        // even though 8 ≤ 9 free cells.
+                                      // Free: a 3×3 block at (1,1). 2×4 needs height 4 → blocked by shape
+                                      // even though 8 ≤ 9 free cells.
         assert!(g.blocked_by_shape(2, 4));
         assert!(!g.can_place(2, 4));
         assert!(g.can_place(3, 3));

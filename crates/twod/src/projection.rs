@@ -39,11 +39,8 @@ mod tests {
 
     #[test]
     fn projection_preserves_timing_and_width() {
-        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-            (2.0, 8.0, 8.0, 3, 2),
-            (1.0, 4.0, 4.0, 2, 4),
-        ])
-        .unwrap();
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(2.0, 8.0, 8.0, 3, 2), (1.0, 4.0, 4.0, 2, 4)]).unwrap();
         let dev = Device2D::new(6, 4).unwrap();
         let (ts1d, fpga) = project_to_columns(&ts, &dev).unwrap();
         assert_eq!(fpga.columns(), 6);
@@ -88,11 +85,8 @@ mod tests {
         // serialize — with C = 3, T = D = 5 each, serialization (6 > 5)
         // fails while native 2-D stacking succeeds.
         let dev = Device2D::new(4, 4).unwrap();
-        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-            (3.0, 5.0, 5.0, 4, 2),
-            (3.0, 5.0, 5.0, 4, 2),
-        ])
-        .unwrap();
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(3.0, 5.0, 5.0, 4, 2), (3.0, 5.0, 5.0, 4, 2)]).unwrap();
         let native = simulate_2d(&ts, &dev, &Sim2DConfig::default()).unwrap();
         assert!(native.schedulable(), "vertical stacking works natively");
 

@@ -170,24 +170,17 @@ impl<T: Time> TaskSet2D<T> {
 
     /// Total system utilization `Σ C·w·h/T` in CLB·time.
     pub fn system_utilization(&self) -> T {
-        self.tasks
-            .iter()
-            .fold(T::ZERO, |acc, t| acc + t.system_utilization())
+        self.tasks.iter().fold(T::ZERO, |acc, t| acc + t.system_utilization())
     }
 
     /// Largest period (for horizon selection).
     pub fn tmax(&self) -> T {
-        self.tasks
-            .iter()
-            .map(Task2D::period)
-            .fold(T::ZERO, |a, b| a.max_t(b))
+        self.tasks.iter().map(Task2D::period).fold(T::ZERO, |a, b| a.max_t(b))
     }
 
     /// `true` when every rectangle fits the device in isolation.
     pub fn fits_device(&self, dev: &Device2D) -> bool {
-        self.tasks
-            .iter()
-            .all(|t| t.w() <= dev.width() && t.h() <= dev.height())
+        self.tasks.iter().all(|t| t.w() <= dev.width() && t.h() <= dev.height())
     }
 }
 
@@ -225,11 +218,8 @@ mod tests {
 
     #[test]
     fn taskset_aggregate() {
-        let ts: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-            (2.0, 8.0, 8.0, 3, 4),
-            (1.0, 4.0, 4.0, 2, 2),
-        ])
-        .unwrap();
+        let ts: TaskSet2D<f64> =
+            TaskSet2D::try_from_tuples(&[(2.0, 8.0, 8.0, 3, 4), (1.0, 4.0, 4.0, 2, 2)]).unwrap();
         assert_eq!(ts.len(), 2);
         assert_eq!(ts.system_utilization(), 4.0);
         assert_eq!(ts.tmax(), 8.0);

@@ -71,7 +71,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = sim::simulate(&exact, &fpga, &SimConfig::default())?;
     println!(
         "simulation (EDF-NF, 100·Tmax): {}",
-        if out.schedulable() { "no deadline miss — rejection is pure test pessimism" } else { "miss" }
+        if out.schedulable() {
+            "no deadline miss — rejection is pure test pessimism"
+        } else {
+            "miss"
+        }
     );
     Ok(())
 }

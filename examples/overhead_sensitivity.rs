@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)])?;
     println!("Table 3 taskset on {fpga}: GN2 accepts at zero overhead\n");
 
-    println!(
-        "{:>12} {:>14} {:>22}",
-        "per-column", "simulation", "analysis (C+=oh·A)"
-    );
+    println!("{:>12} {:>14} {:>22}", "per-column", "simulation", "analysis (C+=oh·A)");
     let suite = AnyOfTest::paper_suite();
     let mut sim_limit = None;
     let mut ana_limit = None;
@@ -42,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(_, t)| t.with_exec_inflated(oh * f64::from(t.area())))
             .collect::<Result<Vec<_>, _>>()
             .and_then(TaskSet::new);
-        let ana_ok = inflated
-            .map(|ts| suite.is_schedulable(&ts, &fpga))
-            .unwrap_or(false);
+        let ana_ok = inflated.map(|ts| suite.is_schedulable(&ts, &fpga)).unwrap_or(false);
 
         if i % 5 == 0 {
             println!(

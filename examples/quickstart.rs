@@ -13,10 +13,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Two periodic hardware tasks (C, D, T, area-in-columns) — the paper's
     // Table 3, the example accepted only by the GN2 test.
-    let taskset: TaskSet<f64> = TaskSet::try_from_tuples(&[
-        (2.10, 5.0, 5.0, 7),
-        (2.00, 7.0, 7.0, 7),
-    ])?;
+    let taskset: TaskSet<f64> =
+        TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)])?;
 
     println!("taskset: N={}", taskset.len());
     println!("  UT(Γ) = {:.3}", taskset.time_utilization());
@@ -55,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Exact arithmetic for knife-edge verdicts: the same taskset in Rat64.
     let exact = taskset.map_time(|v| Rat64::approx_f64(v, 1_000_000).unwrap())?;
     let exact_verdict = Gn2Test::default().is_schedulable(&exact, &fpga);
-    println!("GN2 in exact rational arithmetic: {}", if exact_verdict { "accept" } else { "reject" });
+    println!(
+        "GN2 in exact rational arithmetic: {}",
+        if exact_verdict { "accept" } else { "reject" }
+    );
 
     Ok(())
 }

@@ -13,9 +13,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn accepted(ts: &TaskSet<f64>, fpga: &Fpga, kind: SchedulerKind) -> bool {
-    let config = SimConfig::default()
-        .with_scheduler(kind)
-        .with_horizon(Horizon::PeriodsOfTmax(50.0));
+    let config =
+        SimConfig::default().with_scheduler(kind).with_horizon(Horizon::PeriodsOfTmax(50.0));
     simulate_f64(ts, fpga, &config).map(|o| o.schedulable()).unwrap_or(false)
 }
 
@@ -50,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("schedulable fraction over {n_sets} random 8-task sets (sim, 50·Tmax):");
-    for (name, w) in [("EDF-NF", wins[0]), ("EDF-FkF", wins[1]), ("P-EDF", wins[2]), ("EDF-US", wins[3])]
+    for (name, w) in
+        [("EDF-NF", wins[0]), ("EDF-FkF", wins[1]), ("P-EDF", wins[2]), ("EDF-US", wins[3])]
     {
         println!("  {:<8} {:>5.1}%", name, 100.0 * w as f64 / n_sets as f64);
     }
@@ -58,9 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- The head-of-line blocking mechanism, visualized -----------------
     let demo: TaskSet<f64> = TaskSet::try_from_tuples(&[
-        (4.0, 8.0, 8.0, 6),  // τ0 wide, earliest deadline
-        (4.0, 8.5, 8.5, 5),  // τ1 wide: blocked while τ0 runs
-        (8.0, 8.8, 8.8, 4),  // τ2 narrow: FkF starves it behind τ1
+        (4.0, 8.0, 8.0, 6), // τ0 wide, earliest deadline
+        (4.0, 8.5, 8.5, 5), // τ1 wide: blocked while τ0 runs
+        (8.0, 8.8, 8.8, 4), // τ2 narrow: FkF starves it behind τ1
     ])?;
     let small = Fpga::new(10)?;
     println!("\nhead-of-line blocking demo (A(H)=10), first 8.9 time units:");

@@ -8,9 +8,7 @@
 
 use fpga_rt::analysis::SchedTest;
 use fpga_rt::prelude::*;
-use fpga_rt::twod::{
-    project_to_columns, simulate_2d, Device2D, Grid, Sim2DConfig, TaskSet2D,
-};
+use fpga_rt::twod::{project_to_columns, simulate_2d, Device2D, Grid, Sim2DConfig, TaskSet2D};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device2D::new(8, 6)?;
@@ -21,8 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // cells stay free, split into a 4×5 and a 3×5 region.
     let mut grid = Grid::new(&device);
     grid.place(8, 1, None).expect("bottom row");
-    grid.place(1, 5, Some(fpga_rt::twod::Rect::new(4, 1, 1, 5)))
-        .expect("middle pillar");
+    grid.place(1, 5, Some(fpga_rt::twod::Rect::new(4, 1, 1, 5))).expect("middle pillar");
     println!(
         "{} free cells; does a 5×5 block fit? {} — blocked by shape: {}",
         grid.free_cells(),
@@ -33,10 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- A video-wall pipeline on the 2-D fabric -------------------------
     let taskset: TaskSet2D<f64> = TaskSet2D::try_from_tuples(&[
-        (2.0, 10.0, 10.0, 4, 3),  // scaler
-        (1.5, 8.0, 8.0, 3, 2),    // deinterlacer
-        (3.0, 12.0, 12.0, 4, 2),  // encoder
-        (0.8, 5.0, 5.0, 2, 2),    // osd blender
+        (2.0, 10.0, 10.0, 4, 3), // scaler
+        (1.5, 8.0, 8.0, 3, 2),   // deinterlacer
+        (3.0, 12.0, 12.0, 4, 2), // encoder
+        (0.8, 5.0, 5.0, 2, 2),   // osd blender
     ])?;
 
     let out = simulate_2d(&taskset, &device, &Sim2DConfig::default())?;
@@ -53,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let verdict = suite.is_schedulable(&projected, &fpga);
     println!(
         "column projection onto {fpga}: DP∪GN1∪GN2 {}",
-        if verdict { "accepts → 2-D schedulability GUARANTEED" } else { "rejects (projection is conservative)" }
+        if verdict {
+            "accepts → 2-D schedulability GUARANTEED"
+        } else {
+            "rejects (projection is conservative)"
+        }
     );
 
     // The projection reserves full height; show what that costs.

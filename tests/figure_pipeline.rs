@@ -56,10 +56,7 @@ fn fig4a_spatially_heavy_tests_struggle() {
         r.series_named(name).unwrap().points.iter().map(|p| p.accepted).sum()
     };
     let best_test = total("DP").max(total("GN1")).max(total("GN2"));
-    assert!(
-        total("SIM-NF") >= best_test,
-        "simulation accepts at least as much as the best test"
-    );
+    assert!(total("SIM-NF") >= best_test, "simulation accepts at least as much as the best test");
 }
 
 #[test]

@@ -10,9 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn clean(ts: &TaskSet<f64>, dev: &Fpga, kind: SchedulerKind) -> bool {
-    let cfg = SimConfig::default()
-        .with_scheduler(kind)
-        .with_horizon(Horizon::PeriodsOfTmax(60.0));
+    let cfg = SimConfig::default().with_scheduler(kind).with_horizon(Horizon::PeriodsOfTmax(60.0));
     simulate_f64(ts, dev, &cfg).unwrap().schedulable()
 }
 
@@ -53,12 +51,9 @@ fn fkf_schedulable_implies_nf_schedulable() {
 #[test]
 fn pinned_head_of_line_blocking_case() {
     let dev = Fpga::new(10).unwrap();
-    let ts: TaskSet<f64> = TaskSet::try_from_tuples(&[
-        (4.0, 8.0, 8.0, 6),
-        (4.0, 8.5, 8.5, 5),
-        (8.0, 8.8, 8.8, 4),
-    ])
-    .unwrap();
+    let ts: TaskSet<f64> =
+        TaskSet::try_from_tuples(&[(4.0, 8.0, 8.0, 6), (4.0, 8.5, 8.5, 5), (8.0, 8.8, 8.8, 4)])
+            .unwrap();
     let short = |k: SchedulerKind| {
         SimConfig::default().with_scheduler(k).with_horizon(Horizon::Absolute(8.9))
     };

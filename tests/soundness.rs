@@ -13,9 +13,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn sim_clean(ts: &TaskSet<f64>, dev: &Fpga, kind: SchedulerKind) -> bool {
-    let cfg = SimConfig::default()
-        .with_scheduler(kind)
-        .with_horizon(Horizon::PeriodsOfTmax(100.0));
+    let cfg = SimConfig::default().with_scheduler(kind).with_horizon(Horizon::PeriodsOfTmax(100.0));
     simulate_f64(ts, dev, &cfg).unwrap().schedulable()
 }
 

@@ -81,7 +81,11 @@ fn shape_blocks_occur_in_2d() {
         let out = simulate_2d(
             &ts,
             &device,
-            &Sim2DConfig { stop_at_first_miss: false, horizon_periods: 20.0, ..Sim2DConfig::default() },
+            &Sim2DConfig {
+                stop_at_first_miss: false,
+                horizon_periods: 20.0,
+                ..Sim2DConfig::default()
+            },
         )
         .unwrap();
         if out.shape_blocks > 0 {

@@ -1,0 +1,742 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` shim's `Value` data model, parsing the item token stream
+//! by hand (the build environment has no crates.io access, hence no
+//! `syn`/`quote`). Supported surface — exactly what this workspace uses:
+//!
+//! * named / tuple / unit structs, possibly generic (inline bounds kept);
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   serde JSON default);
+//! * container attributes `#[serde(try_from = "T", into = "T")]` and
+//!   `#[serde(bound(serialize = "..", deserialize = ".."))]`.
+//!
+//! Anything else (field/variant renames, `skip`, `default`, flatten, …)
+//! is rejected with a compile-time panic so drift is loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Container-level `#[serde(...)]` attributes we honor.
+#[derive(Default)]
+struct SerdeAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+    bound_ser: Option<String>,
+    bound_de: Option<String>,
+}
+
+struct Field {
+    name: String,
+    /// Whether the declared type is `Option<...>` — such fields follow real
+    /// serde's behaviour of deserializing to `None` when the key is absent.
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generic parameter declarations, e.g. `["T: Time"]`.
+    params: Vec<String>,
+    /// Bare type-parameter names, e.g. `["T"]`.
+    param_names: Vec<String>,
+    /// Raw declared `where` predicates (without the keyword), if any.
+    where_predicates: Option<String>,
+    attrs: SerdeAttrs,
+    data: Data,
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let mut attrs = SerdeAttrs::default();
+
+    // Outer attributes (doc comments, #[serde(...)], other derives' helpers).
+    loop {
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                let Some(TokenTree::Group(g)) = tokens.get(pos + 1) else {
+                    panic!("serde_derive shim: malformed attribute");
+                };
+                parse_attribute(&g.stream(), &mut attrs);
+                pos += 2;
+            }
+            _ => break,
+        }
+    }
+
+    // Visibility.
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    pos += 1;
+
+    // Generic parameters.
+    let mut params = Vec::new();
+    let mut param_names = Vec::new();
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        pos += 1;
+        let mut depth = 1usize;
+        let mut current: Vec<TokenTree> = Vec::new();
+        let mut entries: Vec<Vec<TokenTree>> = Vec::new();
+        loop {
+            let tok = tokens
+                .get(pos)
+                .unwrap_or_else(|| panic!("serde_derive shim: unterminated generics on {name}"))
+                .clone();
+            pos += 1;
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    current.push(tok);
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    current.push(tok);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    entries.push(std::mem::take(&mut current));
+                }
+                _ => current.push(tok),
+            }
+        }
+        if !current.is_empty() {
+            entries.push(current);
+        }
+        for entry in entries {
+            let raw = tts_to_string(&entry);
+            if let Some(TokenTree::Ident(id)) = entry.first() {
+                param_names.push(id.to_string());
+            }
+            params.push(raw);
+        }
+    }
+
+    // Optional where clause (collect predicates up to the item body).
+    let mut where_predicates = None;
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        pos += 1;
+        let mut collected: Vec<TokenTree> = Vec::new();
+        while let Some(tok) = tokens.get(pos) {
+            let stop = match tok {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => true,
+                TokenTree::Punct(p) if p.as_char() == ';' => true,
+                _ => false,
+            };
+            if stop {
+                break;
+            }
+            collected.push(tok.clone());
+            pos += 1;
+        }
+        where_predicates = Some(tts_to_string(&collected));
+    }
+
+    let data = match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            other => panic!("serde_derive shim: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g.stream()))
+            }
+            other => panic!("serde_derive shim: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    };
+
+    Input { name, params, param_names, where_predicates, attrs, data }
+}
+
+/// Parse the bracketed part of one attribute; record `serde` attrs.
+fn parse_attribute(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let Some(TokenTree::Ident(id)) = tokens.first() else { return };
+    if id.to_string() != "serde" {
+        return; // doc comment, #[default], other derives' helpers, ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        panic!("serde_derive shim: bare #[serde] attribute is not supported");
+    };
+    parse_serde_args(&args.stream(), attrs);
+}
+
+fn parse_serde_args(stream: &TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let key = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            // key = "literal"
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                pos += 1;
+                let value = match tokens.get(pos) {
+                    Some(TokenTree::Literal(lit)) => unquote(&lit.to_string()),
+                    other => {
+                        panic!("serde_derive shim: expected string after `{key} =`, got {other:?}")
+                    }
+                };
+                pos += 1;
+                match key.as_str() {
+                    "try_from" => attrs.try_from = Some(value),
+                    "into" => attrs.into = Some(value),
+                    "bound" => {
+                        attrs.bound_ser = Some(value.clone());
+                        attrs.bound_de = Some(value);
+                    }
+                    other => panic!("serde_derive shim: unsupported serde attribute `{other}`"),
+                }
+            }
+            // key(nested)
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if key != "bound" {
+                    panic!("serde_derive shim: unsupported serde attribute `{key}(...)`");
+                }
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut ipos = 0;
+                while ipos < inner.len() {
+                    let ikey = match &inner[ipos] {
+                        TokenTree::Ident(id) => id.to_string(),
+                        other => panic!("serde_derive shim: bad bound(...) entry: {other:?}"),
+                    };
+                    ipos += 1;
+                    assert!(
+                        matches!(&inner[ipos], TokenTree::Punct(p) if p.as_char() == '='),
+                        "serde_derive shim: expected `=` in bound(...)"
+                    );
+                    ipos += 1;
+                    let value = match &inner[ipos] {
+                        TokenTree::Literal(lit) => unquote(&lit.to_string()),
+                        other => panic!(
+                            "serde_derive shim: expected string in bound(...), got {other:?}"
+                        ),
+                    };
+                    ipos += 1;
+                    match ikey.as_str() {
+                        "serialize" => attrs.bound_ser = Some(value),
+                        "deserialize" => attrs.bound_de = Some(value),
+                        other => panic!("serde_derive shim: unsupported bound key `{other}`"),
+                    }
+                    if matches!(inner.get(ipos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        ipos += 1;
+                    }
+                }
+                pos += 1;
+            }
+            other => {
+                panic!("serde_derive shim: unsupported serde attribute form `{key}`: {other:?}")
+            }
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+}
+
+/// Skip any `#[...]` attribute runs starting at `pos`; returns the new pos.
+///
+/// Rejects `#[serde(...)]` here: this is only used at field/variant level,
+/// where the shim supports no serde attributes — skipping one silently
+/// (e.g. `rename`, `skip`, `default`) would produce wrong JSON.
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> usize {
+    while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(pos + 1) {
+            let first = g.stream().into_iter().next();
+            if matches!(&first, Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                panic!(
+                    "serde_derive shim: field/variant-level #[serde(...)] attributes \
+                     are not supported (found `{}`)",
+                    g.stream()
+                );
+            }
+        }
+        pos += 2; // '#' + bracket group
+    }
+    pos
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if matches!(tokens.get(pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        pos += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Advance past one type, tracking `<...>` nesting, stopping at a top-level
+/// comma (not consumed) or end of input. Returns the new position and the
+/// consumed type tokens.
+fn take_type(tokens: &[TokenTree], mut pos: usize) -> (usize, Vec<TokenTree>) {
+    let mut angle = 0usize;
+    let start = pos;
+    while let Some(tok) = tokens.get(pos) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+            _ => {}
+        }
+        pos += 1;
+    }
+    (pos, tokens[start..pos].to_vec())
+}
+
+fn skip_type(tokens: &[TokenTree], pos: usize) -> usize {
+    take_type(tokens, pos).0
+}
+
+/// Whether a type's tokens name `Option` (bare or via the std/core path).
+fn type_is_option(ty: &[TokenTree]) -> bool {
+    let idents: Vec<String> = ty
+        .iter()
+        .filter_map(|t| match t {
+            TokenTree::Ident(id) => Some(id.to_string()),
+            _ => None,
+        })
+        .collect();
+    match idents.first().map(String::as_str) {
+        Some("Option") => true,
+        Some("std" | "core") => idents.get(1).map(String::as_str) == Some("option"),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        pos = skip_visibility(&tokens, skip_attributes(&tokens, pos));
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        };
+        pos += 1;
+        assert!(
+            matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        pos += 1;
+        let (next, ty) = take_type(&tokens, pos);
+        pos = next;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field { name, is_option: type_is_option(&ty) });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut count = 0;
+    while pos < tokens.len() {
+        pos = skip_visibility(&tokens, skip_attributes(&tokens, pos));
+        if pos >= tokens.len() {
+            break;
+        }
+        pos = skip_type(&tokens, pos);
+        count += 1;
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        pos = skip_attributes(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn tts_to_string(tokens: &[TokenTree]) -> String {
+    tokens.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn unquote(lit: &str) -> String {
+    let trimmed = lit
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde_derive shim: expected string literal, got {lit}"));
+    trimmed.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `impl<'de?, params> Trait for Name<param_names> where preds` header pieces.
+fn impl_header(input: &Input, de: bool) -> (String, String, String) {
+    let mut decl = Vec::new();
+    if de {
+        decl.push("'de".to_string());
+    }
+    decl.extend(input.params.iter().cloned());
+    let decl = if decl.is_empty() { String::new() } else { format!("<{}>", decl.join(", ")) };
+
+    let ty_args = if input.param_names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", input.param_names.join(", "))
+    };
+
+    let mut preds: Vec<String> = Vec::new();
+    if let Some(declared) = &input.where_predicates {
+        let trimmed = declared.trim().trim_end_matches(',').trim();
+        if !trimmed.is_empty() {
+            preds.push(trimmed.to_string());
+        }
+    }
+    let explicit = if de { &input.attrs.bound_de } else { &input.attrs.bound_ser };
+    match explicit {
+        Some(bound) => {
+            if !bound.trim().is_empty() {
+                preds.push(bound.clone());
+            }
+        }
+        None => {
+            for p in &input.param_names {
+                if de {
+                    preds.push(format!("{p}: ::serde::Deserialize<'de>"));
+                } else {
+                    preds.push(format!("{p}: ::serde::Serialize"));
+                }
+            }
+        }
+    }
+    let where_clause =
+        if preds.is_empty() { String::new() } else { format!("where {}", preds.join(", ")) };
+    (decl, ty_args, where_clause)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let (decl, ty_args, where_clause) = impl_header(input, false);
+    let name = &input.name;
+
+    let body = if let Some(proxy) = &input.attrs.into {
+        format!(
+            "let __proxy: {proxy} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&__proxy)"
+        )
+    } else {
+        match &input.data {
+            Data::NamedStruct(fields) => {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Value::Map(::std::vec::Vec::from([{}]))", entries.join(", "))
+            }
+            Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Seq(::std::vec::Vec::from([{}]))", items.join(", "))
+            }
+            Data::UnitStruct => "::serde::Value::Null".to_string(),
+            Data::Enum(variants) => {
+                let arms: Vec<String> = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                            ),
+                            VariantKind::Tuple(1) => format!(
+                                "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))])),"
+                            ),
+                            VariantKind::Tuple(n) => {
+                                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                    .collect();
+                                format!(
+                                    "{name}::{vname}({binds}) => ::serde::Value::Map(::std::vec::Vec::from([\
+                                     (::std::string::String::from(\"{vname}\"), \
+                                      ::serde::Value::Seq(::std::vec::Vec::from([{items}])))])),",
+                                    binds = binds.join(", "),
+                                    items = items.join(", ")
+                                )
+                            }
+                            VariantKind::Struct(fields) => {
+                                let binds: Vec<String> =
+                                    fields.iter().map(|f| f.name.clone()).collect();
+                                let entries: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| {
+                                        format!(
+                                            "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                            f.name
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(::std::vec::Vec::from([\
+                                     (::std::string::String::from(\"{vname}\"), \
+                                      ::serde::Value::Map(::std::vec::Vec::from([{entries}])))])),",
+                                    binds = binds.join(", "),
+                                    entries = entries.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{}\n}}", arms.join("\n"))
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl{decl} ::serde::Serialize for {name}{ty_args} {where_clause} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let (decl, ty_args, where_clause) = impl_header(input, true);
+    let name = &input.name;
+
+    let body = if let Some(proxy) = &input.attrs.try_from {
+        format!(
+            "let __proxy: {proxy} = ::serde::Deserialize::from_value(__value)?;\n\
+             <Self as ::core::convert::TryFrom<{proxy}>>::try_from(__proxy)\
+             .map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &input.data {
+            Data::NamedStruct(fields) => {
+                let inits: Vec<String> =
+                    fields.iter().map(|f| named_field_init("__map", f)).collect();
+                format!(
+                    "let __map = __value.as_map().ok_or_else(|| \
+                     ::serde::Error::custom(::std::format!(\"expected object for struct {name}, got {{}}\", __value.kind())))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{}\n}})",
+                    inits.join("\n")
+                )
+            }
+            Data::TupleStruct(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+            ),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = __value.as_seq().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                     if __items.len() != {n} {{\n\
+                         return ::core::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {n} elements for {name}, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Data::UnitStruct => format!("::core::result::Result::Ok({name})"),
+            Data::Enum(variants) => gen_enum_deserialize(name, variants),
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all, clippy::pedantic)]\n\
+         impl{decl} ::serde::Deserialize<'de> for {name}{ty_args} {where_clause} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// One `field: ...,` initializer for a named field looked up in `map_var`.
+/// `Option` fields mirror real serde: absent key → `None`.
+fn named_field_init(map_var: &str, f: &Field) -> String {
+    if f.is_option {
+        format!(
+            "{0}: match ::serde::get_field_opt({map_var}, \"{0}\") {{\n\
+             ::core::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::core::option::Option::None => ::core::option::Option::None,\n\
+             }},",
+            f.name
+        )
+    } else {
+        format!(
+            "{0}: ::serde::Deserialize::from_value(::serde::get_field({map_var}, \"{0}\")?)?,",
+            f.name
+        )
+    }
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => ::core::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::core::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __items = __payload.as_seq().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                         if __items.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                             \"wrong payload arity for {name}::{vname}\"));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name}::{vname}({items}))\n\
+                         }}",
+                        items = items.join(", ")
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| named_field_init("__fields", f)).collect();
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                         let __fields = __payload.as_map().ok_or_else(|| \
+                         ::serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                         ::core::result::Result::Ok({name}::{vname} {{\n{inits}\n}})\n\
+                         }}",
+                        inits = inits.join("\n")
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __value {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\n\
+         __other => ::core::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown unit variant `{{__other}}` for enum {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __payload) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {payload_arms}\n\
+         __other => ::core::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"unknown variant `{{__other}}` for enum {name}\"))),\n\
+         }}\n\
+         }},\n\
+         __other => ::core::result::Result::Err(::serde::Error::custom(\
+         ::std::format!(\"expected string or single-key object for enum {name}, got {{}}\", __other.kind()))),\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        payload_arms = payload_arms.join("\n"),
+    )
+}
