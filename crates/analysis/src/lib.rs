@@ -21,6 +21,10 @@
 //! * [`AnyOfTest`] — the composite the paper recommends in Section 6:
 //!   *"different schedulability bounds should be applied together, i.e.,
 //!   determine that a taskset is unschedulable only if all tests fail."*
+//! * [`IncrementalState`] — aggregate-caching online admission state for the
+//!   DP bound: O(1) re-checks against a mutating
+//!   [`fpga_rt_model::LiveTaskSet`], powering the `fpga-rt-service`
+//!   admission cascade.
 //!
 //! All tests are generic over [`fpga_rt_model::Time`], so each verdict can be
 //! computed in `f64` (fast) or in exact rational arithmetic
@@ -56,6 +60,7 @@ pub mod composite;
 pub mod dp;
 pub mod gn1;
 pub mod gn2;
+pub mod incremental;
 pub mod mp;
 pub mod necessary;
 pub mod report;
@@ -65,6 +70,7 @@ pub use composite::{AllOfTest, AnyOfTest};
 pub use dp::{DpAreaBound, DpConfig, DpTest};
 pub use gn1::{Gn1BetaDenominator, Gn1Config, Gn1Test};
 pub use gn2::{Gn2Case2, Gn2Config, Gn2LambdaSearch, Gn2Test};
+pub use incremental::{IncrementalOutcome, IncrementalState};
 pub use necessary::NecessaryTest;
 pub use report::{TaskCheck, TestReport, Verdict};
 pub use traits::SchedTest;

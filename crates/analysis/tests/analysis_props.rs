@@ -2,9 +2,42 @@
 //! consistency, configuration relations, and the paper's structural claims
 //! about the three tests.
 
-use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2LambdaSearch, Gn2Test, SchedTest, Verdict};
-use fpga_rt_model::{Fpga, TaskSet};
+use fpga_rt_analysis::{
+    AnyOfTest, DpTest, Gn1Test, Gn2LambdaSearch, Gn2Test, SchedTest, TestReport, Verdict,
+};
+use fpga_rt_model::{Fpga, TaskSet, Time};
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A `SchedTest` wrapper that counts how often it is consulted (for
+/// short-circuit assertions) while delegating the verdict.
+struct Counted<S> {
+    inner: S,
+    calls: Arc<AtomicUsize>,
+}
+
+impl<T: Time, S: SchedTest<T>> SchedTest<T> for Counted<S> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn check(&self, taskset: &TaskSet<T>, device: &Fpga) -> TestReport {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.check(taskset, device)
+    }
+}
+
+/// The three default tests boxed in a chosen order.
+fn suite_in_order(order: [usize; 3]) -> AnyOfTest<f64> {
+    let make = |i: usize| -> Box<dyn SchedTest<f64> + Send + Sync> {
+        match i {
+            0 => Box::new(DpTest::default()),
+            1 => Box::new(Gn1Test::default()),
+            _ => Box::new(Gn2Test::default()),
+        }
+    };
+    AnyOfTest::new("permuted", order.into_iter().map(make).collect())
+}
 
 /// Implicit-deadline tasksets with bounded utilization per task.
 fn taskset(n: std::ops::Range<usize>) -> impl Strategy<Value = TaskSet<f64>> {
@@ -57,6 +90,62 @@ proptest! {
             || Gn1Test::default().is_schedulable(&ts, &dev)
             || Gn2Test::default().is_schedulable(&ts, &dev);
         prop_assert_eq!(AnyOfTest::paper_suite().is_schedulable(&ts, &dev), parts);
+    }
+
+    /// The composite's verdict is independent of the order its component
+    /// tests are listed in (a union is commutative).
+    #[test]
+    fn any_of_verdict_is_order_independent(ts in taskset(1..6)) {
+        let dev = Fpga::new(40).unwrap();
+        let reference = suite_in_order([0, 1, 2]).is_schedulable(&ts, &dev);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            prop_assert_eq!(
+                suite_in_order(order).is_schedulable(&ts, &dev),
+                reference,
+                "order {:?} changed the verdict",
+                order
+            );
+        }
+    }
+
+    /// The composite short-circuits: once a component accepts, later
+    /// components are never consulted.
+    #[test]
+    fn any_of_short_circuits_on_first_accept(ts in taskset(1..6)) {
+        let dev = Fpga::new(40).unwrap();
+        for lead in 0..3usize {
+            // `lead` first, then the other two instrumented with counters.
+            let make = |i: usize| -> Box<dyn SchedTest<f64> + Send + Sync> {
+                match i {
+                    0 => Box::new(DpTest::default()),
+                    1 => Box::new(Gn1Test::default()),
+                    _ => Box::new(Gn2Test::default()),
+                }
+            };
+            let lead_accepts = match lead {
+                0 => DpTest::default().is_schedulable(&ts, &dev),
+                1 => Gn1Test::default().is_schedulable(&ts, &dev),
+                _ => Gn2Test::default().is_schedulable(&ts, &dev),
+            };
+            let tail: Vec<usize> = (0..3).filter(|&i| i != lead).collect();
+            let counters: Vec<Arc<AtomicUsize>> =
+                tail.iter().map(|_| Arc::new(AtomicUsize::new(0))).collect();
+            let mut tests: Vec<Box<dyn SchedTest<f64> + Send + Sync>> = vec![make(lead)];
+            for (&i, calls) in tail.iter().zip(&counters) {
+                tests.push(Box::new(Counted { inner: make(i), calls: Arc::clone(calls) }));
+            }
+            let suite = AnyOfTest::new("instrumented", tests);
+            let _ = suite.check(&ts, &dev);
+            let tail_calls: usize =
+                counters.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+            if lead_accepts {
+                prop_assert_eq!(tail_calls, 0,
+                    "lead test {} accepted but {} later check(s) still ran", lead, tail_calls);
+            } else {
+                prop_assert!(tail_calls >= 1,
+                    "lead test {} rejected yet no later test was consulted", lead);
+            }
+        }
     }
 
     /// With implicit deadlines the paper's λ-candidate claim holds: GN2's

@@ -1,0 +1,108 @@
+//! `admission_throughput` — decisions/sec of the online admission
+//! controller for request batches of 1, 64 and 1024.
+//!
+//! Each iteration replays a pre-built admit/release batch against a fresh
+//! controller (so the live set is in a comparable state every time). The
+//! criterion rows report ns per *batch*; the `throughput_report` pass
+//! divides wall-clock by decisions to print decisions/sec directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_model::{Fpga, Task};
+use fpga_rt_service::{AdmissionController, ControllerConfig};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [1, 64, 1024];
+
+/// One scripted request: admit a task, or release the n-th oldest
+/// still-admitted handle.
+enum Op {
+    Admit(Task<f64>),
+    ReleaseOldest,
+}
+
+/// A deterministic admit/release mix: light tasks (mostly dp-inc accepts),
+/// a heavy probe every 17th op (cascade to GN1/GN2), a release every 5th
+/// once the set has grown.
+fn make_batch(len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|r| {
+            if r % 5 == 4 && r > 8 {
+                Op::ReleaseOldest
+            } else if r % 17 == 13 {
+                Op::Admit(Task::implicit(4.5, 5.0, 60).unwrap())
+            } else {
+                let ut = 0.02 + 0.01 * ((r % 9) as f64);
+                let period = 4.0 + 0.5 * ((r % 13) as f64);
+                let area = 1 + (r % 8) as u32;
+                Op::Admit(Task::implicit(ut * period, period, area).unwrap())
+            }
+        })
+        .collect()
+}
+
+/// Replay a batch against a fresh controller; returns decisions taken.
+fn run_batch(ops: &[Op]) -> u64 {
+    let mut controller =
+        AdmissionController::new(Fpga::new(100).unwrap(), ControllerConfig::default());
+    let mut handles = Vec::new();
+    let mut decisions = 0u64;
+    for op in ops {
+        match op {
+            Op::Admit(task) => {
+                let (decision, handle) = controller.admit(*task, false);
+                black_box(decision.accepted);
+                if let Some(h) = handle {
+                    handles.push(h);
+                }
+                decisions += 1;
+            }
+            Op::ReleaseOldest => {
+                if !handles.is_empty() {
+                    let h = handles.remove(0);
+                    let _ = black_box(controller.release(h));
+                    decisions += 1;
+                }
+            }
+        }
+    }
+    decisions
+}
+
+fn bench_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission_throughput");
+    for &len in &BATCH_SIZES {
+        let ops = make_batch(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &ops, |b, ops| {
+            b.iter(|| black_box(run_batch(ops)))
+        });
+    }
+    group.finish();
+}
+
+/// Direct decisions/sec figures (the criterion shim only prints ns/iter of
+/// the whole batch).
+fn throughput_report(_c: &mut Criterion) {
+    for &len in &BATCH_SIZES {
+        let ops = make_batch(len);
+        // Warm up, then time enough repetitions for a stable figure.
+        let mut decisions = 0u64;
+        for _ in 0..3 {
+            decisions = run_batch(&ops);
+        }
+        let reps = (20_000 / len.max(1)).clamp(3, 2_000);
+        let start = std::time::Instant::now();
+        let mut total = 0u64;
+        for _ in 0..reps {
+            total += black_box(run_batch(&ops));
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let rate = if secs > 0.0 { total as f64 / secs } else { f64::INFINITY };
+        println!(
+            "admission_throughput: batch={len:<5} {rate:>12.0} decisions/sec \
+             ({decisions} decisions/batch, {reps} reps)"
+        );
+    }
+}
+
+criterion_group!(benches, bench_admission, throughput_report);
+criterion_main!(benches);

@@ -13,6 +13,7 @@
 //! | `placement` | 1-D free-list micro-operations |
 //! | `rational` | exact-arithmetic cost vs f64 |
 //! | `ablations` | λ-search and β-denominator configuration costs |
+//! | `admission` | online admission-control decisions/sec at batch 1/64/1024 |
 //!
 //! This library only hosts shared fixture helpers; run the suite with
 //! `cargo bench -p fpga-rt-bench`.

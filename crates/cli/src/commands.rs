@@ -6,12 +6,37 @@ use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, Sched
 use fpga_rt_exp::cli::Args;
 use fpga_rt_gen::{FigureWorkload, TasksetSpec};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
+use fpga_rt_service::{serve_session, ServeConfig};
 use fpga_rt_sim::{
     simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind, SimConfig,
 };
 use std::io::Write;
 
 type CmdResult = Result<ExitCode, String>;
+
+/// Run `f`, mapping a `Rat64` i64-overflow panic into a clean usage error
+/// (process exit code 2) instead of a crash.
+///
+/// `Rat64` operators panic on overflow by design — exact mode must never
+/// silently lose precision — and full-precision `f64` inputs can drive
+/// GN2's products past i64 range. Every subcommand that can run exact
+/// arithmetic (`check --exact`, `size --exact`, `tables`) routes through
+/// this guard; any other panic is a real bug and keeps unwinding.
+pub(crate) fn catch_rat64_overflow<R>(f: impl FnOnce() -> R) -> Result<R, String> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => Ok(r),
+        Err(payload) => {
+            if Rat64::is_overflow_panic(payload.as_ref()) {
+                Err("exact arithmetic overflowed i64 for this taskset; \
+                     exact verdicts need small-denominator (knife-edge) \
+                     parameters — use the default f64 mode instead"
+                    .to_string())
+            } else {
+                std::panic::resume_unwind(payload)
+            }
+        }
+    }
+}
 
 fn report_line(out: &mut dyn Write, rep: &TestReport, verbose: bool) {
     if verbose {
@@ -40,32 +65,9 @@ pub fn check(args: &Args, out: &mut dyn Write) -> CmdResult {
                 })
                 .map_err(|e| e.to_string())?;
             let tests = selected_tests(which)?;
-            // Rat64 operators panic on i64 overflow (by design — exact mode
-            // must never silently lose precision). Full-precision f64 inputs
-            // can drive GN2's products past i64 range, so surface that as a
-            // usage error instead of a crash. Any other panic is a real bug
-            // and keeps unwinding.
-            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            catch_rat64_overflow(|| {
                 tests.iter().map(|t| t.check_exact(&ts_x, &dev)).collect::<Vec<_>>()
-            }));
-            match caught {
-                Ok(reports) => reports,
-                Err(payload) => {
-                    let is_overflow = payload
-                        .downcast_ref::<String>()
-                        .is_some_and(|s| s.contains("Rat64 overflow"))
-                        || payload
-                            .downcast_ref::<&str>()
-                            .is_some_and(|s| s.contains("Rat64 overflow"));
-                    if is_overflow {
-                        return Err("exact arithmetic overflowed i64 for this taskset; \
-                                    --exact is meant for small-denominator (knife-edge) \
-                                    parameters — rerun without --exact"
-                            .to_string());
-                    }
-                    std::panic::resume_unwind(payload);
-                }
-            }
+            })?
         } else {
             selected_tests(which)?.iter().map(|t| t.check_f64(ts_f, &dev)).collect()
         };
@@ -191,14 +193,14 @@ pub fn simulate(args: &Args, out: &mut dyn Write) -> CmdResult {
     }
 }
 
-/// `fpga-rt size` — smallest device passing each test (binary search; all
-/// tests are monotone in the device size, see the scale-invariance property
-/// tests).
-pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
-    let ts = taskset_from(args)?;
-    let max = args.get("max", 1000u32);
-    let lo = ts.amax();
-
+/// Smallest device (in `[lo, max]` columns) each test accepts, generic over
+/// the numeric representation (binary search; all tests are monotone in the
+/// device size, see the scale-invariance property tests).
+fn size_rows<T: fpga_rt_model::Time>(
+    ts: &TaskSet<T>,
+    lo: u32,
+    max: u32,
+) -> Vec<(&'static str, Option<u32>)> {
     let minimal = |accepts: &dyn Fn(&Fpga) -> bool| -> Option<u32> {
         let hi_dev = Fpga::new(max).ok()?;
         if !accepts(&hi_dev) {
@@ -215,12 +217,33 @@ pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
         }
         Some(lo)
     };
+    vec![
+        ("DP", minimal(&|d| DpTest::default().is_schedulable(ts, d))),
+        ("GN1", minimal(&|d| Gn1Test::default().is_schedulable(ts, d))),
+        ("GN2", minimal(&|d| Gn2Test::default().is_schedulable(ts, d))),
+        ("DP∪GN1∪GN2", minimal(&|d| AnyOfTest::paper_suite().is_schedulable(ts, d))),
+    ]
+}
 
-    let dp = minimal(&|d| DpTest::default().is_schedulable(&ts, d));
-    let gn1 = minimal(&|d| Gn1Test::default().is_schedulable(&ts, d));
-    let gn2 = minimal(&|d| Gn2Test::default().is_schedulable(&ts, d));
-    let any = minimal(&|d| AnyOfTest::paper_suite().is_schedulable(&ts, d));
-    for (name, v) in [("DP", dp), ("GN1", gn1), ("GN2", gn2), ("DP∪GN1∪GN2", any)] {
+/// `fpga-rt size` — smallest device passing each test, in `f64` or (with
+/// `--exact`) exact rational arithmetic.
+pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let ts = taskset_from(args)?;
+    let max = args.get("max", 1000u32);
+    let lo = ts.amax();
+
+    let rows = if args.has("exact") {
+        let ts_x = ts
+            .map_time(|v| {
+                Rat64::approx_f64(v, 1_000_000).expect("validated finite task parameters")
+            })
+            .map_err(|e| e.to_string())?;
+        catch_rat64_overflow(move || size_rows(&ts_x, lo, max))?
+    } else {
+        size_rows(&ts, lo, max)
+    };
+
+    for (name, v) in &rows {
         match v {
             Some(c) => {
                 let _ = writeln!(out, "{name:<12} {c} columns");
@@ -230,6 +253,7 @@ pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
             }
         }
     }
+    let any = rows.last().and_then(|(_, v)| *v);
     Ok(if any.is_some() { ExitCode::Accepted } else { ExitCode::Rejected })
 }
 
@@ -253,12 +277,63 @@ pub fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(ExitCode::Accepted)
 }
 
-/// `fpga-rt tables` — the paper's Tables 1–3 verdict matrix.
+/// `fpga-rt tables` — the paper's Tables 1–3 verdict matrix (each case is
+/// evaluated in f64 *and* exact arithmetic, hence the overflow guard).
 pub fn tables(out: &mut dyn Write) -> CmdResult {
-    for case in fpga_rt_exp::tables::paper_tables() {
-        let _ = write!(out, "{}", fpga_rt_exp::tables::render_table_case(&case));
+    let rendered = catch_rat64_overflow(|| {
+        fpga_rt_exp::tables::paper_tables()
+            .iter()
+            .map(fpga_rt_exp::tables::render_table_case)
+            .collect::<Vec<_>>()
+    })?;
+    for case in rendered {
+        let _ = write!(out, "{case}");
         let _ = writeln!(out);
     }
+    Ok(ExitCode::Accepted)
+}
+
+/// `fpga-rt serve` — the online admission-control service: JSONL requests
+/// on stdin (or `--input FILE`), one JSONL response per request on stdout,
+/// a human summary on stderr.
+pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let columns: u32 = args.get("columns", 0);
+    if columns == 0 {
+        return Err("--columns N (≥1) is required".into());
+    }
+    let config = ServeConfig {
+        columns,
+        shards: args.get("shards", 1u32).max(1),
+        workers: args.get("workers", 0usize),
+        batch: args.get("batch", 64usize).max(1),
+        exact_margin: args.get("exact-margin", 1e-9f64),
+        max_denominator: 1_000_000,
+        deterministic: args.has("deterministic"),
+    };
+    let start = std::time::Instant::now();
+    let stats = match args.flags.get("input").filter(|p| !p.is_empty()) {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serve_session(&mut std::io::BufReader::new(file), out, &config)?
+        }
+        None => serve_session(&mut std::io::stdin().lock(), out, &config)?,
+    };
+    let elapsed = start.elapsed().as_secs_f64();
+    let rate = if elapsed > 0.0 { stats.requests as f64 / elapsed } else { 0.0 };
+    eprintln!(
+        "served {} requests in {} batches ({rate:.0} req/s): \
+         {} accepted, {} rejected, {} errors; \
+         tiers dp-inc={} gn1={} gn2={} exact={}",
+        stats.requests,
+        stats.batches,
+        stats.accepted,
+        stats.rejected,
+        stats.errors,
+        stats.tiers.dp_inc,
+        stats.tiers.gn1,
+        stats.tiers.gn2,
+        stats.tiers.exact
+    );
     Ok(ExitCode::Accepted)
 }
 
@@ -341,6 +416,82 @@ mod tests {
         )
         .unwrap();
         assert!(String::from_utf8(buf).unwrap().contains('#'));
+    }
+
+    /// Full-precision parameters whose `Rat64` images have ~10^6
+    /// denominators: GN2's products overflow i64 in exact mode.
+    fn overflow_tuples() -> Vec<(f64, f64, f64, u32)> {
+        vec![
+            (1.000_001_000_017_000_3, 6.000_002_000_094_004, 6.000_002_000_094_004, 3),
+            (1.000_002_000_042_001, 7.000_003_000_141_007, 7.000_003_000_141_007, 4),
+            (1.000_003_000_117_004_6, 8.000_004_000_188_01, 8.000_004_000_188_01, 5),
+            (1.000_004_000_164_006_7, 9.000_005_000_235_01, 9.000_005_000_235_01, 6),
+        ]
+    }
+
+    /// Satellite regression: every subcommand that can run exact arithmetic
+    /// maps a Rat64 overflow to a clean usage error (process exit code 2),
+    /// never a crash.
+    #[test]
+    fn exact_overflow_maps_to_exit_2_in_check_and_size() {
+        let path = write_taskset("ovf.json", &overflow_tuples());
+        let check_err = check(
+            &args(&["--taskset", &path, "--columns", "20", "--test", "gn2", "--exact"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(check_err.contains("overflowed"), "{check_err}");
+        let size_err = size(&args(&["--taskset", &path, "--exact"]), &mut Vec::new()).unwrap_err();
+        assert!(size_err.contains("overflowed"), "{size_err}");
+        // Through the dispatcher these surface as ExitCode::Error → exit 2.
+        let argv: Vec<String> =
+            ["size", "--taskset", &path, "--exact"].iter().map(|s| s.to_string()).collect();
+        let code = crate::run(&argv, &mut Vec::new());
+        assert!(matches!(code, ExitCode::Error(msg) if msg.contains("overflowed")));
+    }
+
+    #[test]
+    fn size_exact_agrees_with_f64_on_benign_input() {
+        let path = write_taskset("szx.json", &[(1.0, 10.0, 10.0, 5), (1.0, 8.0, 8.0, 3)]);
+        let mut plain = Vec::new();
+        size(&args(&["--taskset", &path]), &mut plain).unwrap();
+        let mut exact = Vec::new();
+        size(&args(&["--taskset", &path, "--exact"]), &mut exact).unwrap();
+        assert_eq!(String::from_utf8(plain).unwrap(), String::from_utf8(exact).unwrap());
+    }
+
+    #[test]
+    fn serve_replays_a_session_from_a_file() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                r#"{"op":"admit","task":{"exec":1.0,"deadline":10.0,"period":10.0,"area":3}}"#,
+                "\n",
+                r#"{"op":"query"}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let input = path.to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code =
+            serve(&args(&["--columns", "10", "--input", &input, "--deterministic"]), &mut buf)
+                .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"verdict\":\"accept\""));
+        assert!(lines[0].contains("\"latency_us\":0"));
+        assert!(lines[1].contains("\"stats\""));
+    }
+
+    #[test]
+    fn serve_requires_columns() {
+        assert!(serve(&args(&[]), &mut Vec::new()).is_err());
     }
 
     #[test]

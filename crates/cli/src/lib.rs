@@ -33,6 +33,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "size" => commands::size(&parsed, out),
         "generate" => commands::generate(&parsed, out),
         "tables" => commands::tables(out),
+        "serve" => commands::serve(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", usage());
             Ok(ExitCode::Accepted)
@@ -52,9 +53,12 @@ pub fn usage() -> String {
      \x20 check     --taskset FILE --columns N [--test any|dp|gn1|gn2|nec] [--exact] [--verbose]\n\
      \x20 simulate  --taskset FILE --columns N [--scheduler nf|fkf] [--horizon P]\n\
      \x20           [--placement free|first-fit|best-fit|worst-fit] [--overhead-per-column X] [--trace]\n\
-     \x20 size      --taskset FILE [--max N]\n\
+     \x20 size      --taskset FILE [--max N] [--exact]\n\
      \x20 generate  --n N [--seed S] [--figure fig3a|fig3b|fig4a|fig4b] [--pretty]\n\
-     \x20 tables    (reproduce the paper's Tables 1-3)"
+     \x20 tables    (reproduce the paper's Tables 1-3)\n\
+     \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
+     \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
+     \x20           (JSONL admission-control service on stdin/stdout)"
         .to_string()
 }
 

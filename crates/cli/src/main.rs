@@ -6,9 +6,10 @@
 //! fpga-rt simulate --taskset set.json --columns 100 [--scheduler nf|fkf] [--horizon 100]
 //!                  [--placement free|first-fit|best-fit|worst-fit]
 //!                  [--overhead-per-column X] [--trace]
-//! fpga-rt size     --taskset set.json [--max 1000]
+//! fpga-rt size     --taskset set.json [--max 1000] [--exact]
 //! fpga-rt generate --n 10 --seed 42 [--figure fig3b] [--pretty]
 //! fpga-rt tables
+//! fpga-rt serve    --columns 100 [--shards 4] [--batch 64] [--deterministic]
 //! ```
 //!
 //! Tasksets are JSON arrays of `{"exec": C, "deadline": D, "period": T,

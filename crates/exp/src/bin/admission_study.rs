@@ -1,0 +1,193 @@
+//! Replay-driven load study of the admission-control service.
+//!
+//! Two modes:
+//!
+//! * `--emit-requests` — print a deterministic JSONL request stream to
+//!   stdout. The stream is scripted so that every cascade tier decides at
+//!   least one admission (Tables 1–3 drive the gn1/gn2/exact tiers) and
+//!   then churns light admit/release/query traffic across shards. This is
+//!   the generator behind `crates/service/testdata/requests.jsonl`:
+//!
+//!   ```text
+//!   cargo run -p fpga-rt-exp --bin admission_study -- --emit-requests --n 100 \
+//!       > crates/service/testdata/requests.jsonl
+//!   cargo run -p fpga-rt-cli -- serve --columns 10 --shards 4 --batch 16 \
+//!       --deterministic --input crates/service/testdata/requests.jsonl \
+//!       > crates/service/testdata/responses.golden.jsonl
+//!   ```
+//!
+//! * default — replay the same stream through [`fpga_rt_service`] at
+//!   several shard counts, measuring end-to-end decisions/sec and the tier
+//!   mix, and write `results/admission_study.json`.
+//!
+//! Flags: `--n N` (churn requests, default 100), `--columns A(H)`
+//! (default 10), `--shards-list 1,2,4`, `--out-dir DIR`.
+
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_service::{serve_session, ServeConfig};
+use serde::Serialize;
+use std::io::Write as _;
+
+/// Scripted prologue: drive every cascade tier at least once.
+///
+/// Shards 1–3 replay the paper's Tables 2, 3 and 1 task-by-task; the second
+/// admission of each lands on gn1, gn2 and exact respectively (the first
+/// ones on dp-inc). Shard 0 then hosts protocol-error probes.
+fn prologue(lines: &mut Vec<String>) {
+    let admit = |shard: u32, c: f64, d: f64, t: f64, a: u32| {
+        format!(
+            r#"{{"op":"admit","shard":{shard},"task":{{"exec":{c:?},"deadline":{d:?},"period":{t:?},"area":{a}}}}}"#
+        )
+    };
+    // Table 2 → gn1 decides the second admission.
+    lines.push(admit(1, 4.50, 8.0, 8.0, 3));
+    lines.push(admit(1, 8.00, 9.0, 9.0, 5));
+    // Table 3 → gn2.
+    lines.push(admit(2, 2.10, 5.0, 5.0, 7));
+    lines.push(admit(2, 2.00, 7.0, 7.0, 7));
+    // Table 1 → the second admission sits exactly on the DP bound: exact.
+    lines.push(admit(3, 1.26, 7.0, 7.0, 9));
+    lines.push(admit(3, 0.95, 5.0, 5.0, 6));
+    // Per-task margins for the knife-edge shard.
+    lines.push(r#"{"op":"query","shard":3,"margins":true}"#.to_string());
+    // Protocol-level errors: stale handle, unknown op, invalid and
+    // oversized tasks, and one malformed line.
+    lines.push(r#"{"op":"release","shard":0,"handle":40}"#.to_string());
+    lines.push(r#"{"op":"warp","shard":0}"#.to_string());
+    lines.push(
+        r#"{"op":"admit","shard":0,"task":{"exec":-1.0,"deadline":5.0,"period":5.0,"area":2}}"#
+            .to_string(),
+    );
+    lines.push(
+        r#"{"op":"admit","shard":0,"task":{"exec":1.0,"deadline":5.0,"period":5.0,"area":99}}"#
+            .to_string(),
+    );
+    lines.push("oops not json".to_string());
+}
+
+/// Deterministic churn: light admissions (guaranteed accepted on a
+/// 10-column device at ≤ 6 outstanding), periodic releases of the oldest
+/// task, periodic queries, and occasional gross-overload probes.
+fn churn(lines: &mut Vec<String>, n: usize) {
+    let mut outstanding: Vec<u64> = Vec::new();
+    let mut next_handle: u64 = 0;
+    for r in 0..n {
+        if r % 10 == 9 {
+            lines.push(r#"{"op":"query","shard":0}"#.to_string());
+            continue;
+        }
+        if r % 17 == 13 {
+            // Gross overload: rejected by the whole cascade (tier gn2).
+            lines.push(
+                r#"{"op":"admit","shard":0,"task":{"exec":4.9,"deadline":5.0,"period":5.0,"area":9}}"#
+                    .to_string(),
+            );
+            continue;
+        }
+        if outstanding.len() >= 6 {
+            let oldest = outstanding.remove(0);
+            lines.push(format!(r#"{{"op":"release","shard":0,"handle":{oldest}}}"#));
+            continue;
+        }
+        // Light task: UT ∈ [0.10, 0.22], area ∈ {1,2,3} → with at most six
+        // outstanding, US(Γ) stays far below every bound.
+        let ut = 0.10 + 0.02 * ((r % 7) as f64);
+        let period = 4.0 + 0.5 * ((r % 13) as f64);
+        let exec = ut * period;
+        let area = 1 + (r % 3) as u32;
+        let margins = if r % 25 == 7 { r#","margins":true"# } else { "" };
+        lines.push(format!(
+            r#"{{"op":"admit","shard":0,"task":{{"exec":{exec:?},"deadline":{period:?},"period":{period:?},"area":{area}}}{margins}}}"#
+        ));
+        outstanding.push(next_handle);
+        next_handle += 1;
+    }
+}
+
+/// The full deterministic request stream.
+fn request_stream(n: usize) -> String {
+    let mut lines = Vec::new();
+    prologue(&mut lines);
+    churn(&mut lines, n);
+    let mut out = lines.join("\n");
+    out.push('\n');
+    out
+}
+
+#[derive(Debug, Serialize)]
+struct RunResult {
+    shards: u32,
+    requests: u64,
+    accepted: u64,
+    rejected: u64,
+    errors: u64,
+    seconds: f64,
+    decisions_per_sec: f64,
+    tiers: fpga_rt_service::TierCounts,
+}
+
+#[derive(Debug, Serialize)]
+struct StudyResult {
+    columns: u32,
+    churn_requests: usize,
+    runs: Vec<RunResult>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("n", 100usize);
+    let columns = args.get("columns", 10u32);
+    let stream = request_stream(n);
+
+    if args.has("emit-requests") {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        lock.write_all(stream.as_bytes()).expect("stdout");
+        return;
+    }
+
+    let shard_list: Vec<u32> = args
+        .flags
+        .get("shards-list")
+        .map(|s| s.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .filter(|v: &Vec<u32>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let mut runs = Vec::new();
+    for shards in shard_list {
+        let config = ServeConfig { shards, ..ServeConfig::new(columns) };
+        let mut sink = std::io::sink();
+        let start = std::time::Instant::now();
+        let stats =
+            serve_session(&mut stream.as_bytes(), &mut sink, &config).expect("replay cannot fail");
+        let seconds = start.elapsed().as_secs_f64();
+        let decisions_per_sec =
+            if seconds > 0.0 { stats.requests as f64 / seconds } else { f64::INFINITY };
+        println!(
+            "shards={shards}: {} requests in {seconds:.4}s → {decisions_per_sec:.0} decisions/sec \
+             (accepted {}, rejected {}, errors {}; tiers dp-inc={} gn1={} gn2={} exact={})",
+            stats.requests,
+            stats.accepted,
+            stats.rejected,
+            stats.errors,
+            stats.tiers.dp_inc,
+            stats.tiers.gn1,
+            stats.tiers.gn2,
+            stats.tiers.exact
+        );
+        runs.push(RunResult {
+            shards,
+            requests: stats.requests,
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            errors: stats.errors,
+            seconds,
+            decisions_per_sec,
+            tiers: stats.tiers,
+        });
+    }
+
+    let result = StudyResult { columns, churn_requests: n, runs };
+    let json = serde_json::to_string_pretty(&result).expect("serialize");
+    write_result(&out_dir(&args), "admission_study.json", &json).expect("write result");
+}

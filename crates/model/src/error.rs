@@ -44,6 +44,21 @@ pub enum ModelError {
         /// The value that could not be converted.
         value: f64,
     },
+    /// A task inside a collection failed validation; wraps the underlying
+    /// error together with the task's position so batch constructors such as
+    /// [`crate::TaskSet::try_from_tuples`] do not lose which entry was bad.
+    InvalidTask {
+        /// Index of the offending task within the input collection.
+        task: usize,
+        /// The underlying validation failure (carries the offending value).
+        source: Box<ModelError>,
+    },
+    /// A [`crate::LiveTaskSet`] handle did not name a currently-admitted
+    /// task (already released, or from another live set).
+    UnknownTaskHandle {
+        /// The stale handle value.
+        handle: u64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -65,6 +80,12 @@ impl fmt::Display for ModelError {
             ModelError::InexactConversion { value } => {
                 write!(f, "{value} has no exact small-rational representation")
             }
+            ModelError::InvalidTask { task, source } => {
+                write!(f, "task #{task}: {source}")
+            }
+            ModelError::UnknownTaskHandle { handle } => {
+                write!(f, "no live task with handle {handle} (already released?)")
+            }
         }
     }
 }
@@ -82,6 +103,20 @@ mod tests {
         let e = ModelError::TaskWiderThanDevice { task: 3, area: 12, device: 10 };
         let s = e.to_string();
         assert!(s.contains("#3") && s.contains("12") && s.contains("10"));
+    }
+
+    #[test]
+    fn invalid_task_carries_index_and_value() {
+        let inner = ModelError::NonPositiveTime { field: "period", value: "-4".into() };
+        let e = ModelError::InvalidTask { task: 2, source: Box::new(inner) };
+        let s = e.to_string();
+        assert!(s.contains("#2") && s.contains("period") && s.contains("-4"), "{s}");
+    }
+
+    #[test]
+    fn unknown_handle_names_the_handle() {
+        let e = ModelError::UnknownTaskHandle { handle: 17 };
+        assert!(e.to_string().contains("17"));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 
 pub mod device;
 pub mod error;
+pub mod live;
 pub mod rational;
 pub mod task;
 pub mod taskset;
@@ -54,6 +55,7 @@ pub mod time;
 
 pub use device::Fpga;
 pub use error::ModelError;
+pub use live::{LiveTaskSet, TaskHandle};
 pub use rational::Rat64;
 pub use task::{Task, TaskId};
 pub use taskset::TaskSet;

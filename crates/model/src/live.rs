@@ -1,0 +1,287 @@
+//! Mutable tasksets for online admission control.
+//!
+//! [`crate::TaskSet`] is deliberately immutable: every offline analysis in
+//! this workspace consumes a frozen snapshot. An *admission controller*,
+//! however, needs a taskset that changes over time — hardware tasks arrive,
+//! get admitted, run for a while and are released — and it needs the
+//! aggregate quantities the schedulability bounds are built from
+//! (`UT(Γ)`, `US(Γ)`, `Amax`) to be maintained **incrementally** so each
+//! admission decision does not start with an O(N) re-summation.
+//!
+//! [`LiveTaskSet`] provides exactly that: an insert/remove taskset with
+//! stable [`TaskHandle`] identities and O(1) aggregate maintenance on
+//! admission (`O(log A)` for the area multiset). Removal is O(N) — it keeps
+//! insertion order and re-folds the utilization sums so floating-point
+//! aggregates never drift from their recomputed values.
+
+use crate::error::ModelError;
+use crate::task::Task;
+use crate::taskset::TaskSet;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Stable identity of a task admitted into a [`LiveTaskSet`].
+///
+/// Unlike [`crate::TaskId`] (positional within an immutable
+/// [`crate::TaskSet`]), handles survive removals of other tasks: they are
+/// assigned once per admission and never reused within a live set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskHandle(pub u64);
+
+impl core::fmt::Display for TaskHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A mutable collection of tasks with incrementally-maintained aggregates.
+///
+/// Unlike [`crate::TaskSet`], a live set may be empty (an admission
+/// controller starts with no tasks). Snapshots for the offline analyses are
+/// produced by [`LiveTaskSet::snapshot`] / [`LiveTaskSet::snapshot_with`].
+#[derive(Debug, Clone)]
+pub struct LiveTaskSet<T: Time> {
+    /// `(handle, task)` pairs in admission order.
+    tasks: Vec<(TaskHandle, Task<T>)>,
+    next_handle: u64,
+    ut_total: T,
+    us_total: T,
+    /// Multiset of task areas (`area → count`), for O(log A) `Amax`/`Amin`.
+    areas: BTreeMap<u32, usize>,
+}
+
+impl<T: Time> Default for LiveTaskSet<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Time> LiveTaskSet<T> {
+    /// An empty live set.
+    pub fn new() -> Self {
+        LiveTaskSet {
+            tasks: Vec::new(),
+            next_handle: 0,
+            ut_total: T::ZERO,
+            us_total: T::ZERO,
+            areas: BTreeMap::new(),
+        }
+    }
+
+    /// Number of currently-admitted tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when no task is admitted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Admit a (pre-validated) task, returning its stable handle.
+    ///
+    /// Aggregates are updated in O(1)/O(log A); schedulability is *not*
+    /// checked here — that is the admission controller's job.
+    pub fn admit(&mut self, task: Task<T>) -> TaskHandle {
+        let handle = TaskHandle(self.next_handle);
+        self.next_handle += 1;
+        self.ut_total = self.ut_total + task.time_utilization();
+        self.us_total = self.us_total + task.system_utilization();
+        *self.areas.entry(task.area()).or_insert(0) += 1;
+        self.tasks.push((handle, task));
+        handle
+    }
+
+    /// Release the task with the given handle, returning it.
+    ///
+    /// O(N): preserves admission order and re-folds the utilization sums so
+    /// the floating-point aggregates match a from-scratch recomputation.
+    pub fn remove(&mut self, handle: TaskHandle) -> Result<Task<T>, ModelError> {
+        let idx = self
+            .tasks
+            .iter()
+            .position(|(h, _)| *h == handle)
+            .ok_or(ModelError::UnknownTaskHandle { handle: handle.0 })?;
+        let (_, task) = self.tasks.remove(idx);
+        match self.areas.get_mut(&task.area()) {
+            Some(count) if *count > 1 => *count -= 1,
+            _ => {
+                self.areas.remove(&task.area());
+            }
+        }
+        self.recompute_aggregates();
+        Ok(task)
+    }
+
+    /// Look up a task by handle.
+    pub fn get(&self, handle: TaskHandle) -> Option<&Task<T>> {
+        self.tasks.iter().find(|(h, _)| *h == handle).map(|(_, t)| t)
+    }
+
+    /// Iterate over `(handle, &task)` pairs in admission order.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskHandle, &Task<T>)> + '_ {
+        self.tasks.iter().map(|(h, t)| (*h, t))
+    }
+
+    /// Total time utilization `UT(Γ)`, maintained incrementally.
+    #[inline]
+    pub fn time_utilization(&self) -> T {
+        self.ut_total
+    }
+
+    /// Total system utilization `US(Γ)`, maintained incrementally.
+    #[inline]
+    pub fn system_utilization(&self) -> T {
+        self.us_total
+    }
+
+    /// Largest task area `Amax` (0 when empty).
+    #[inline]
+    pub fn amax(&self) -> u32 {
+        self.areas.keys().next_back().copied().unwrap_or(0)
+    }
+
+    /// Smallest task area `Amin` (0 when empty).
+    #[inline]
+    pub fn amin(&self) -> u32 {
+        self.areas.keys().next().copied().unwrap_or(0)
+    }
+
+    /// Re-fold the utilization sums from the task list.
+    ///
+    /// Admissions accumulate left-to-right, so after this call (and after
+    /// every [`LiveTaskSet::remove`], which calls it) the cached sums are
+    /// *exactly* the fold a fresh [`crate::TaskSet`] would compute —
+    /// admission-heavy sessions never accumulate removal drift.
+    pub fn recompute_aggregates(&mut self) {
+        self.ut_total = self.tasks.iter().fold(T::ZERO, |acc, (_, t)| acc + t.time_utilization());
+        self.us_total = self.tasks.iter().fold(T::ZERO, |acc, (_, t)| acc + t.system_utilization());
+    }
+
+    /// Freeze the current tasks (admission order) into an immutable
+    /// [`crate::TaskSet`]. Fails with [`ModelError::EmptyTaskSet`] when empty.
+    pub fn snapshot(&self) -> Result<TaskSet<T>, ModelError> {
+        TaskSet::new(self.tasks.iter().map(|(_, t)| *t).collect())
+    }
+
+    /// Freeze the current tasks **plus** `candidate` (appended last) into an
+    /// immutable [`crate::TaskSet`] — the set an admission test evaluates
+    /// when deciding `Γ ∪ {candidate}` without mutating the live set.
+    ///
+    /// Positional [`crate::TaskId`]s in the resulting set map back to live
+    /// tasks in admission order; index `self.len()` is the candidate.
+    pub fn snapshot_with(&self, candidate: &Task<T>) -> Result<TaskSet<T>, ModelError> {
+        let mut tasks: Vec<Task<T>> = self.tasks.iter().map(|(_, t)| *t).collect();
+        tasks.push(*candidate);
+        TaskSet::new(tasks)
+    }
+
+    /// The handle at admission-order position `k` (for mapping positional
+    /// snapshot diagnostics back to live identities).
+    pub fn handle_at(&self, k: usize) -> Option<TaskHandle> {
+        self.tasks.get(k).map(|(h, _)| *h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: f64, p: f64, a: u32) -> Task<f64> {
+        Task::implicit(c, p, a).unwrap()
+    }
+
+    #[test]
+    fn starts_empty_with_zero_aggregates() {
+        let live: LiveTaskSet<f64> = LiveTaskSet::new();
+        assert!(live.is_empty());
+        assert_eq!(live.time_utilization(), 0.0);
+        assert_eq!(live.system_utilization(), 0.0);
+        assert_eq!(live.amax(), 0);
+        assert_eq!(live.amin(), 0);
+        assert!(live.snapshot().is_err());
+    }
+
+    #[test]
+    fn admit_maintains_aggregates() {
+        let mut live = LiveTaskSet::new();
+        let h0 = live.admit(t(1.0, 4.0, 3));
+        let h1 = live.admit(t(2.0, 8.0, 5));
+        assert_ne!(h0, h1);
+        assert_eq!(live.len(), 2);
+        assert!((live.time_utilization() - 0.5).abs() < 1e-12);
+        assert!((live.system_utilization() - (0.75 + 1.25)).abs() < 1e-12);
+        assert_eq!(live.amax(), 5);
+        assert_eq!(live.amin(), 3);
+    }
+
+    #[test]
+    fn remove_returns_task_and_updates_area_multiset() {
+        let mut live = LiveTaskSet::new();
+        let h0 = live.admit(t(1.0, 4.0, 5));
+        let _h1 = live.admit(t(1.0, 4.0, 5));
+        let h2 = live.admit(t(1.0, 4.0, 2));
+        let removed = live.remove(h0).unwrap();
+        assert_eq!(removed.area(), 5);
+        // One area-5 task remains, so Amax is unchanged.
+        assert_eq!(live.amax(), 5);
+        live.remove(h2).unwrap();
+        assert_eq!(live.amin(), 5);
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn stale_handle_is_a_clean_error() {
+        let mut live = LiveTaskSet::new();
+        let h = live.admit(t(1.0, 4.0, 1));
+        live.remove(h).unwrap();
+        assert_eq!(live.remove(h), Err(ModelError::UnknownTaskHandle { handle: h.0 }));
+        // Handles are never reused.
+        let h2 = live.admit(t(1.0, 4.0, 1));
+        assert_ne!(h, h2);
+    }
+
+    #[test]
+    fn aggregates_match_recomputation_after_churn() {
+        let mut live = LiveTaskSet::new();
+        let mut handles = Vec::new();
+        for i in 1..=10u32 {
+            handles.push(live.admit(t(f64::from(i) * 0.25, 8.0, i)));
+        }
+        for h in handles.iter().step_by(3) {
+            live.remove(*h).unwrap();
+        }
+        let snap = live.snapshot().unwrap();
+        assert_eq!(live.time_utilization(), snap.time_utilization());
+        assert_eq!(live.system_utilization(), snap.system_utilization());
+        assert_eq!(live.amax(), snap.amax());
+        assert_eq!(live.amin(), snap.amin());
+    }
+
+    #[test]
+    fn snapshot_with_appends_candidate_last() {
+        let mut live = LiveTaskSet::new();
+        let h = live.admit(t(1.0, 4.0, 3));
+        let cand = t(2.0, 8.0, 7);
+        let snap = live.snapshot_with(&cand).unwrap();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.task(1).area(), 7);
+        assert_eq!(live.handle_at(0), Some(h));
+        assert_eq!(live.handle_at(1), None);
+        // The live set itself is untouched.
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn works_in_exact_arithmetic() {
+        use crate::rational::Rat64;
+        let mut live: LiveTaskSet<Rat64> = LiveTaskSet::new();
+        live.admit(Task::implicit(Rat64::new(63, 50).unwrap(), Rat64::from_int(7), 9).unwrap());
+        live.admit(Task::implicit(Rat64::new(19, 20).unwrap(), Rat64::from_int(5), 6).unwrap());
+        assert_eq!(live.system_utilization(), Rat64::new(69, 25).unwrap());
+        assert_eq!(live.time_utilization(), Rat64::new(37, 100).unwrap());
+    }
+}

@@ -250,6 +250,21 @@ impl Ord for Rat64 {
     }
 }
 
+impl Rat64 {
+    /// `true` when a caught panic payload is a `Rat64` arithmetic-overflow
+    /// panic (the operator impls below panic with a `"Rat64 overflow"`
+    /// message).
+    ///
+    /// Callers that map overflow to a clean degradation — the CLI's exact
+    /// mode (exit code 2) and the admission service's exact tier (f64
+    /// fallback) — share this predicate so the panic-message contract
+    /// lives in exactly one place.
+    pub fn is_overflow_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+        payload.downcast_ref::<String>().is_some_and(|s| s.contains("Rat64 overflow"))
+            || payload.downcast_ref::<&str>().is_some_and(|s| s.contains("Rat64 overflow"))
+    }
+}
+
 macro_rules! panicking_op {
     ($trait:ident, $method:ident, $checked:ident, $sym:literal) => {
         impl $trait for Rat64 {
@@ -354,6 +369,18 @@ mod tests {
         assert_eq!(r(2, -4), r(-1, 2));
         assert_eq!(r(0, -7), Rat64::ZERO);
         assert_eq!(r(0, 5).denom(), 1);
+    }
+
+    #[test]
+    fn overflow_panic_predicate_matches_operator_panics() {
+        let payload = std::panic::catch_unwind(|| {
+            let big = r(i64::MAX, 1);
+            let _ = big * big;
+        })
+        .unwrap_err();
+        assert!(Rat64::is_overflow_panic(payload.as_ref()));
+        let other = std::panic::catch_unwind(|| panic!("something else")).unwrap_err();
+        assert!(!Rat64::is_overflow_panic(other.as_ref()));
     }
 
     #[test]

@@ -59,7 +59,11 @@ impl<T: Time> TaskSet<T> {
     pub fn try_from_tuples(tuples: &[(T, T, T, u32)]) -> Result<Self, ModelError> {
         let tasks = tuples
             .iter()
-            .map(|&(c, d, t, a)| Task::new(c, d, t, a))
+            .enumerate()
+            .map(|(i, &(c, d, t, a))| {
+                Task::new(c, d, t, a)
+                    .map_err(|e| ModelError::InvalidTask { task: i, source: Box::new(e) })
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Self::new(tasks)
     }
@@ -168,7 +172,15 @@ impl<T: Time> TaskSet<T> {
 
     /// Convert the timing representation (e.g. `f64` → `Rat64`) through `f`.
     pub fn map_time<U: Time>(&self, mut f: impl FnMut(T) -> U) -> Result<TaskSet<U>, ModelError> {
-        let tasks = self.tasks.iter().map(|t| t.map_time(&mut f)).collect::<Result<Vec<_>, _>>()?;
+        let tasks = self
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.map_time(&mut f)
+                    .map_err(|e| ModelError::InvalidTask { task: i, source: Box::new(e) })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         TaskSet::new(tasks)
     }
 
@@ -178,7 +190,11 @@ impl<T: Time> TaskSet<T> {
         let tasks = self
             .tasks
             .iter()
-            .map(|t| t.with_exec_inflated(overhead))
+            .enumerate()
+            .map(|(i, t)| {
+                t.with_exec_inflated(overhead)
+                    .map_err(|e| ModelError::InvalidTask { task: i, source: Box::new(e) })
+            })
             .collect::<Result<Vec<_>, _>>()?;
         TaskSet::new(tasks)
     }
@@ -204,6 +220,19 @@ mod tests {
     #[test]
     fn rejects_empty() {
         assert_eq!(TaskSet::<f64>::new(vec![]), Err(ModelError::EmptyTaskSet));
+    }
+
+    #[test]
+    fn tuple_errors_carry_the_offending_index_and_value() {
+        let err = TaskSet::try_from_tuples(&[(1.0, 5.0, 5.0, 2), (-3.5, 5.0, 5.0, 2)]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("#1"), "index in: {msg}");
+        assert!(msg.contains("-3.5"), "value in: {msg}");
+        assert!(matches!(err, ModelError::InvalidTask { task: 1, .. }));
+        // Zero-area entry at index 0.
+        let err = TaskSet::<f64>::try_from_tuples(&[(1.0, 5.0, 5.0, 0)]).unwrap_err();
+        assert!(matches!(err, ModelError::InvalidTask { task: 0, .. }));
+        assert!(err.to_string().contains("#0"));
     }
 
     #[test]

@@ -1,0 +1,687 @@
+//! The per-shard admission controller and its fast→slow decision cascade.
+//!
+//! Each [`AdmissionController`] owns a live taskset and answers
+//! admit/release/query operations. An admission runs through the cascade
+//!
+//! 1. **`dp-inc`** — the incremental DP bound
+//!    ([`fpga_rt_analysis::IncrementalState`]): O(1) against cached
+//!    aggregates for the common case;
+//! 2. **`gn1`** — Theorem 2 on a snapshot of `Γ ∪ {candidate}` (O(N²));
+//! 3. **`gn2`** — Theorem 3 (O(N³), the sharpest `f64` test);
+//! 4. **`exact`** — when the deciding margin is knife-edge (within
+//!    [`ControllerConfig::exact_margin`] relative slack), the whole cascade
+//!    re-runs in exact [`Rat64`] arithmetic so verdicts like the paper's
+//!    Table 1 equality are *proved* rather than guessed from rounding.
+//!
+//! Accepting commits the candidate to the live set; rejecting leaves state
+//! untouched. Every decision records which tier settled it.
+
+use crate::protocol::{PerTaskMargin, QueryStats};
+use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, IncrementalState, SchedTest, TestReport};
+use fpga_rt_model::{Fpga, LiveTaskSet, Rat64, Task, TaskHandle, TaskSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Which cascade tier settled a decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Incremental DP bound (Theorem 1 against cached aggregates).
+    IncrementalDp,
+    /// GN1 (Theorem 2).
+    Gn1,
+    /// GN2 (Theorem 3).
+    Gn2,
+    /// Exact `Rat64` re-check of the full cascade.
+    Exact,
+}
+
+impl Tier {
+    /// Stable wire name of the tier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Tier::IncrementalDp => "dp-inc",
+            Tier::Gn1 => "gn1",
+            Tier::Gn2 => "gn2",
+            Tier::Exact => "exact",
+        }
+    }
+}
+
+impl core::fmt::Display for Tier {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Outcome of one admission (or query) decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decision {
+    /// Whether the taskset (including the candidate, for admissions) was
+    /// found schedulable.
+    pub accepted: bool,
+    /// The cascade tier that settled the verdict.
+    pub tier: Tier,
+    /// Signed slack of the binding comparison; `None` when the decision was
+    /// settled by a precondition (task wider than device, `C > D`).
+    pub margin: Option<f64>,
+    /// Human-readable notes (rejection reason, exact-fallback notice).
+    pub reason: Option<String>,
+    /// Per-task margin rows when requested.
+    pub per_task: Option<Vec<PerTaskMargin>>,
+}
+
+/// State after a successful release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReleaseOutcome {
+    /// Live tasks remaining.
+    pub tasks: usize,
+    /// `UT(Γ)` after the release.
+    pub ut: f64,
+    /// `US(Γ)` after the release.
+    pub us: f64,
+}
+
+/// Smallest accepted timing parameter (C, D or T) for admission.
+pub const MIN_PARAMETER: f64 = 1e-6;
+/// Largest accepted timing parameter (C, D or T) for admission. Together
+/// with [`MIN_PARAMETER`] this bounds every parameter ratio the analysis
+/// kernels form to ≤ 1e15, safely inside `i64` (and `Rat64`) range.
+pub const MAX_PARAMETER: f64 = 1e9;
+
+/// Tunables of a controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Relative margin below which a verdict counts as knife-edge and is
+    /// escalated to the exact tier.
+    pub exact_margin: f64,
+    /// Largest denominator for the `f64 → Rat64` conversion of the exact
+    /// tier (continued-fraction approximation).
+    pub max_denominator: u32,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig { exact_margin: 1e-9, max_denominator: 1_000_000 }
+    }
+}
+
+/// A long-lived admission controller for one device (one shard).
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    device: Fpga,
+    live: LiveTaskSet<f64>,
+    dp: IncrementalState<f64>,
+    gn1: Gn1Test,
+    gn2: Gn2Test,
+    config: ControllerConfig,
+    stats: QueryStats,
+}
+
+impl AdmissionController {
+    /// A controller with an empty live set.
+    pub fn new(device: Fpga, config: ControllerConfig) -> Self {
+        AdmissionController {
+            device,
+            live: LiveTaskSet::new(),
+            dp: IncrementalState::default(),
+            gn1: Gn1Test::default(),
+            gn2: Gn2Test::default(),
+            config,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// The device this controller admits onto.
+    pub fn device(&self) -> &Fpga {
+        &self.device
+    }
+
+    /// Number of live tasks.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no task is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Live `UT(Γ)`.
+    pub fn time_utilization(&self) -> f64 {
+        self.live.time_utilization()
+    }
+
+    /// Live `US(Γ)`.
+    pub fn system_utilization(&self) -> f64 {
+        self.live.system_utilization()
+    }
+
+    /// Accumulated decision statistics.
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    /// Read access to the live set (snapshots, handles).
+    pub fn live(&self) -> &LiveTaskSet<f64> {
+        &self.live
+    }
+
+    fn knife_edge(&self, margin: f64, scale: f64) -> bool {
+        margin.abs() <= self.config.exact_margin * scale.abs().max(1.0)
+    }
+
+    fn record(&mut self, tier: Tier, accepted: bool) {
+        self.stats.decisions += 1;
+        if accepted {
+            self.stats.accepted += 1;
+        } else {
+            self.stats.rejected += 1;
+        }
+        let t = &mut self.stats.tiers;
+        match tier {
+            Tier::IncrementalDp => t.dp_inc += 1,
+            Tier::Gn1 => t.gn1 += 1,
+            Tier::Gn2 => t.gn2 += 1,
+            Tier::Exact => t.exact += 1,
+        }
+    }
+
+    fn commit(&mut self, task: Task<f64>) -> TaskHandle {
+        let handle = self.live.admit(task);
+        self.dp.on_admitted(&self.live, &task, &self.device);
+        handle
+    }
+
+    /// Per-task margin rows from a report over a snapshot whose positional
+    /// ids map back to the live set (candidate last, when present).
+    fn margin_rows(
+        &self,
+        report: &TestReport,
+        candidate_handle: Option<TaskHandle>,
+    ) -> Vec<PerTaskMargin> {
+        report
+            .checks
+            .iter()
+            .map(|c| {
+                let index = c.task.0;
+                let handle = match self.live.handle_at(index) {
+                    Some(h) => Some(h.0),
+                    None => candidate_handle.map(|h| h.0),
+                };
+                PerTaskMargin { index, handle, margin: c.rhs - c.lhs }
+            })
+            .collect()
+    }
+
+    /// Decide admission of `task`; accepted candidates are committed.
+    ///
+    /// Returns the decision and, on acceptance, the new task's handle.
+    pub fn admit(&mut self, task: Task<f64>, want_margins: bool) -> (Decision, Option<TaskHandle>) {
+        // Preconditions: cheaper than any bound and independent of Γ.
+        //
+        // Magnitude cap: serve accepts untrusted input, and the analysis
+        // kernels compute ratios like ⌊(Dk − Di)/Ti⌋ in i64 — two in-range
+        // parameters can be 15 decimal orders apart at most, keeping every
+        // such ratio far from i64/Rat64 overflow.
+        for (name, value) in [("C", task.exec()), ("D", task.deadline()), ("T", task.period())] {
+            if !(MIN_PARAMETER..=MAX_PARAMETER).contains(&value) {
+                self.record(Tier::IncrementalDp, false);
+                let reason = format!(
+                    "task {name}={value:e} outside the supported range \
+                     [{MIN_PARAMETER:e}, {MAX_PARAMETER:e}]"
+                );
+                return (self.precondition_reject(reason), None);
+            }
+        }
+        if task.area() > self.device.columns() {
+            self.record(Tier::IncrementalDp, false);
+            let reason = format!(
+                "task occupies {} columns but the device only has {}",
+                task.area(),
+                self.device.columns()
+            );
+            return (self.precondition_reject(reason), None);
+        }
+        if task.is_trivially_infeasible() {
+            self.record(Tier::IncrementalDp, false);
+            let reason = format!(
+                "task has C={} > D={} and can never meet a deadline",
+                task.exec(),
+                task.deadline()
+            );
+            return (self.precondition_reject(reason), None);
+        }
+
+        let new_us = self.live.system_utilization() + task.system_utilization();
+        let dp_out = self.dp.evaluate_admit(&self.live, &task, &self.device);
+
+        // Fast path: clear incremental-DP accept, no snapshot needed.
+        if dp_out.accepted && !self.knife_edge(dp_out.margin, new_us) {
+            self.record(Tier::IncrementalDp, true);
+            let handle = self.commit(task);
+            let per_task = want_margins.then(|| {
+                let snap = self.live.snapshot().expect("non-empty after commit");
+                self.margin_rows(&DpTest::default().check(&snap, &self.device), Some(handle))
+            });
+            let decision = Decision {
+                accepted: true,
+                tier: Tier::IncrementalDp,
+                margin: finite(dp_out.margin),
+                reason: None,
+                per_task,
+            };
+            return (decision, Some(handle));
+        }
+
+        // Slow path: evaluate Γ ∪ {candidate} as a snapshot.
+        let snap = self.live.snapshot_with(&task).expect("candidate makes the set non-empty");
+        let outcome = self.cascade_decide(&snap, dp_out, new_us);
+        self.record(outcome.tier, outcome.accepted);
+        let handle = if outcome.accepted { Some(self.commit(task)) } else { None };
+        let per_task = match (&outcome.report, want_margins) {
+            (Some(report), true) => Some(self.margin_rows(report, handle)),
+            _ => None,
+        };
+        let decision = Decision {
+            accepted: outcome.accepted,
+            tier: outcome.tier,
+            margin: outcome.margin,
+            reason: outcome.reason,
+            per_task,
+        };
+        (decision, handle)
+    }
+
+    /// Shared slow path of [`AdmissionController::admit`] and
+    /// [`AdmissionController::query`]: run GN1 then (only if needed) GN2 on
+    /// the snapshot, escalate to the exact tier when any *computed* margin
+    /// is knife-edge, and fall back to the f64 verdict when exact
+    /// arithmetic is unavailable for this set.
+    fn cascade_decide(
+        &self,
+        snap: &TaskSet<f64>,
+        dp_out: fpga_rt_analysis::IncrementalOutcome<f64>,
+        us: f64,
+    ) -> CascadeOutcome {
+        let mut knife = self.knife_edge(dp_out.margin, us);
+        let mut best_margin = dp_out.margin;
+        let mut decided: Option<(Tier, f64, TestReport)> = None;
+
+        // Lazy escalation: GN2 (O(N³)) only runs when GN1 did not accept.
+        for tier in [Tier::Gn1, Tier::Gn2] {
+            let report = match tier {
+                Tier::Gn1 => self.gn1.check(snap, &self.device),
+                _ => self.gn2.check(snap, &self.device),
+            };
+            let margin = report_margin(&report);
+            knife |= self.knife_edge(margin, us);
+            best_margin = best_margin.max(margin);
+            if report.accepted() {
+                decided = Some((tier, margin, report));
+                break;
+            }
+        }
+
+        // Knife-edge anywhere: settle the verdict in exact arithmetic.
+        if knife {
+            match exact_cascade(snap, &self.device, self.config.max_denominator) {
+                Ok(exact) => {
+                    return CascadeOutcome {
+                        accepted: exact.accepted,
+                        tier: Tier::Exact,
+                        margin: finite(exact.margin),
+                        reason: Some(exact.reason),
+                        report: Some(exact.report),
+                    };
+                }
+                Err(overflow) => {
+                    // Exact arithmetic cannot represent this set: fall back
+                    // to the f64 verdict, noting the degradation.
+                    let note = format!("exact re-check unavailable ({overflow}); f64 verdict");
+                    return match decided {
+                        Some((tier, margin, report)) => CascadeOutcome {
+                            accepted: true,
+                            tier,
+                            margin: finite(margin),
+                            reason: Some(note),
+                            report: Some(report),
+                        },
+                        None if dp_out.accepted => CascadeOutcome {
+                            accepted: true,
+                            tier: Tier::IncrementalDp,
+                            margin: finite(dp_out.margin),
+                            reason: Some(note),
+                            report: None,
+                        },
+                        None => CascadeOutcome {
+                            accepted: false,
+                            tier: Tier::Gn2,
+                            margin: finite(best_margin),
+                            reason: Some(format!("rejected by DP, GN1 and GN2; {note}")),
+                            report: None,
+                        },
+                    };
+                }
+            }
+        }
+
+        match decided {
+            Some((tier, margin, report)) => CascadeOutcome {
+                accepted: true,
+                tier,
+                margin: finite(margin),
+                reason: None,
+                report: Some(report),
+            },
+            None => CascadeOutcome {
+                accepted: false,
+                tier: Tier::Gn2,
+                margin: finite(best_margin),
+                reason: Some("rejected by DP, GN1 and GN2".to_string()),
+                report: None,
+            },
+        }
+    }
+
+    fn precondition_reject(&self, reason: String) -> Decision {
+        Decision {
+            accepted: false,
+            tier: Tier::IncrementalDp,
+            margin: None,
+            reason: Some(reason),
+            per_task: None,
+        }
+    }
+
+    /// Release a previously admitted task.
+    pub fn release(&mut self, handle: TaskHandle) -> Result<ReleaseOutcome, String> {
+        let removed = self.live.remove(handle).map_err(|e| e.to_string())?;
+        self.dp.on_removed(&self.live, &removed, &self.device);
+        Ok(ReleaseOutcome {
+            tasks: self.live.len(),
+            ut: self.live.time_utilization(),
+            us: self.live.system_utilization(),
+        })
+    }
+
+    /// Is the *current* live set schedulable, and by which tier? Does not
+    /// count into the admission statistics.
+    pub fn query(&mut self, want_margins: bool) -> Decision {
+        let dp_out = self.dp.evaluate_current(&self.live, &self.device);
+        let us = self.live.system_utilization();
+        if self.live.is_empty() || (dp_out.accepted && !self.knife_edge(dp_out.margin, us)) {
+            let per_task = (want_margins && !self.live.is_empty()).then(|| {
+                let snap = self.live.snapshot().expect("checked non-empty");
+                self.margin_rows(&DpTest::default().check(&snap, &self.device), None)
+            });
+            return Decision {
+                accepted: true,
+                tier: Tier::IncrementalDp,
+                margin: finite(dp_out.margin),
+                reason: None,
+                per_task,
+            };
+        }
+        let snap = self.live.snapshot().expect("non-empty");
+        let outcome = self.cascade_decide(&snap, dp_out, us);
+        let per_task = match (&outcome.report, want_margins) {
+            (Some(report), true) => Some(self.margin_rows(report, None)),
+            _ => None,
+        };
+        Decision {
+            accepted: outcome.accepted,
+            tier: outcome.tier,
+            margin: outcome.margin,
+            reason: outcome.reason,
+            per_task,
+        }
+    }
+}
+
+/// Verdict of the shared GN1 → GN2 → exact slow path.
+struct CascadeOutcome {
+    accepted: bool,
+    tier: Tier,
+    margin: Option<f64>,
+    reason: Option<String>,
+    /// The deciding test's report, when one exists (for margin rows).
+    report: Option<TestReport>,
+}
+
+/// `Some(m)` for finite margins, `None` otherwise (never serialize NaN/∞).
+fn finite(m: f64) -> Option<f64> {
+    m.is_finite().then_some(m)
+}
+
+/// Signed slack of a report's deciding comparison: the minimum `rhs − lhs`
+/// over all rows on acceptance, the failing row's `rhs − lhs` on rejection.
+fn report_margin(report: &TestReport) -> f64 {
+    if report.accepted() {
+        report.checks.iter().map(|c| c.rhs - c.lhs).fold(f64::INFINITY, f64::min)
+    } else {
+        report
+            .checks
+            .iter()
+            .rev()
+            .find(|c| !c.passed)
+            .map(|c| c.rhs - c.lhs)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// Result of the exact-arithmetic re-check.
+#[derive(Debug)]
+struct ExactOutcome {
+    accepted: bool,
+    margin: f64,
+    reason: String,
+    report: TestReport,
+}
+
+/// Convert an `f64` snapshot to exact rationals, propagating conversion
+/// failure (values whose integer part exceeds `i64` range) as a clean error
+/// instead of panicking.
+fn to_exact(
+    snapshot: &TaskSet<f64>,
+    max_denominator: u32,
+) -> Result<TaskSet<Rat64>, fpga_rt_model::ModelError> {
+    let tasks = snapshot
+        .tasks()
+        .iter()
+        .map(|t| {
+            Task::new(
+                Rat64::approx_f64(t.exec(), max_denominator)?,
+                Rat64::approx_f64(t.deadline(), max_denominator)?,
+                Rat64::approx_f64(t.period(), max_denominator)?,
+                t.area(),
+            )
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    TaskSet::new(tasks)
+}
+
+/// Re-run the DP → GN1 → GN2 cascade in exact [`Rat64`] arithmetic.
+///
+/// `Err` carries an explanation when exact arithmetic is unavailable for
+/// this taskset — either the `f64 → Rat64` conversion fails outright or an
+/// operator overflows the normalized i64/i64 representation (the same
+/// failure mode the CLI's `--exact` flag maps to exit code 2).
+fn exact_cascade(
+    snapshot: &TaskSet<f64>,
+    device: &Fpga,
+    max_denominator: u32,
+) -> Result<ExactOutcome, String> {
+    let exact =
+        to_exact(snapshot, max_denominator).map_err(|e| format!("exact conversion failed: {e}"))?;
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        let dp = DpTest::default().check(&exact, device);
+        if dp.accepted() {
+            return ("DP", dp);
+        }
+        let gn1 = Gn1Test::default().check(&exact, device);
+        if gn1.accepted() {
+            return ("GN1", gn1);
+        }
+        ("GN2", Gn2Test::default().check(&exact, device))
+    }));
+    match caught {
+        Ok((name, report)) => {
+            let accepted = report.accepted();
+            let margin = report_margin(&report);
+            let reason = if accepted {
+                format!("exact re-check: accepted by {name}")
+            } else {
+                "exact re-check: rejected by DP, GN1 and GN2".to_string()
+            };
+            Ok(ExactOutcome { accepted, margin, reason, report })
+        }
+        Err(payload) => {
+            if Rat64::is_overflow_panic(payload.as_ref()) {
+                Err("exact arithmetic overflowed i64 for this taskset".to_string())
+            } else {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdmissionController {
+        AdmissionController::new(Fpga::new(10).unwrap(), ControllerConfig::default())
+    }
+
+    fn t(c: f64, d: f64, p: f64, a: u32) -> Task<f64> {
+        Task::new(c, d, p, a).unwrap()
+    }
+
+    #[test]
+    fn light_task_admitted_by_incremental_dp() {
+        let mut ctl = controller();
+        let (dec, handle) = ctl.admit(t(1.0, 10.0, 10.0, 3), false);
+        assert!(dec.accepted);
+        assert_eq!(dec.tier, Tier::IncrementalDp);
+        assert!(handle.is_some());
+        assert_eq!(ctl.len(), 1);
+        assert_eq!(ctl.stats().tiers.dp_inc, 1);
+    }
+
+    /// Table 2 admitted task-by-task: the second admission fails DP but is
+    /// accepted by GN1 — the cascade escalates exactly one tier.
+    #[test]
+    fn table2_second_admission_decided_by_gn1() {
+        let mut ctl = controller();
+        assert!(ctl.admit(t(4.50, 8.0, 8.0, 3), false).0.accepted);
+        let (dec, _) = ctl.admit(t(8.00, 9.0, 9.0, 5), false);
+        assert!(dec.accepted, "{dec:?}");
+        assert_eq!(dec.tier, Tier::Gn1);
+    }
+
+    /// Table 3: DP and GN1 reject the full set; GN2 accepts.
+    #[test]
+    fn table3_second_admission_decided_by_gn2() {
+        let mut ctl = controller();
+        assert!(ctl.admit(t(2.10, 5.0, 5.0, 7), false).0.accepted);
+        let (dec, _) = ctl.admit(t(2.00, 7.0, 7.0, 7), false);
+        assert!(dec.accepted, "{dec:?}");
+        assert_eq!(dec.tier, Tier::Gn2);
+    }
+
+    /// Table 1: the second admission sits exactly on the DP bound — the
+    /// knife-edge margin escalates to the exact tier, which proves the
+    /// equality and accepts.
+    #[test]
+    fn table1_second_admission_decided_exactly() {
+        let mut ctl = controller();
+        assert!(ctl.admit(t(1.26, 7.0, 7.0, 9), false).0.accepted);
+        let (dec, handle) = ctl.admit(t(0.95, 5.0, 5.0, 6), false);
+        assert!(dec.accepted, "{dec:?}");
+        assert_eq!(dec.tier, Tier::Exact);
+        assert!(handle.is_some());
+        assert_eq!(ctl.stats().tiers.exact, 1);
+    }
+
+    #[test]
+    fn overload_rejected_without_mutation() {
+        let mut ctl = controller();
+        assert!(ctl.admit(t(4.9, 5.0, 5.0, 9), false).0.accepted);
+        let before = ctl.len();
+        let (dec, handle) = ctl.admit(t(4.9, 5.0, 5.0, 9), false);
+        assert!(!dec.accepted);
+        assert_eq!(dec.tier, Tier::Gn2);
+        assert!(handle.is_none());
+        assert_eq!(ctl.len(), before, "rejection must not mutate the live set");
+        assert!(dec.margin.unwrap() < 0.0);
+    }
+
+    #[test]
+    fn precondition_rejections() {
+        let mut ctl = controller();
+        let (dec, _) = ctl.admit(t(1.0, 5.0, 5.0, 11), false);
+        assert!(!dec.accepted);
+        assert!(dec.reason.unwrap().contains("11 columns"));
+        let (dec, _) = ctl.admit(t(6.0, 5.0, 5.0, 2), false);
+        assert!(!dec.accepted);
+        assert!(dec.reason.unwrap().contains("C="));
+    }
+
+    /// Untrusted magnitudes are rejected up front instead of driving the
+    /// analysis kernels (i64 job counts, `Rat64` conversion) into
+    /// overflow: the 1e19-period admit used to panic the exact tier.
+    #[test]
+    fn out_of_range_magnitudes_rejected_cleanly() {
+        let mut ctl = controller();
+        let (dec, handle) = ctl.admit(t(1e19, 2e19, 2e19, 1), false);
+        assert!(!dec.accepted);
+        assert!(handle.is_none());
+        assert!(dec.reason.unwrap().contains("supported range"));
+        let (dec, _) = ctl.admit(t(1e-9, 5.0, 5.0, 1), false);
+        assert!(!dec.accepted);
+        // The live set stayed empty and keeps working normally.
+        assert!(ctl.is_empty());
+        assert!(ctl.admit(t(0.6, 1.0, 1.0, 5), false).0.accepted);
+    }
+
+    /// Conversion failure inside the exact tier degrades to an error, not
+    /// a panic (defense in depth behind the magnitude precondition).
+    #[test]
+    fn exact_cascade_conversion_failure_is_an_error() {
+        let snap: TaskSet<f64> = TaskSet::try_from_tuples(&[(1e19, 2e19, 2e19, 1)]).unwrap();
+        let err = exact_cascade(&snap, &Fpga::new(10).unwrap(), 1_000_000).unwrap_err();
+        assert!(err.contains("conversion failed"), "{err}");
+    }
+
+    #[test]
+    fn release_then_readmit() {
+        let mut ctl = controller();
+        let (_, h) = ctl.admit(t(4.9, 5.0, 5.0, 9), false);
+        let out = ctl.release(h.unwrap()).unwrap();
+        assert_eq!(out.tasks, 0);
+        assert!(ctl.release(h.unwrap()).is_err(), "double release is a clean error");
+        assert!(ctl.admit(t(4.9, 5.0, 5.0, 9), false).0.accepted);
+    }
+
+    #[test]
+    fn query_reports_current_verdict_and_stats() {
+        let mut ctl = controller();
+        let dec = ctl.query(false);
+        assert!(dec.accepted, "empty set is schedulable");
+        ctl.admit(t(1.0, 10.0, 10.0, 3), false);
+        let dec = ctl.query(true);
+        assert!(dec.accepted);
+        assert_eq!(dec.per_task.unwrap().len(), 1);
+        let stats = ctl.stats();
+        assert_eq!(stats.decisions, 1);
+        assert_eq!(stats.accepted, 1);
+    }
+
+    #[test]
+    fn margin_rows_map_candidate_to_new_handle() {
+        let mut ctl = controller();
+        let (dec, h) = ctl.admit(t(1.0, 10.0, 10.0, 3), true);
+        let rows = dec.per_task.unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].handle, Some(h.unwrap().0));
+    }
+}

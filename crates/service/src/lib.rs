@@ -1,0 +1,61 @@
+//! # fpga-rt-service
+//!
+//! Online admission control for hardware tasks on reconfigurable devices:
+//! a long-running runtime that decides, per arriving task, whether the live
+//! taskset stays schedulable — the deployment shape the paper's Section 6
+//! advice ("apply different schedulability bounds together") actually has
+//! in practice.
+//!
+//! ## Architecture
+//!
+//! * [`AdmissionController`] — one device, one live
+//!   [`fpga_rt_model::LiveTaskSet`], answering `admit` / `release` /
+//!   `query`. Each admission runs a **fast→slow cascade**: the incremental
+//!   DP bound ([`fpga_rt_analysis::IncrementalState`], O(1) against cached
+//!   aggregates) → GN1 → GN2 → an **exact** [`fpga_rt_model::Rat64`]
+//!   re-check when the deciding margin is knife-edge. Every
+//!   [`Decision`] records which [`Tier`] settled it.
+//! * [`protocol`] — the line-delimited JSON request/response wire format:
+//!   scriptable, replayable, diffable (the CI pipeline replays a recorded
+//!   session against a golden transcript).
+//! * [`serve_session`] — the batched session loop: requests are read in
+//!   batches and sharded across a small hand-rolled worker pool
+//!   (`std::thread` + mpsc channels); each shard is an independent
+//!   controller pinned to one worker, so responses are deterministic in the
+//!   worker count, batch size and timing.
+//!
+//! ## Example
+//!
+//! ```
+//! use fpga_rt_service::{serve_session, ServeConfig};
+//!
+//! let requests = concat!(
+//!     r#"{"op":"admit","task":{"exec":1.0,"deadline":5.0,"period":5.0,"area":2}}"#, "\n",
+//!     r#"{"op":"query"}"#, "\n",
+//! );
+//! let mut out = Vec::new();
+//! let config = ServeConfig { deterministic: true, ..ServeConfig::new(10) };
+//! let stats = serve_session(&mut requests.as_bytes(), &mut out, &config)?;
+//! assert_eq!(stats.accepted, 1);
+//! let transcript = String::from_utf8(out)?;
+//! assert!(transcript.lines().next().unwrap().contains("\"verdict\":\"accept\""));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `fpga-rt serve` CLI subcommand wraps [`serve_session`] over
+//! stdin/stdout; see the workspace README's *Service mode* section for a
+//! copy-pasteable session transcript.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod protocol;
+pub mod server;
+
+pub use controller::{AdmissionController, ControllerConfig, Decision, ReleaseOutcome, Tier};
+pub use protocol::{
+    parse_request, render_response, PerTaskMargin, QueryStats, Request, Response, TaskParams,
+    TierCounts,
+};
+pub use server::{serve_session, ServeConfig, SessionStats};

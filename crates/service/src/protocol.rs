@@ -1,0 +1,253 @@
+//! The line-delimited JSON (JSONL) request/response wire protocol.
+//!
+//! One request per line on stdin, one response per line on stdout, in
+//! request order. The protocol is plain-text and self-contained so sessions
+//! can be recorded, replayed and diffed against golden files (the CI gate
+//! does exactly that).
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"op":"admit","task":{"exec":1.0,"deadline":5.0,"period":5.0,"area":2}}
+//! {"id":"r7","op":"release","handle":0}
+//! {"op":"query","shard":3}
+//! ```
+//!
+//! * `op` — `"admit"`, `"release"` or `"query"` (required).
+//! * `id` — optional client-chosen correlation id; when absent the service
+//!   assigns the deterministic id `req-<seq>` from the 0-based line number.
+//! * `shard` — optional shard key (default 0); each shard is an independent
+//!   admission controller with its own live taskset.
+//! * `task` — the candidate `(C, D, T, A)` for `admit`.
+//! * `handle` — the handle to release (as returned by an accepted `admit`).
+//! * `margins` — when `true`, the response carries per-task margin rows.
+//!
+//! ## Responses
+//!
+//! Every response echoes `id`, `seq`, `op` and `shard`, and carries `ok`
+//! (protocol-level success), the schedulability `verdict`
+//! (`"accept"`/`"reject"`), the deciding cascade `tier` (`"dp-inc"`,
+//! `"gn1"`, `"gn2"`, `"exact"`), the binding `margin`, the live-set
+//! aggregates (`tasks`, `ut`, `us`) and the decision `latency_us`
+//! (reported as 0 in deterministic mode so transcripts stay diffable).
+
+use fpga_rt_model::{ModelError, Task};
+use serde::{Deserialize, Serialize};
+
+/// Raw task parameters on the wire; validated into a
+/// [`fpga_rt_model::Task`] on receipt (the wire form performs no
+/// validation of its own).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskParams {
+    /// Worst-case execution time `C`.
+    pub exec: f64,
+    /// Relative deadline `D`.
+    pub deadline: f64,
+    /// Period / minimum inter-arrival time `T`.
+    pub period: f64,
+    /// Area in columns `A`.
+    pub area: u32,
+}
+
+impl TaskParams {
+    /// Validate into a model task.
+    pub fn to_task(self) -> Result<Task<f64>, ModelError> {
+        Task::new(self.exec, self.deadline, self.period, self.area)
+    }
+}
+
+impl From<&Task<f64>> for TaskParams {
+    fn from(t: &Task<f64>) -> Self {
+        TaskParams { exec: t.exec(), deadline: t.deadline(), period: t.period(), area: t.area() }
+    }
+}
+
+/// One request line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client correlation id; `req-<seq>` is assigned when absent.
+    pub id: Option<String>,
+    /// Operation: `"admit"`, `"release"` or `"query"`.
+    pub op: String,
+    /// Shard key (default 0); reduced modulo the configured shard count.
+    pub shard: Option<u32>,
+    /// Candidate task for `admit`.
+    pub task: Option<TaskParams>,
+    /// Handle to release for `release`.
+    pub handle: Option<u64>,
+    /// Request per-task margin rows in the response.
+    pub margins: Option<bool>,
+}
+
+/// Per-task margin row: the slack of the deciding test's inequality for one
+/// task of the evaluated set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerTaskMargin {
+    /// Position within the evaluated snapshot (admission order; the
+    /// candidate, when present, is the last row).
+    pub index: usize,
+    /// Live handle of the task; `None` for a rejected candidate.
+    pub handle: Option<u64>,
+    /// Signed slack `rhs − lhs` of the per-task condition.
+    pub margin: f64,
+}
+
+/// How many admit decisions each cascade tier has settled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TierCounts {
+    /// Decided by the incremental DP bound (O(1) fast path included).
+    pub dp_inc: u64,
+    /// Decided by GN1 (Theorem 2).
+    pub gn1: u64,
+    /// Decided by GN2 (Theorem 3).
+    pub gn2: u64,
+    /// Decided by the exact `Rat64` re-check (knife-edge margins).
+    pub exact: u64,
+}
+
+impl TierCounts {
+    /// Total decisions across tiers.
+    pub fn total(&self) -> u64 {
+        self.dp_inc + self.gn1 + self.gn2 + self.exact
+    }
+}
+
+/// Controller statistics reported by `query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Total admit decisions taken by this shard's controller.
+    pub decisions: u64,
+    /// Admissions accepted.
+    pub accepted: u64,
+    /// Admissions rejected.
+    pub rejected: u64,
+    /// Which tier settled each decision.
+    pub tiers: TierCounts,
+}
+
+/// One response line. Fields that do not apply to the request carry `null`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echoed (or assigned `req-<seq>`) correlation id.
+    pub id: String,
+    /// 0-based request sequence number within the session.
+    pub seq: u64,
+    /// Echoed operation.
+    pub op: String,
+    /// Shard that served the request (after modulo reduction).
+    pub shard: u32,
+    /// Protocol-level success. `false` means the request itself was bad
+    /// (parse error, missing field, stale handle); see `error`.
+    pub ok: bool,
+    /// Schedulability verdict: `"accept"` or `"reject"`.
+    pub verdict: Option<String>,
+    /// Deciding cascade tier: `"dp-inc"`, `"gn1"`, `"gn2"` or `"exact"`.
+    pub tier: Option<String>,
+    /// Handle assigned by an accepted `admit` / echoed by `release`.
+    pub handle: Option<u64>,
+    /// Live tasks after the operation.
+    pub tasks: Option<usize>,
+    /// Live `UT(Γ)` after the operation.
+    pub ut: Option<f64>,
+    /// Live `US(Γ)` after the operation.
+    pub us: Option<f64>,
+    /// Binding margin of the deciding comparison (signed slack).
+    pub margin: Option<f64>,
+    /// Per-task margin rows (only when requested via `margins:true`).
+    pub margins: Option<Vec<PerTaskMargin>>,
+    /// Controller statistics (only on `query`).
+    pub stats: Option<QueryStats>,
+    /// Human-readable rejection reason / decision notes.
+    pub reason: Option<String>,
+    /// Protocol-level error message when `ok` is `false`.
+    pub error: Option<String>,
+    /// Decision latency in microseconds (0 in deterministic mode).
+    pub latency_us: Option<u64>,
+}
+
+impl Response {
+    /// A blank response skeleton for a request.
+    pub fn new(id: String, seq: u64, op: String, shard: u32) -> Self {
+        Response {
+            id,
+            seq,
+            op,
+            shard,
+            ok: true,
+            verdict: None,
+            tier: None,
+            handle: None,
+            tasks: None,
+            ut: None,
+            us: None,
+            margin: None,
+            margins: None,
+            stats: None,
+            reason: None,
+            error: None,
+            latency_us: None,
+        }
+    }
+
+    /// A protocol-level error response.
+    pub fn protocol_error(id: String, seq: u64, op: String, shard: u32, msg: String) -> Self {
+        let mut r = Response::new(id, seq, op, shard);
+        r.ok = false;
+        r.error = Some(msg);
+        r
+    }
+}
+
+/// Parse one JSONL request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line).map_err(|e| e.to_string())
+}
+
+/// Render one response as a JSONL line (no trailing newline).
+pub fn render_response(resp: &Response) -> String {
+    serde_json::to_string(resp).expect("response serialization is infallible")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip_with_defaults() {
+        let req = parse_request(
+            r#"{"op":"admit","task":{"exec":1.0,"deadline":5.0,"period":5.0,"area":2}}"#,
+        )
+        .unwrap();
+        assert_eq!(req.op, "admit");
+        assert_eq!(req.id, None);
+        assert_eq!(req.shard, None);
+        let task = req.task.unwrap().to_task().unwrap();
+        assert_eq!(task.area(), 2);
+    }
+
+    #[test]
+    fn invalid_task_params_are_validated_on_conversion() {
+        let req = parse_request(
+            r#"{"op":"admit","task":{"exec":-1.0,"deadline":5.0,"period":5.0,"area":2}}"#,
+        )
+        .unwrap();
+        assert!(req.task.unwrap().to_task().is_err());
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(parse_request("{not json").is_err());
+        assert!(parse_request(r#"{"task":{}}"#).is_err(), "missing op");
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut resp = Response::new("r1".into(), 4, "admit".into(), 0);
+        resp.verdict = Some("accept".into());
+        resp.tier = Some("dp-inc".into());
+        resp.margin = Some(1.25);
+        let line = render_response(&resp);
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, resp);
+    }
+}

@@ -1,0 +1,444 @@
+//! Session loop: batched JSONL I/O over a hand-rolled sharded worker pool.
+//!
+//! The main thread reads requests in batches, routes each request to a
+//! worker by its shard key, and writes the collected responses back in
+//! request order before reading the next batch. Workers are plain
+//! `std::thread`s fed through `mpsc` channels (the same thread-sharding
+//! idiom as `fpga_rt_exp::acceptance::run_sweep`): each worker *owns* the
+//! controllers of the shards routed to it, so a shard's requests are always
+//! processed sequentially by one thread — which makes the whole session
+//! deterministic in the worker count, the batch size and wall-clock timing.
+
+use crate::controller::{AdmissionController, ControllerConfig};
+use crate::protocol::{parse_request, render_response, Request, Response, TierCounts};
+use fpga_rt_model::{Fpga, TaskHandle};
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Configuration of one serve session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Device size in columns (each shard admits onto its own device of
+    /// this size).
+    pub columns: u32,
+    /// Number of independent shards (admission controllers). Request shard
+    /// keys are reduced modulo this count.
+    pub shards: u32,
+    /// Worker threads; 0 picks `min(shards, available parallelism)`.
+    pub workers: usize,
+    /// Requests read (and answered) per batch.
+    pub batch: usize,
+    /// Knife-edge threshold forwarded to every controller.
+    pub exact_margin: f64,
+    /// `f64 → Rat64` denominator cap for the exact tier.
+    pub max_denominator: u32,
+    /// Report `latency_us` as 0 so transcripts are byte-for-byte
+    /// reproducible (used by the golden-file CI gate).
+    pub deterministic: bool,
+}
+
+impl ServeConfig {
+    /// Defaults for a device: one shard, auto workers, batches of 64.
+    pub fn new(columns: u32) -> Self {
+        ServeConfig {
+            columns,
+            shards: 1,
+            workers: 0,
+            batch: 64,
+            exact_margin: 1e-9,
+            max_denominator: 1_000_000,
+            deterministic: false,
+        }
+    }
+
+    fn controller_config(&self) -> ControllerConfig {
+        ControllerConfig { exact_margin: self.exact_margin, max_denominator: self.max_denominator }
+    }
+}
+
+/// Aggregate statistics of a completed session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Requests read (including malformed lines).
+    pub requests: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Admissions accepted.
+    pub accepted: u64,
+    /// Admissions rejected.
+    pub rejected: u64,
+    /// Protocol-level errors (malformed line, bad op, stale handle, ...).
+    pub errors: u64,
+    /// Which cascade tier settled each admit decision.
+    pub tiers: TierCounts,
+}
+
+/// Drive a full session: read JSONL requests from `input` until EOF, write
+/// one JSONL response per request to `output` in request order.
+pub fn serve_session(
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+    config: &ServeConfig,
+) -> Result<SessionStats, String> {
+    if config.columns == 0 {
+        return Err("device must have at least one column".to_string());
+    }
+    let shards = config.shards.max(1);
+    let batch_size = config.batch.max(1);
+    let workers = if config.workers == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        config.workers
+    }
+    .min(shards as usize)
+    .max(1);
+    let device = Fpga::new(config.columns).map_err(|e| e.to_string())?;
+    let ctl_config = config.controller_config();
+
+    let mut stats = SessionStats::default();
+
+    std::thread::scope(|scope| -> Result<(), String> {
+        let (result_tx, result_rx) = mpsc::channel::<(u64, Response)>();
+        let mut job_txs: Vec<mpsc::Sender<Vec<(u64, u32, Request)>>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Vec<(u64, u32, Request)>>();
+            job_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let deterministic = config.deterministic;
+            scope.spawn(move || {
+                let mut controllers: HashMap<u32, AdmissionController> = HashMap::new();
+                for jobs in rx {
+                    for (seq, shard, request) in jobs {
+                        let start = Instant::now();
+                        let controller = controllers
+                            .entry(shard)
+                            .or_insert_with(|| AdmissionController::new(device, ctl_config));
+                        // A panicking handler must not kill the worker: a
+                        // dead worker's pending responses would deadlock
+                        // the main thread's batch collection. Contain the
+                        // panic as a per-request error instead.
+                        let id = request.id.clone().unwrap_or_else(|| format!("req-{seq}"));
+                        let op = request.op.clone();
+                        let mut response = catch_unwind(AssertUnwindSafe(|| {
+                            handle_request(controller, seq, shard, request)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            let msg = payload
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                                .unwrap_or_else(|| "unknown panic".to_string());
+                            Response::protocol_error(
+                                id,
+                                seq,
+                                op,
+                                shard,
+                                format!("internal error: {msg}"),
+                            )
+                        });
+                        response.latency_us = Some(if deterministic {
+                            0
+                        } else {
+                            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+                        });
+                        if result_tx.send((seq, response)).is_err() {
+                            return; // session aborted
+                        }
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+
+        let mut seq: u64 = 0;
+        let mut line = String::new();
+        let mut eof = false;
+        while !eof {
+            // Read one batch of lines.
+            let mut immediate: Vec<(u64, Response)> = Vec::new();
+            let mut per_worker: Vec<Vec<(u64, u32, Request)>> = vec![Vec::new(); workers];
+            let mut pending = 0usize;
+            let mut read = 0usize;
+            while read < batch_size {
+                line.clear();
+                let n = input.read_line(&mut line).map_err(|e| e.to_string())?;
+                if n == 0 {
+                    eof = true;
+                    break;
+                }
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue; // blank lines don't consume sequence numbers
+                }
+                let this_seq = seq;
+                seq += 1;
+                read += 1;
+                stats.requests += 1;
+                match parse_request(trimmed) {
+                    Ok(request) => {
+                        let shard = request.shard.unwrap_or(0) % shards;
+                        let worker = (shard as usize) % workers;
+                        per_worker[worker].push((this_seq, shard, request));
+                        pending += 1;
+                    }
+                    Err(e) => {
+                        immediate.push((
+                            this_seq,
+                            Response::protocol_error(
+                                format!("req-{this_seq}"),
+                                this_seq,
+                                String::new(),
+                                0,
+                                format!("malformed request: {e}"),
+                            ),
+                        ));
+                    }
+                }
+            }
+            if read == 0 {
+                break;
+            }
+            stats.batches += 1;
+
+            // Dispatch and collect the batch.
+            for (worker, jobs) in per_worker.into_iter().enumerate() {
+                if !jobs.is_empty() {
+                    job_txs[worker].send(jobs).map_err(|_| "worker pool died".to_string())?;
+                }
+            }
+            let mut responses = immediate;
+            for _ in 0..pending {
+                let pair = result_rx.recv().map_err(|_| "worker pool died".to_string())?;
+                responses.push(pair);
+            }
+            responses.sort_by_key(|(s, _)| *s);
+
+            // Emit in request order, folding into session statistics.
+            for (_, response) in &responses {
+                account(&mut stats, response);
+                writeln!(output, "{}", render_response(response)).map_err(|e| e.to_string())?;
+            }
+        }
+        drop(job_txs); // hang up; workers drain and exit, scope joins them
+        Ok(())
+    })?;
+
+    Ok(stats)
+}
+
+/// Fold one response into the session statistics.
+fn account(stats: &mut SessionStats, response: &Response) {
+    if response.error.is_some() {
+        stats.errors += 1;
+    }
+    if response.op == "admit" && response.ok {
+        match response.verdict.as_deref() {
+            Some("accept") => stats.accepted += 1,
+            Some("reject") => stats.rejected += 1,
+            _ => {}
+        }
+        match response.tier.as_deref() {
+            Some("dp-inc") => stats.tiers.dp_inc += 1,
+            Some("gn1") => stats.tiers.gn1 += 1,
+            Some("gn2") => stats.tiers.gn2 += 1,
+            Some("exact") => stats.tiers.exact += 1,
+            _ => {}
+        }
+    }
+}
+
+/// Serve one parsed request against its shard's controller.
+fn handle_request(
+    controller: &mut AdmissionController,
+    seq: u64,
+    shard: u32,
+    request: Request,
+) -> Response {
+    let id = request.id.clone().unwrap_or_else(|| format!("req-{seq}"));
+    let mut response = Response::new(id, seq, request.op.clone(), shard);
+    let want_margins = request.margins.unwrap_or(false);
+    match request.op.as_str() {
+        "admit" => {
+            let Some(params) = request.task else {
+                response.ok = false;
+                response.error = Some("admit requires a `task` object".to_string());
+                return response;
+            };
+            match params.to_task() {
+                Ok(task) => {
+                    let (decision, handle) = controller.admit(task, want_margins);
+                    response.verdict =
+                        Some(if decision.accepted { "accept" } else { "reject" }.to_string());
+                    response.tier = Some(decision.tier.as_str().to_string());
+                    response.margin = decision.margin;
+                    response.margins = decision.per_task;
+                    response.reason = decision.reason;
+                    response.handle = handle.map(|h| h.0);
+                    fill_aggregates(&mut response, controller);
+                }
+                Err(e) => {
+                    response.ok = false;
+                    response.error = Some(format!("invalid task: {e}"));
+                }
+            }
+        }
+        "release" => {
+            let Some(handle) = request.handle else {
+                response.ok = false;
+                response.error = Some("release requires a `handle`".to_string());
+                return response;
+            };
+            match controller.release(TaskHandle(handle)) {
+                Ok(_) => {
+                    response.handle = Some(handle);
+                    fill_aggregates(&mut response, controller);
+                }
+                Err(e) => {
+                    response.ok = false;
+                    response.error = Some(e);
+                }
+            }
+        }
+        "query" => {
+            let decision = controller.query(want_margins);
+            response.verdict =
+                Some(if decision.accepted { "accept" } else { "reject" }.to_string());
+            response.tier = Some(decision.tier.as_str().to_string());
+            response.margin = decision.margin;
+            response.margins = decision.per_task;
+            response.reason = decision.reason;
+            response.stats = Some(controller.stats());
+            fill_aggregates(&mut response, controller);
+        }
+        other => {
+            response.ok = false;
+            response.error = Some(format!("unknown op {other:?} (admit|release|query)"));
+        }
+    }
+    response
+}
+
+fn fill_aggregates(response: &mut Response, controller: &AdmissionController) {
+    response.tasks = Some(controller.len());
+    response.ut = Some(controller.time_utilization());
+    response.us = Some(controller.system_utilization());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &str, config: &ServeConfig) -> (SessionStats, String) {
+        let mut out = Vec::new();
+        let stats = serve_session(&mut input.as_bytes(), &mut out, config).unwrap();
+        (stats, String::from_utf8(out).unwrap())
+    }
+
+    fn deterministic(columns: u32) -> ServeConfig {
+        ServeConfig { deterministic: true, ..ServeConfig::new(columns) }
+    }
+
+    const SESSION: &str = concat!(
+        r#"{"op":"admit","task":{"exec":1.0,"deadline":10.0,"period":10.0,"area":3}}"#,
+        "\n",
+        r#"{"op":"query"}"#,
+        "\n",
+        r#"{"op":"release","handle":0}"#,
+        "\n",
+        r#"{"op":"release","handle":0}"#,
+        "\n",
+        "not json\n",
+        r#"{"op":"warp"}"#,
+        "\n",
+    );
+
+    #[test]
+    fn basic_session_flow() {
+        let (stats, out) = run(SESSION, &deterministic(10));
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("\"verdict\":\"accept\""));
+        assert!(lines[0].contains("\"tier\":\"dp-inc\""));
+        assert!(lines[1].contains("\"stats\""));
+        assert!(lines[2].contains("\"ok\":true"));
+        assert!(lines[3].contains("already released"));
+        assert!(lines[4].contains("malformed request"));
+        assert!(lines[5].contains("unknown op"));
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.errors, 3);
+    }
+
+    #[test]
+    fn responses_preserve_request_order_across_shards() {
+        let mut input = String::new();
+        for i in 0..40 {
+            input.push_str(&format!(
+                r#"{{"op":"admit","shard":{},"task":{{"exec":0.5,"deadline":16.0,"period":16.0,"area":2}}}}"#,
+                i % 4
+            ));
+            input.push('\n');
+        }
+        let config = ServeConfig { shards: 4, batch: 8, ..deterministic(32) };
+        let (_, out) = run(&input, &config);
+        let seqs: Vec<u64> = out
+            .lines()
+            .map(|l| {
+                let resp: Response = serde_json::from_str(l).unwrap();
+                resp.seq
+            })
+            .collect();
+        assert_eq!(seqs, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn output_is_invariant_in_workers_and_batch_size() {
+        let mut input = String::new();
+        for i in 0..30 {
+            input.push_str(&format!(
+                r#"{{"op":"admit","shard":{},"task":{{"exec":1.0,"deadline":{}.0,"period":{}.0,"area":{}}}}}"#,
+                i % 3,
+                4 + i % 5,
+                4 + i % 5,
+                1 + i % 4
+            ));
+            input.push('\n');
+        }
+        let base = ServeConfig { shards: 3, workers: 1, batch: 64, ..deterministic(10) };
+        let (_, reference) = run(&input, &base);
+        for (workers, batch) in [(2, 64), (3, 64), (1, 1), (3, 7)] {
+            let config = ServeConfig { workers, batch, ..base };
+            let (_, out) = run(&input, &config);
+            assert_eq!(out, reference, "workers={workers} batch={batch}");
+        }
+    }
+
+    #[test]
+    fn shard_isolation() {
+        // The same handle space starts at 0 in every shard.
+        let input = concat!(
+            r#"{"op":"admit","shard":0,"task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+            "\n",
+            r#"{"op":"admit","shard":1,"task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+            "\n",
+            r#"{"op":"release","shard":1,"handle":0}"#,
+            "\n",
+            r#"{"op":"query","shard":0}"#,
+            "\n",
+        );
+        let config = ServeConfig { shards: 2, ..deterministic(10) };
+        let (_, out) = run(input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[2].contains("\"ok\":true"), "shard 1 owns handle 0: {}", lines[2]);
+        assert!(lines[3].contains("\"tasks\":1"), "shard 0 still has its task: {}", lines[3]);
+    }
+
+    #[test]
+    fn zero_columns_is_a_config_error() {
+        let mut out = Vec::new();
+        assert!(serve_session(&mut "".as_bytes(), &mut out, &ServeConfig::new(0)).is_err());
+    }
+}

@@ -7,10 +7,15 @@
 //! *before loading* whether the new kernel can be admitted without
 //! endangering existing deadlines.
 //!
-//! Strategy: run the paper's composite test (accept if DP, GN1 or GN2
-//! accepts — Section 6: "determine that a taskset is unschedulable only if
-//! all tests fail"); rejected kernels are turned away. The final admitted
-//! set is then cross-checked by simulation.
+//! Strategy: use the workspace's online [`AdmissionController`] — the
+//! paper's Section-6 advice ("determine that a taskset is unschedulable
+//! only if all tests fail") as a fast→slow cascade: incremental DP, then
+//! GN1, then GN2, then an exact rational re-check on knife-edge margins.
+//! Each decision reports the tier that settled it. The final admitted set
+//! is then cross-checked by simulation.
+//!
+//! The same controller drives the long-running `fpga-rt serve` JSONL
+//! service; this example uses it in-process.
 //!
 //! ```text
 //! cargo run --release --example admission_control
@@ -27,7 +32,7 @@ struct Request {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fpga = Fpga::new(100)?;
-    let suite = AnyOfTest::paper_suite();
+    let mut controller = AdmissionController::new(fpga, ControllerConfig::default());
 
     // Arrival stream of kernel-load requests (implicit deadlines).
     let requests = [
@@ -41,36 +46,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Request { name: "resampler", exec: 2.5, period: 9.0, area: 20 },
     ];
 
-    let mut admitted: Vec<Task<f64>> = Vec::new();
-    println!("admission control on {fpga} using DP∪GN1∪GN2\n");
+    println!("admission control on {fpga} using the dp-inc → gn1 → gn2 → exact cascade\n");
 
     for req in &requests {
         let candidate = Task::implicit(req.exec, req.period, req.area)?;
-        let mut trial = admitted.clone();
-        trial.push(candidate);
-        let trial_set = TaskSet::new(trial)?;
-        let ok = trial_set.fits_device(&fpga) && suite.is_schedulable(&trial_set, &fpga);
+        let (decision, _handle) = controller.admit(candidate, false);
         println!(
-            "  {:<12} C={:<4} T={:<4} A={:<3} → {}",
+            "  {:<12} C={:<4} T={:<4} A={:<3} → {:<6} (tier {})",
             req.name,
             req.exec,
             req.period,
             req.area,
-            if ok { "ADMIT" } else { "reject" }
+            if decision.accepted { "ADMIT" } else { "reject" },
+            decision.tier
         );
-        if ok {
-            admitted = trial_set.tasks().to_vec();
-        }
     }
 
-    let final_set = TaskSet::new(admitted)?;
+    let stats = controller.stats();
     println!(
-        "\nadmitted {} kernels: UT={:.3}, US={:.1}/{} columns·time",
-        final_set.len(),
-        final_set.time_utilization(),
-        final_set.system_utilization(),
-        fpga.columns()
+        "\nadmitted {} kernels: UT={:.3}, US={:.1}/{} columns·time \
+         (tiers: dp-inc={} gn1={} gn2={} exact={})",
+        controller.len(),
+        controller.time_utilization(),
+        controller.system_utilization(),
+        fpga.columns(),
+        stats.tiers.dp_inc,
+        stats.tiers.gn1,
+        stats.tiers.gn2,
+        stats.tiers.exact
     );
+    let final_set = controller.live().snapshot()?;
 
     // Safety net: the admitted set must simulate clean under EDF-NF.
     let outcome = sim::simulate(

@@ -18,7 +18,10 @@
 //!   reconfiguration overhead, partitioned-EDF and EDF-US extensions;
 //! * [`gen`] — synthetic taskset generators reproducing the Section 6
 //!   workloads;
-//! * [`exp`] — the experiment harness regenerating every table and figure.
+//! * [`exp`] — the experiment harness regenerating every table and figure;
+//! * [`service`] — the online admission-control runtime: incremental
+//!   fast→slow decision cascade (incremental DP → GN1 → GN2 → exact) behind
+//!   a batched, sharded JSONL protocol (`fpga-rt serve`).
 //!
 //! ## Quickstart
 //!
@@ -54,13 +57,17 @@ pub use fpga_rt_analysis as analysis;
 pub use fpga_rt_exp as exp;
 pub use fpga_rt_gen as gen;
 pub use fpga_rt_model as model;
+pub use fpga_rt_service as service;
 pub use fpga_rt_sim as sim;
 
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fpga_rt_analysis::{
-        AnyOfTest, DpTest, Gn1Test, Gn2Test, SchedTest, TestReport, Verdict,
+        AnyOfTest, DpTest, Gn1Test, Gn2Test, IncrementalState, SchedTest, TestReport, Verdict,
     };
-    pub use fpga_rt_model::{Fpga, ModelError, Rat64, Task, TaskId, TaskSet, Time};
+    pub use fpga_rt_model::{
+        Fpga, LiveTaskSet, ModelError, Rat64, Task, TaskHandle, TaskId, TaskSet, Time,
+    };
+    pub use fpga_rt_service::{AdmissionController, ControllerConfig, ServeConfig, Tier};
     pub use fpga_rt_sim::{self as sim, SchedulerKind, SimConfig, SimOutcome};
 }

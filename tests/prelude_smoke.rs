@@ -68,6 +68,28 @@ fn exact_arithmetic_and_model_types_reachable() {
 }
 
 #[test]
+fn admission_controller_reachable_through_prelude() {
+    let mut controller =
+        AdmissionController::new(Fpga::new(10).unwrap(), ControllerConfig::default());
+    let (decision, handle) = controller.admit(Task::implicit(1.0, 10.0, 3).unwrap(), false);
+    assert!(decision.accepted);
+    assert_eq!(decision.tier, Tier::IncrementalDp);
+    controller.release(handle.unwrap()).unwrap();
+    assert!(controller.is_empty());
+
+    // The live set + incremental DP state are usable directly too.
+    let mut live: LiveTaskSet<f64> = LiveTaskSet::new();
+    let h: TaskHandle = live.admit(Task::implicit(1.0, 10.0, 3).unwrap());
+    let mut state: IncrementalState<f64> = IncrementalState::default();
+    assert!(state.evaluate_current(&live, &Fpga::new(10).unwrap()).accepted);
+    live.remove(h).unwrap();
+
+    // And the serve session config type is exported for embedding.
+    let config = ServeConfig { deterministic: true, ..ServeConfig::new(10) };
+    assert_eq!(config.columns, 10);
+}
+
+#[test]
 fn simulator_outcome_round_trips_as_json() {
     let (ts, fpga) = table3();
     let outcome: SimOutcome =
