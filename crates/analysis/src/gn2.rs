@@ -158,7 +158,18 @@ impl Gn2Test {
         self.config
     }
 
-    /// `βλk(i)` per Lemma 7 (with the configured case-2 value).
+    /// `βλk(i)` — the per-task demand ratio of `τi` over `τk`'s λ-extended
+    /// busy window (Lemma 7), with the configured case-2 value:
+    ///
+    /// ```text
+    ///            ⎧ max(ui, ui·(1 − Di/Dk) + Ci/Dk)   if ui ≤ λ     (case 1)
+    /// βλk(i) =   ⎨ λ  (Baker) / Ck/Tk (paper)        if ui > λ ∧ λ ≥ Ci/Di
+    ///            ⎩ ui + (Ci − λ·Di)/Dk               if ui > λ ∧ λ < Ci/Di
+    /// ```
+    ///
+    /// where `ui = Ci/Ti`. Case 2 only fires for post-period deadlines
+    /// (`Di > Ti`); see the module's faithfulness notes for the
+    /// Baker-vs-paper discrepancy.
     pub fn beta_lambda<T: Time>(&self, ti: &Task<T>, tk: &Task<T>, lambda: T) -> T {
         let ui = ti.time_utilization();
         let dk = tk.deadline();
@@ -210,7 +221,19 @@ impl Gn2Test {
         cands
     }
 
-    /// Evaluate both conditions of Theorem 3 for task `k` at one λ.
+    /// Evaluate both conditions of Theorem 3 for task `k` at one λ,
+    /// returning the full [`Gn2Attempt`] (λk, both sides of both
+    /// inequalities, all βλk values):
+    ///
+    /// ```text
+    /// (1)  Σ_i Ai·min(βλk(i), 1 − λk)  <  Abnd·(1 − λk)
+    /// (2)  Σ_i Ai·min(βλk(i), 1)       <  (Abnd − Amin)·(1 − λk) + Amin
+    /// Abnd = A(H) − Amax + 1 ,  λk = λ·max(1, Tk/Dk)
+    /// ```
+    ///
+    /// Task `k` passes at this λ when either condition holds (condition 2
+    /// is evaluated non-strictly when [`Gn2Config::condition2_strict`] is
+    /// `false`).
     pub fn evaluate_lambda<T: Time>(
         &self,
         taskset: &TaskSet<T>,

@@ -35,6 +35,10 @@
 //! for debugging and for the experiment harness; [`SchedTest::is_schedulable`]
 //! is the boolean convenience wrapper.
 //!
+//! `docs/THEORY.md` at the workspace root maps every theorem, lemma and
+//! equation of the paper to its implementing item in this crate, with the
+//! formulas exactly as implemented.
+//!
 //! ## Example: the paper's Table 2
 //!
 //! ```

@@ -1,0 +1,75 @@
+//! `sweep_throughput` — tasksets/sec of the pool-backed acceptance-ratio
+//! sweep engine at 1, 2 and all-core worker counts, on one fixed
+//! population (fig3a, 5 bins × 40 tasksets, DP/GN1/GN2/AnyOf).
+//!
+//! Because the engine is deterministic in the worker count, every row
+//! evaluates the *identical* work — the criterion rows expose the pool's
+//! scaling directly, and the `speedup_report` pass prints the multi-worker
+//! speedup over the single-worker baseline (the PR's acceptance
+//! criterion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use std::hint::black_box;
+
+const BINS: usize = 5;
+const PER_BIN: usize = 40;
+
+fn config(workers: usize) -> PoolSweepConfig {
+    let mut config = PoolSweepConfig::new(FigureWorkload::fig3a(), PER_BIN, 20070326);
+    config.bins = UtilizationBins::new(0.0, 1.0, BINS);
+    config.workers = workers;
+    config
+}
+
+fn worker_counts() -> Vec<usize> {
+    // Always measure a 2-worker pool even on a single-core runner (the
+    // pool itself is core-agnostic); add the all-core row when it differs.
+    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2];
+    if all > 2 {
+        counts.push(all);
+    }
+    counts
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let evaluators = analysis_evaluators();
+    let mut group = c.benchmark_group("sweep_throughput");
+    for workers in worker_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_pool_sweep(&config(w), &evaluators)))
+        });
+    }
+    group.finish();
+}
+
+/// Direct tasksets/sec and speedup figures (the criterion shim only prints
+/// ns/iter of the whole sweep).
+fn speedup_report(_c: &mut Criterion) {
+    let evaluators = analysis_evaluators();
+    let time = |workers: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            black_box(run_pool_sweep(&config(workers), &evaluators));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let units = (BINS * PER_BIN) as f64;
+    let base = time(1);
+    println!("sweep_throughput: workers=1     {:>10.0} tasksets/sec (baseline)", units / base);
+    for workers in worker_counts().into_iter().skip(1) {
+        let t = time(workers);
+        println!(
+            "sweep_throughput: workers={workers:<5} {:>10.0} tasksets/sec ({:.2}x speedup)",
+            units / t,
+            base / t
+        );
+    }
+}
+
+criterion_group!(benches, bench_sweep, speedup_report);
+criterion_main!(benches);

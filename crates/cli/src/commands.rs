@@ -4,7 +4,8 @@ use crate::io::{device_from, taskset_from};
 use crate::ExitCode;
 use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport};
 use fpga_rt_exp::cli::Args;
-use fpga_rt_gen::{FigureWorkload, TasksetSpec};
+use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
+use fpga_rt_gen::{FigureWorkload, TasksetSpec, UtilizationBins};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
 use fpga_rt_service::{serve_session, ServeConfig};
 use fpga_rt_sim::{
@@ -293,6 +294,61 @@ pub fn tables(out: &mut dyn Write) -> CmdResult {
     Ok(ExitCode::Accepted)
 }
 
+/// `fpga-rt sweep` — a parallel acceptance-ratio sweep over the shared
+/// worker pool: DP/GN1/GN2/AnyOf acceptance curves across utilization bins
+/// for one of the paper's figure workloads, at any population size.
+///
+/// Stdout (the aligned text table) and the `--out` file are byte-identical
+/// for every `--workers` value at a fixed seed — CI diffs a 1-worker run
+/// against a 4-worker run to enforce this.
+pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let figure = args.flags.get("figure").map(String::as_str).unwrap_or("fig3a");
+    let workload = FigureWorkload::by_id(figure)
+        .ok_or_else(|| format!("unknown figure {figure:?} (fig3a|fig3b|fig4a|fig4b)"))?;
+    let bins = args.get("bins", 20usize);
+    if bins == 0 {
+        return Err("--bins must be ≥ 1".into());
+    }
+    let per_bin = args.get("per-bin", 200usize).max(1);
+    let seed = args.get("seed", 20070326u64);
+
+    let mut config = PoolSweepConfig::new(workload, per_bin, seed);
+    config.bins = UtilizationBins::new(0.0, 1.0, bins);
+    config.workers = args.get("workers", 0usize);
+    let outcome = run_pool_sweep(&config, &analysis_evaluators());
+
+    let _ = write!(out, "{}", fpga_rt_exp::output::render_text(&outcome.result));
+    if outcome.exhausted_units > 0 {
+        let _ = writeln!(
+            out,
+            "note: {} of {} samples exhausted the generator's attempt budget",
+            outcome.exhausted_units,
+            bins * per_bin
+        );
+    }
+    if outcome.failed_units > 0 {
+        let _ = writeln!(
+            out,
+            "warning: {} of {} samples lost to panicking evaluators; \
+             the curves cover a reduced population",
+            outcome.failed_units,
+            bins * per_bin
+        );
+    }
+    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
+        let rendered = if path.ends_with(".csv") {
+            fpga_rt_exp::output::render_csv(&outcome.result)
+        } else {
+            let mut json =
+                serde_json::to_string_pretty(&outcome.result).map_err(|e| e.to_string())?;
+            json.push('\n');
+            json
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(ExitCode::Accepted)
+}
+
 /// `fpga-rt serve` — the online admission-control service: JSONL requests
 /// on stdin (or `--input FILE`), one JSONL response per request on stdout,
 /// a human summary on stderr.
@@ -492,6 +548,70 @@ mod tests {
     #[test]
     fn serve_requires_columns() {
         assert!(serve(&args(&[]), &mut Vec::new()).is_err());
+    }
+
+    /// The acceptance criterion of the sweep engine: stdout and the `--out`
+    /// file are byte-identical for `--workers 1` and `--workers 8` at a
+    /// fixed seed.
+    #[test]
+    fn sweep_output_is_byte_identical_across_worker_counts() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut transcripts = Vec::new();
+        for workers in ["1", "8"] {
+            let path = dir.join(format!("sweep-w{workers}.json"));
+            let out_path = path.to_string_lossy().into_owned();
+            let mut buf = Vec::new();
+            let code = sweep(
+                &args(&[
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "3",
+                    "--per-bin",
+                    "8",
+                    "--seed",
+                    "7",
+                    "--workers",
+                    workers,
+                    "--out",
+                    &out_path,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert_eq!(code, ExitCode::Accepted);
+            transcripts.push((String::from_utf8(buf).unwrap(), std::fs::read(&path).unwrap()));
+        }
+        assert_eq!(transcripts[0].0, transcripts[1].0, "stdout differs across workers");
+        assert_eq!(transcripts[0].1, transcripts[1].1, "--out JSON differs across workers");
+        assert!(transcripts[0].0.contains("AnyOf"));
+        let json_text = String::from_utf8(transcripts[0].1.clone()).unwrap();
+        let json: fpga_rt_exp::SweepResult =
+            serde_json::from_str(&json_text).expect("valid SweepResult JSON");
+        assert_eq!(json.series.len(), 4, "DP, GN1, GN2, AnyOf");
+    }
+
+    #[test]
+    fn sweep_writes_csv_when_asked() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.csv");
+        let out_path = path.to_string_lossy().into_owned();
+        sweep(
+            &args(&["--bins", "2", "--per-bin", "4", "--seed", "3", "--out", &out_path]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("utilization,samples,DP,GN1,GN2,AnyOf"), "{csv}");
+        assert_eq!(csv.lines().count(), 3, "header + one row per bin");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_flags() {
+        assert!(sweep(&args(&["--figure", "fig9z"]), &mut Vec::new()).is_err());
+        assert!(sweep(&args(&["--bins", "0"]), &mut Vec::new()).is_err());
     }
 
     #[test]

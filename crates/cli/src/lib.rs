@@ -33,6 +33,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "size" => commands::size(&parsed, out),
         "generate" => commands::generate(&parsed, out),
         "tables" => commands::tables(out),
+        "sweep" => commands::sweep(&parsed, out),
         "serve" => commands::serve(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", usage());
@@ -56,6 +57,10 @@ pub fn usage() -> String {
      \x20 size      --taskset FILE [--max N] [--exact]\n\
      \x20 generate  --n N [--seed S] [--figure fig3a|fig3b|fig4a|fig4b] [--pretty]\n\
      \x20 tables    (reproduce the paper's Tables 1-3)\n\
+     \x20 sweep     [--figure fig3a|fig3b|fig4a|fig4b] [--bins N] [--per-bin M]\n\
+     \x20           [--workers W] [--seed S] [--out FILE.json|FILE.csv]\n\
+     \x20           (parallel DP/GN1/GN2/AnyOf acceptance-ratio curves;\n\
+     \x20           output is byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
      \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
      \x20           (JSONL admission-control service on stdin/stdout)"

@@ -167,8 +167,11 @@ impl SweepResult {
     }
 }
 
-/// Derive a per-sample seed that is stable regardless of scheduling.
-fn sample_seed(base: u64, bin: usize, sample: usize) -> u64 {
+/// Derive the RNG seed for sample `sample` of bin `bin` from the sweep's
+/// base seed — stable regardless of scheduling, shared by this module's
+/// thread-sharded runner and the pool-backed engine in [`crate::sweep`] so
+/// that both produce *identical* curves for the same configuration.
+pub fn sample_seed(base: u64, bin: usize, sample: usize) -> u64 {
     // SplitMix64 over a combined index: cheap, well-distributed.
     let mut z = base
         .wrapping_add((bin as u64) << 32)

@@ -1,0 +1,74 @@
+//! Large-population acceptance-ratio sweep over the shared worker pool:
+//! the paper's figure-style DP/GN1/GN2/AnyOf curves at 10–100× the paper's
+//! taskset counts, deterministic in the worker count.
+//!
+//! ```text
+//! cargo run --release -p fpga-rt-exp --bin sweep                  # all four figures
+//! cargo run --release -p fpga-rt-exp --bin sweep -- fig3b --per-bin 5000
+//! cargo run --release -p fpga-rt-exp --bin sweep -- --workers 1 --write
+//! ```
+//!
+//! Flags: `--per-bin N` (default 5000 — 10× the paper's ≈500/bin),
+//! `--bins N` (default 20 paper bins), `--workers W` (0 = all cores),
+//! `--seed N`, `--write` (drop JSON/CSV/text into `results/`, honouring
+//! `--out-dir`). Outputs are byte-identical for any `--workers` value.
+
+use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::output::{render_csv, render_text};
+use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let per_bin = args.get("per-bin", 5000usize);
+    let bins = args.get("bins", 20usize);
+    let workers = args.get("workers", 0usize);
+    let seed = args.get("seed", 20070326u64);
+
+    let workloads: Vec<FigureWorkload> = if args.positional.is_empty() {
+        FigureWorkload::all()
+    } else {
+        args.positional
+            .iter()
+            .map(|id| {
+                FigureWorkload::by_id(id).unwrap_or_else(|| {
+                    panic!("unknown figure id {id:?} (use fig3a/fig3b/fig4a/fig4b)")
+                })
+            })
+            .collect()
+    };
+
+    let evaluators = analysis_evaluators();
+    for workload in workloads {
+        let start = Instant::now();
+        let mut config = PoolSweepConfig::new(workload, per_bin, seed);
+        config.bins = UtilizationBins::new(0.0, 1.0, bins.max(1));
+        config.workers = workers;
+        let outcome = run_pool_sweep(&config, &evaluators);
+        let elapsed = start.elapsed().as_secs_f64();
+        let units = bins.max(1) * per_bin;
+        let rate = if elapsed > 0.0 { units as f64 / elapsed } else { 0.0 };
+        let text = render_text(&outcome.result);
+        println!(
+            "{text}  ({per_bin} tasksets/bin, seed {seed}, {} workers, \
+             {rate:.0} tasksets/s, {} exhausted, {:.1}s)\n",
+            outcome.workers, outcome.exhausted_units, elapsed
+        );
+        if outcome.failed_units > 0 {
+            eprintln!(
+                "warning: {}: {} of {units} samples lost to panicking \
+                 evaluators; the curves cover a reduced population",
+                workload.id, outcome.failed_units
+            );
+        }
+        if args.has("write") {
+            let dir = out_dir(&args);
+            let json = serde_json::to_string_pretty(&outcome.result).expect("serializable result");
+            write_result(&dir, &format!("sweep-{}.json", workload.id), &json).expect("write");
+            write_result(&dir, &format!("sweep-{}.csv", workload.id), &render_csv(&outcome.result))
+                .expect("write");
+            write_result(&dir, &format!("sweep-{}.txt", workload.id), &text).expect("write");
+        }
+    }
+}

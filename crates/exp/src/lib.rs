@@ -11,12 +11,16 @@
 //!   Figures 3(a)–4(b): binned taskset generation, a pluggable evaluator
 //!   list (analytic tests and simulations), and a deterministic
 //!   multi-threaded runner.
+//! * [`sweep`] — the pool-backed parallel sweep engine
+//!   ([`fpga_rt_pool::ShardedPool`]): paper-figure-style acceptance curves
+//!   at 10–100× the paper's population sizes, byte-identical across worker
+//!   counts (drives `fpga-rt sweep` and the `sweep` study binary).
 //! * [`output`] — aligned-text / markdown / CSV rendering of result series.
 //! * [`ablations`] — the X1/X2/X3 configuration ablations.
 //!
 //! Runnable binaries (see `cargo run -p fpga-rt-exp --bin <name> -- --help`):
-//! `tables`, `figures`, `ablations`, `placement_study`, `overhead_study`,
-//! `partitioned_study`, `run_all`.
+//! `tables`, `figures`, `sweep`, `ablations`, `placement_study`,
+//! `overhead_study`, `partitioned_study`, `run_all`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +29,11 @@ pub mod ablations;
 pub mod acceptance;
 pub mod cli;
 pub mod output;
+pub mod sweep;
 pub mod tables;
 
 pub use acceptance::{
     standard_evaluators, AcceptanceSeries, Evaluator, SeriesPoint, SweepConfig, SweepResult,
 };
+pub use sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig, PoolSweepOutcome};
 pub use tables::{paper_tables, TableCase, VerdictRow};

@@ -1,0 +1,292 @@
+//! Pool-backed parallel acceptance-ratio sweep engine.
+//!
+//! [`crate::acceptance::run_sweep`] owns an ad-hoc set of scoped threads;
+//! this module fans the same bin × sample work units across the
+//! workspace-wide deterministic worker pool
+//! ([`fpga_rt_pool::ShardedPool`]) instead, which buys three things:
+//!
+//! * **Scale** — the paper's figures use a handful of ~10 000-taskset
+//!   experiment groups; a pool sweep makes 10–100× larger populations (the
+//!   scale argued for by Goossens & Meumeu Yomsi's exact global-EDF work
+//!   and Singh's EDF complexity-reduction results) a single function call,
+//!   batched so memory stays flat.
+//! * **Determinism by construction** — every sample draws its taskset from
+//!   [`crate::acceptance::sample_seed`]`(seed, bin, sample)`, so curves are
+//!   byte-identical across worker counts *and* identical to what the
+//!   scoped-thread runner produces for the same configuration (asserted by
+//!   tests).
+//! * **Containment** — a panicking evaluator poisons one sample (counted
+//!   in [`PoolSweepOutcome::failed_units`]), not the whole sweep.
+//!
+//! The result reuses [`SweepResult`], so the text/markdown/CSV renderers in
+//! [`crate::output`] and `serde_json` serialization apply unchanged. The
+//! `fpga-rt sweep` CLI subcommand and the `sweep` study binary wrap this
+//! module; `cargo bench -p fpga-rt-bench --bench sweep_throughput` measures
+//! its scaling.
+//!
+//! ```
+//! use fpga_rt_exp::sweep::{run_pool_sweep, PoolSweepConfig};
+//! use fpga_rt_exp::Evaluator;
+//! use fpga_rt_analysis::DpTest;
+//! use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+//!
+//! let mut config = PoolSweepConfig::new(FigureWorkload::fig3a(), 4, 42);
+//! config.bins = UtilizationBins::new(0.0, 1.0, 3);
+//! config.workers = 2;
+//! let outcome = run_pool_sweep(&config, &[Evaluator::from_test(DpTest::default())]);
+//! let dp = outcome.result.series_named("DP").unwrap();
+//! assert_eq!(dp.points.len(), 3);
+//! assert!(dp.points[0].ratio() >= dp.points[2].ratio());
+//! ```
+
+use crate::acceptance::{sample_seed, AcceptanceSeries, Evaluator, SeriesPoint, SweepResult};
+use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test};
+use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
+use fpga_rt_pool::{PoolConfig, ShardedPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Configuration of a pool-backed sweep.
+#[derive(Debug, Clone)]
+pub struct PoolSweepConfig {
+    /// Which figure workload to draw from.
+    pub workload: FigureWorkload,
+    /// Utilization bins (x-axis).
+    pub bins: UtilizationBins,
+    /// Tasksets per bin.
+    pub per_bin: usize,
+    /// Base RNG seed; every (bin, sample) derives its own stream via
+    /// [`sample_seed`].
+    pub seed: u64,
+    /// Bin-filling strategy.
+    pub strategy: BinningStrategy,
+    /// Pool worker threads (0 = all available). The curves do not depend
+    /// on this value.
+    pub workers: usize,
+    /// Work units submitted per pool batch (bounds peak memory; the curves
+    /// do not depend on this value).
+    pub chunk: usize,
+}
+
+impl PoolSweepConfig {
+    /// Defaults for a workload: paper bins, the workload's strategy, all
+    /// cores, 4096-unit batches.
+    pub fn new(workload: FigureWorkload, per_bin: usize, seed: u64) -> Self {
+        PoolSweepConfig {
+            workload,
+            bins: UtilizationBins::paper_default(),
+            per_bin,
+            seed,
+            strategy: workload.strategy,
+            workers: 0,
+            chunk: 4096,
+        }
+    }
+}
+
+/// A completed pool sweep: the acceptance curves plus engine-level counters
+/// that [`SweepResult`] has no room for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolSweepOutcome {
+    /// The acceptance-ratio curves (same shape as
+    /// [`crate::acceptance::run_sweep`] produces).
+    pub result: SweepResult,
+    /// Work units whose generator exhausted its attempt budget (the bin
+    /// quota is reported short, exactly like the scoped-thread runner).
+    pub exhausted_units: usize,
+    /// Work units lost to a panicking evaluator (contained by the pool).
+    pub failed_units: usize,
+    /// The resolved pool worker count the sweep actually used.
+    pub workers: usize,
+}
+
+/// Read-only context shared by every pool worker.
+struct SweepContext {
+    generator: BinnedGenerator,
+    device: fpga_rt_model::Fpga,
+    evaluators: Vec<Evaluator>,
+    per_bin: usize,
+    seed: u64,
+}
+
+/// Per-unit verdicts: which evaluators accepted the sampled taskset, or
+/// `None` when the generator could not fill the bin for this sample.
+type UnitVerdicts = Option<Vec<bool>>;
+
+/// The paper's analytic series — DP (Theorem 1), GN1 (Theorem 2), GN2
+/// (Theorem 3) and the Section-6 composite (accept iff any test accepts),
+/// reported as `AnyOf` — the evaluator set of `fpga-rt sweep`.
+pub fn analysis_evaluators() -> Vec<Evaluator> {
+    let any = AnyOfTest::paper_suite();
+    vec![
+        Evaluator::from_test(DpTest::default()),
+        Evaluator::from_test(Gn1Test::default()),
+        Evaluator::from_test(Gn2Test::default()),
+        Evaluator::new("AnyOf", move |ts, dev| {
+            use fpga_rt_analysis::SchedTest;
+            any.is_schedulable(ts, dev)
+        }),
+    ]
+}
+
+/// Run a sweep over the shared worker pool. Deterministic for a given
+/// `config` and evaluator list — independent of `workers` and `chunk`.
+pub fn run_pool_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> PoolSweepOutcome {
+    let n_bins = config.bins.n;
+    let n_eval = evaluators.len();
+    let context = Arc::new(SweepContext {
+        generator: BinnedGenerator::new(
+            config.workload.spec,
+            config.workload.device_columns,
+            config.bins,
+        )
+        .with_strategy(config.strategy),
+        device: config.workload.device(),
+        evaluators: evaluators.to_vec(),
+        per_bin: config.per_bin,
+        seed: config.seed,
+    });
+
+    // Stateless work: shard only spreads units across workers. 256 shards
+    // keep any worker count ≤ 256 evenly loaded while staying cheap.
+    let shards = 256u32;
+    let mut pool: ShardedPool<usize, UnitVerdicts> =
+        ShardedPool::new(PoolConfig { workers: config.workers, shards }, |_shard| (), {
+            let context = Arc::clone(&context);
+            move |(), _shard, unit| {
+                let bin = unit / context.per_bin;
+                let sample = unit % context.per_bin;
+                let mut rng = StdRng::seed_from_u64(sample_seed(context.seed, bin, sample));
+                context.generator.sample_in_bin(bin, &mut rng).map(|ts| {
+                    context.evaluators.iter().map(|ev| ev.accepts(&ts, &context.device)).collect()
+                })
+            }
+        });
+    let workers = pool.workers();
+
+    // counts[bin][evaluator] = (samples, accepted); summation is
+    // order-independent, and results arrive in submission order anyway.
+    let mut counts = vec![vec![(0usize, 0usize); n_eval]; n_bins];
+    let mut exhausted_units = 0usize;
+    let mut failed_units = 0usize;
+    let total_units = n_bins * config.per_bin;
+    let chunk = config.chunk.max(1);
+    let mut unit = 0usize;
+    while unit < total_units {
+        let upper = (unit + chunk).min(total_units);
+        for u in unit..upper {
+            pool.submit((u % shards as usize) as u32, u);
+        }
+        let results = pool.collect().expect("pool workers cannot die: panics are contained");
+        for (offset, result) in results.into_iter().enumerate() {
+            let bin = (unit + offset) / config.per_bin;
+            match result {
+                Ok(Some(verdicts)) => {
+                    for (e, ok) in verdicts.into_iter().enumerate() {
+                        counts[bin][e].0 += 1;
+                        if ok {
+                            counts[bin][e].1 += 1;
+                        }
+                    }
+                }
+                Ok(None) => exhausted_units += 1,
+                Err(_) => failed_units += 1,
+            }
+        }
+        unit = upper;
+    }
+
+    let series = evaluators
+        .iter()
+        .enumerate()
+        .map(|(e, ev)| AcceptanceSeries {
+            name: ev.name.clone(),
+            points: (0..n_bins)
+                .map(|bin| SeriesPoint {
+                    utilization: config.bins.center(bin),
+                    samples: counts[bin][e].0,
+                    accepted: counts[bin][e].1,
+                })
+                .collect(),
+        })
+        .collect();
+
+    PoolSweepOutcome {
+        result: SweepResult {
+            workload_id: config.workload.id.to_string(),
+            caption: config.workload.caption.to_string(),
+            series,
+        },
+        exhausted_units,
+        failed_units,
+        workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acceptance::{run_sweep, SweepConfig};
+
+    fn tiny_config(workers: usize) -> PoolSweepConfig {
+        let mut config = PoolSweepConfig::new(FigureWorkload::fig3a(), 8, 42);
+        config.bins = UtilizationBins::new(0.0, 1.0, 5);
+        config.workers = workers;
+        config
+    }
+
+    #[test]
+    fn pool_sweep_is_worker_count_and_chunk_invariant() {
+        let reference = run_pool_sweep(&tiny_config(1), &analysis_evaluators());
+        for workers in [2, 4, 8] {
+            let mut config = tiny_config(workers);
+            config.chunk = 7;
+            let out = run_pool_sweep(&config, &analysis_evaluators());
+            assert_eq!(out.result, reference.result, "workers={workers}");
+            assert_eq!(out.exhausted_units, reference.exhausted_units);
+        }
+    }
+
+    #[test]
+    fn pool_sweep_matches_scoped_thread_runner() {
+        // Same seeds, same generator, same evaluators → identical curves
+        // from both engines.
+        let evals =
+            vec![Evaluator::from_test(DpTest::default()), Evaluator::from_test(Gn1Test::default())];
+        let pooled = run_pool_sweep(&tiny_config(4), &evals);
+        let mut scoped = SweepConfig::new(FigureWorkload::fig3a(), 8, 42);
+        scoped.bins = UtilizationBins::new(0.0, 1.0, 5);
+        scoped.threads = 2;
+        let reference = run_sweep(&scoped, &evals, None);
+        assert_eq!(pooled.result, reference);
+    }
+
+    #[test]
+    fn anyof_series_dominates_components() {
+        let out = run_pool_sweep(&tiny_config(0), &analysis_evaluators());
+        let any = out.result.series_named("AnyOf").unwrap();
+        for name in ["DP", "GN1", "GN2"] {
+            let s = out.result.series_named(name).unwrap();
+            for (p, q) in s.points.iter().zip(&any.points) {
+                assert!(q.accepted >= p.accepted, "{name} exceeds AnyOf in a bin");
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_evaluator_is_contained_per_unit() {
+        let evals = vec![Evaluator::new("boom", |ts, _| {
+            if ts.len() == 4 {
+                panic!("taskset of 4 explodes");
+            }
+            true
+        })];
+        let out = run_pool_sweep(&tiny_config(2), &evals);
+        // fig3a draws 4-task sets, so every generated unit panics; the
+        // sweep still terminates with empty bins.
+        assert!(out.failed_units > 0);
+        let s = out.result.series_named("boom").unwrap();
+        assert!(s.points.iter().all(|p| p.samples == 0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Regression tests for the two load-bearing [`ShardedPool`] guarantees:
+//! submission order is preserved end-to-end, and a panicking item becomes a
+//! per-item error without stalling (or corrupting) the rest of the batch.
+
+use fpga_rt_pool::{ItemResult, PoolConfig, ShardedPool};
+
+/// A pool whose handler echoes the item, panicking on request.
+fn echo_pool(workers: usize, shards: u32) -> ShardedPool<(u64, bool), u64> {
+    ShardedPool::new(
+        PoolConfig { workers, shards },
+        |_| (),
+        |_, shard, (value, explode): (u64, bool)| {
+            if explode {
+                panic!("item {value} on shard {shard} exploded");
+            }
+            value
+        },
+    )
+}
+
+#[test]
+fn submission_order_is_preserved_across_shards_and_workers() {
+    for workers in [1, 2, 4, 7] {
+        let mut pool = echo_pool(workers, 16);
+        // Adversarial shard keys: reversed, clustered, then round-robin —
+        // collect() must still return values in submission order.
+        let items: Vec<(u32, (u64, bool))> = (0..200u64)
+            .map(|i| {
+                let shard = match i % 3 {
+                    0 => 15 - (i % 16) as u32,
+                    1 => 3,
+                    _ => (i % 16) as u32,
+                };
+                (shard, (i, false))
+            })
+            .collect();
+        let out = pool.run_batch(items).unwrap();
+        let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..200).collect::<Vec<u64>>(), "workers={workers}");
+    }
+}
+
+#[test]
+fn panicking_item_maps_to_error_without_stalling_the_batch() {
+    let mut pool = echo_pool(2, 4);
+    // Panic in the middle of a batch, on every shard at least once.
+    let items: Vec<(u32, (u64, bool))> =
+        (0..40u64).map(|i| ((i % 4) as u32, (i, i % 10 == 5))).collect();
+    let out = pool.run_batch(items).unwrap();
+    assert_eq!(out.len(), 40, "every item gets a result, panicking or not");
+    for (i, result) in out.iter().enumerate() {
+        if i % 10 == 5 {
+            let err = result.as_ref().unwrap_err();
+            assert!(
+                err.message.contains(&format!("item {i} ")),
+                "panic message surfaces the payload: {}",
+                err.message
+            );
+        } else {
+            assert_eq!(*result.as_ref().unwrap(), i as u64);
+        }
+    }
+    // The pool survives: a fresh batch on the same workers still works.
+    let again = pool.run_batch([(0, (7, false))]).unwrap();
+    assert_eq!(again, vec![Ok(7)]);
+}
+
+#[test]
+fn panic_does_not_poison_other_shards_state() {
+    // Stateful shards: shard 0 panics once mid-stream; shard 1's running
+    // count must be unaffected, and shard 0 keeps counting afterwards.
+    let mut pool: ShardedPool<bool, u64> = ShardedPool::new(
+        PoolConfig { workers: 1, shards: 2 },
+        |_| 0u64,
+        |count, shard, explode| {
+            if explode {
+                panic!("shard {shard} asked to explode");
+            }
+            *count += 1;
+            *count
+        },
+    );
+    let out: Vec<ItemResult<u64>> = pool
+        .run_batch([(0, false), (1, false), (0, true), (1, false), (0, false), (1, false)])
+        .unwrap();
+    assert_eq!(out[0], Ok(1), "shard 0 first");
+    assert_eq!(out[1], Ok(1), "shard 1 first");
+    assert!(out[2].is_err(), "shard 0 explosion contained");
+    assert_eq!(out[3], Ok(2), "shard 1 unaffected");
+    assert_eq!(out[4], Ok(2), "shard 0 state survived the panic");
+    assert_eq!(out[5], Ok(3));
+}

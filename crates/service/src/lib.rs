@@ -19,10 +19,14 @@
 //!   scriptable, replayable, diffable (the CI pipeline replays a recorded
 //!   session against a golden transcript).
 //! * [`serve_session`] — the batched session loop: requests are read in
-//!   batches and sharded across a small hand-rolled worker pool
-//!   (`std::thread` + mpsc channels); each shard is an independent
+//!   batches and sharded across the workspace's deterministic worker pool
+//!   ([`fpga_rt_pool::ShardedPool`]); each shard is an independent
 //!   controller pinned to one worker, so responses are deterministic in the
-//!   worker count, batch size and timing.
+//!   worker count, batch size and timing, and a panicking handler surfaces
+//!   as a per-request error instead of killing the session.
+//!
+//! The wire format is specified normatively in `docs/PROTOCOL.md` at the
+//! workspace root.
 //!
 //! ## Example
 //!

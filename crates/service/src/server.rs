@@ -1,21 +1,20 @@
-//! Session loop: batched JSONL I/O over a hand-rolled sharded worker pool.
+//! Session loop: batched JSONL I/O over the shared sharded worker pool.
 //!
 //! The main thread reads requests in batches, routes each request to a
-//! worker by its shard key, and writes the collected responses back in
-//! request order before reading the next batch. Workers are plain
-//! `std::thread`s fed through `mpsc` channels (the same thread-sharding
-//! idiom as `fpga_rt_exp::acceptance::run_sweep`): each worker *owns* the
-//! controllers of the shards routed to it, so a shard's requests are always
-//! processed sequentially by one thread — which makes the whole session
-//! deterministic in the worker count, the batch size and wall-clock timing.
+//! [`fpga_rt_pool::ShardedPool`] worker by its shard key, and writes the
+//! collected responses back in request order before reading the next batch.
+//! Each pool worker *owns* the [`AdmissionController`]s of the shards
+//! routed to it (the pool's per-shard state), so a shard's requests are
+//! always processed sequentially by one thread — which makes the whole
+//! session deterministic in the worker count, the batch size and
+//! wall-clock timing. A panicking request handler is contained by the pool
+//! as a per-item error and surfaces as a protocol-level error response.
 
 use crate::controller::{AdmissionController, ControllerConfig};
 use crate::protocol::{parse_request, render_response, Request, Response, TierCounts};
 use fpga_rt_model::{Fpga, TaskHandle};
-use std::collections::HashMap;
+use fpga_rt_pool::{PoolConfig, ShardedPool};
 use std::io::{BufRead, Write};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
 use std::time::Instant;
 
 /// Configuration of one serve session.
@@ -88,143 +87,110 @@ pub fn serve_session(
     }
     let shards = config.shards.max(1);
     let batch_size = config.batch.max(1);
-    let workers = if config.workers == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        config.workers
-    }
-    .min(shards as usize)
-    .max(1);
     let device = Fpga::new(config.columns).map_err(|e| e.to_string())?;
     let ctl_config = config.controller_config();
+    let deterministic = config.deterministic;
+
+    // One admission controller per shard, owned by the pool worker the
+    // shard is pinned to. Handler panics are contained by the pool.
+    let mut pool: ShardedPool<(u64, Request), Response> = ShardedPool::new(
+        PoolConfig { workers: config.workers, shards },
+        move |_shard| AdmissionController::new(device, ctl_config),
+        move |controller, shard, (seq, request)| {
+            let start = Instant::now();
+            let mut response = handle_request(controller, seq, shard, request);
+            response.latency_us = Some(if deterministic {
+                0
+            } else {
+                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+            });
+            response
+        },
+    );
 
     let mut stats = SessionStats::default();
-
-    std::thread::scope(|scope| -> Result<(), String> {
-        let (result_tx, result_rx) = mpsc::channel::<(u64, Response)>();
-        let mut job_txs: Vec<mpsc::Sender<Vec<(u64, u32, Request)>>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<Vec<(u64, u32, Request)>>();
-            job_txs.push(tx);
-            let result_tx = result_tx.clone();
-            let deterministic = config.deterministic;
-            scope.spawn(move || {
-                let mut controllers: HashMap<u32, AdmissionController> = HashMap::new();
-                for jobs in rx {
-                    for (seq, shard, request) in jobs {
-                        let start = Instant::now();
-                        let controller = controllers
-                            .entry(shard)
-                            .or_insert_with(|| AdmissionController::new(device, ctl_config));
-                        // A panicking handler must not kill the worker: a
-                        // dead worker's pending responses would deadlock
-                        // the main thread's batch collection. Contain the
-                        // panic as a per-request error instead.
-                        let id = request.id.clone().unwrap_or_else(|| format!("req-{seq}"));
-                        let op = request.op.clone();
-                        let mut response = catch_unwind(AssertUnwindSafe(|| {
-                            handle_request(controller, seq, shard, request)
-                        }))
-                        .unwrap_or_else(|payload| {
-                            let msg = payload
-                                .downcast_ref::<String>()
-                                .cloned()
-                                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                                .unwrap_or_else(|| "unknown panic".to_string());
-                            Response::protocol_error(
-                                id,
-                                seq,
-                                op,
-                                shard,
-                                format!("internal error: {msg}"),
-                            )
-                        });
-                        response.latency_us = Some(if deterministic {
-                            0
-                        } else {
-                            u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
-                        });
-                        if result_tx.send((seq, response)).is_err() {
-                            return; // session aborted
-                        }
-                    }
-                }
-            });
-        }
-        drop(result_tx);
-
-        let mut seq: u64 = 0;
-        let mut line = String::new();
-        let mut eof = false;
-        while !eof {
-            // Read one batch of lines.
-            let mut immediate: Vec<(u64, Response)> = Vec::new();
-            let mut per_worker: Vec<Vec<(u64, u32, Request)>> = vec![Vec::new(); workers];
-            let mut pending = 0usize;
-            let mut read = 0usize;
-            while read < batch_size {
-                line.clear();
-                let n = input.read_line(&mut line).map_err(|e| e.to_string())?;
-                if n == 0 {
-                    eof = true;
-                    break;
-                }
-                let trimmed = line.trim();
-                if trimmed.is_empty() {
-                    continue; // blank lines don't consume sequence numbers
-                }
-                let this_seq = seq;
-                seq += 1;
-                read += 1;
-                stats.requests += 1;
-                match parse_request(trimmed) {
-                    Ok(request) => {
-                        let shard = request.shard.unwrap_or(0) % shards;
-                        let worker = (shard as usize) % workers;
-                        per_worker[worker].push((this_seq, shard, request));
-                        pending += 1;
-                    }
-                    Err(e) => {
-                        immediate.push((
-                            this_seq,
-                            Response::protocol_error(
-                                format!("req-{this_seq}"),
-                                this_seq,
-                                String::new(),
-                                0,
-                                format!("malformed request: {e}"),
-                            ),
-                        ));
-                    }
-                }
-            }
-            if read == 0 {
+    let mut seq: u64 = 0;
+    let mut line = String::new();
+    let mut eof = false;
+    while !eof {
+        // Read one batch of lines.
+        let mut immediate: Vec<(u64, Response)> = Vec::new();
+        // (seq, id, op, shard) per submitted request, in submission order —
+        // enough to synthesize an error response if the handler panicked.
+        let mut submitted: Vec<(u64, String, String, u32)> = Vec::new();
+        let mut read = 0usize;
+        while read < batch_size {
+            line.clear();
+            let n = input.read_line(&mut line).map_err(|e| e.to_string())?;
+            if n == 0 {
+                eof = true;
                 break;
             }
-            stats.batches += 1;
-
-            // Dispatch and collect the batch.
-            for (worker, jobs) in per_worker.into_iter().enumerate() {
-                if !jobs.is_empty() {
-                    job_txs[worker].send(jobs).map_err(|_| "worker pool died".to_string())?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue; // blank lines don't consume sequence numbers
+            }
+            let this_seq = seq;
+            seq += 1;
+            read += 1;
+            stats.requests += 1;
+            match parse_request(trimmed) {
+                Ok(request) => {
+                    let shard = request.shard.unwrap_or(0) % shards;
+                    let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
+                    submitted.push((this_seq, id, request.op.clone(), shard));
+                    pool.submit(shard, (this_seq, request));
+                }
+                Err(e) => {
+                    immediate.push((
+                        this_seq,
+                        Response::protocol_error(
+                            format!("req-{this_seq}"),
+                            this_seq,
+                            String::new(),
+                            0,
+                            format!("malformed request: {e}"),
+                        ),
+                    ));
                 }
             }
-            let mut responses = immediate;
-            for _ in 0..pending {
-                let pair = result_rx.recv().map_err(|_| "worker pool died".to_string())?;
-                responses.push(pair);
-            }
-            responses.sort_by_key(|(s, _)| *s);
-
-            // Emit in request order, folding into session statistics.
-            for (_, response) in &responses {
-                account(&mut stats, response);
-                writeln!(output, "{}", render_response(response)).map_err(|e| e.to_string())?;
-            }
         }
-        drop(job_txs); // hang up; workers drain and exit, scope joins them
-        Ok(())
-    })?;
+        if read == 0 {
+            break;
+        }
+        stats.batches += 1;
+
+        // Collect the batch: results come back in submission order, so they
+        // zip with the recorded request metadata.
+        let results = pool.collect().map_err(|e| e.to_string())?;
+        let mut responses = immediate;
+        for (result, (this_seq, id, op, shard)) in results.into_iter().zip(submitted) {
+            let response = match result {
+                Ok(response) => response,
+                Err(panic) => {
+                    let mut r = Response::protocol_error(
+                        id,
+                        this_seq,
+                        op,
+                        shard,
+                        format!("internal error: {}", panic.message),
+                    );
+                    // The in-handler measurement did not survive the panic;
+                    // PROTOCOL.md documents 0 for synthesized errors.
+                    r.latency_us = Some(0);
+                    r
+                }
+            };
+            responses.push((this_seq, response));
+        }
+        responses.sort_by_key(|(s, _)| *s);
+
+        // Emit in request order, folding into session statistics.
+        for (_, response) in &responses {
+            account(&mut stats, response);
+            writeln!(output, "{}", render_response(response)).map_err(|e| e.to_string())?;
+        }
+    }
 
     Ok(stats)
 }

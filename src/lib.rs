@@ -19,6 +19,9 @@
 //! * [`gen`] — synthetic taskset generators reproducing the Section 6
 //!   workloads;
 //! * [`exp`] — the experiment harness regenerating every table and figure;
+//! * [`pool`] — the deterministic sharded worker pool (ordered results,
+//!   panic containment, output invariant in worker count and batch size)
+//!   shared by the service session loop and the parallel sweep engine;
 //! * [`service`] — the online admission-control runtime: incremental
 //!   fast→slow decision cascade (incremental DP → GN1 → GN2 → exact) behind
 //!   a batched, sharded JSONL protocol (`fpga-rt serve`).
@@ -57,6 +60,7 @@ pub use fpga_rt_analysis as analysis;
 pub use fpga_rt_exp as exp;
 pub use fpga_rt_gen as gen;
 pub use fpga_rt_model as model;
+pub use fpga_rt_pool as pool;
 pub use fpga_rt_service as service;
 pub use fpga_rt_sim as sim;
 
@@ -68,6 +72,7 @@ pub mod prelude {
     pub use fpga_rt_model::{
         Fpga, LiveTaskSet, ModelError, Rat64, Task, TaskHandle, TaskId, TaskSet, Time,
     };
+    pub use fpga_rt_pool::{PoolConfig, ShardedPool};
     pub use fpga_rt_service::{AdmissionController, ControllerConfig, ServeConfig, Tier};
     pub use fpga_rt_sim::{self as sim, SchedulerKind, SimConfig, SimOutcome};
 }
