@@ -1,0 +1,74 @@
+//! `conform_throughput` — tasksets/sec of the pool-parallel conformance
+//! engine at 1, 2 and all-core worker counts on one fixed population
+//! (fig3a, 4 bins × 24 tasksets, DP/GN1/GN2/AnyOf + NEC + both
+//! simulations per taskset).
+//!
+//! Conformance units are ~10× heavier than sweep units (two discrete-event
+//! simulations dominate), so this bench tracks the engine's scaling where
+//! it matters most. Because the engine is deterministic in the worker
+//! count, every row evaluates the *identical* work; `speedup_report`
+//! prints the multi-worker speedup over the 1-worker baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_conform::{paper_conform_evaluators, run_conform, ConformConfig};
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use std::hint::black_box;
+
+const BINS: usize = 4;
+const PER_BIN: usize = 24;
+
+fn config(workers: usize) -> ConformConfig {
+    let mut config = ConformConfig::new(FigureWorkload::fig3a(), PER_BIN, 20070326);
+    config.bins = UtilizationBins::new(0.0, 1.0, BINS);
+    config.sim_horizon = 25.0;
+    config.workers = workers;
+    config
+}
+
+fn worker_counts() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut counts = vec![1, 2];
+    if all > 2 {
+        counts.push(all);
+    }
+    counts
+}
+
+fn bench_conform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conform_throughput");
+    group.sample_size(10);
+    for workers in worker_counts() {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_conform(&config(w), paper_conform_evaluators())))
+        });
+    }
+    group.finish();
+}
+
+/// Direct tasksets/sec and speedup figures (the criterion shim only prints
+/// ns/iter of the whole run).
+fn speedup_report(_c: &mut Criterion) {
+    let time = |workers: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            black_box(run_conform(&config(workers), paper_conform_evaluators()));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let units = (BINS * PER_BIN) as f64;
+    let base = time(1);
+    println!("conform_throughput: workers=1     {:>10.0} tasksets/sec (baseline)", units / base);
+    for workers in worker_counts().into_iter().skip(1) {
+        let t = time(workers);
+        println!(
+            "conform_throughput: workers={workers:<5} {:>10.0} tasksets/sec ({:.2}x speedup)",
+            units / t,
+            base / t
+        );
+    }
+}
+
+criterion_group!(benches, bench_conform, speedup_report);
+criterion_main!(benches);

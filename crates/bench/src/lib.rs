@@ -14,6 +14,8 @@
 //! | `rational` | exact-arithmetic cost vs f64 |
 //! | `ablations` | λ-search and β-denominator configuration costs |
 //! | `admission` | online admission-control decisions/sec at batch 1/64/1024 |
+//! | `sweep_throughput` | pool-parallel sweep engine scaling vs worker count |
+//! | `conform_throughput` | pool-parallel conformance engine scaling vs worker count |
 //!
 //! This library only hosts shared fixture helpers; run the suite with
 //! `cargo bench -p fpga-rt-bench`.

@@ -39,6 +39,38 @@ pub(crate) fn catch_rat64_overflow<R>(f: impl FnOnce() -> R) -> Result<R, String
     }
 }
 
+/// Parse `--key` as a count that must be ≥ 1 when given. Returns `None`
+/// when the flag is absent (the caller's default applies — e.g. "all
+/// cores" for worker counts). An explicit `0` or an unparseable value is
+/// a usage error: `Args::get` would silently fall back to the default,
+/// which for `--workers 0` / `--shards 0` used to leak the internal
+/// "auto" sentinel into, or silently correct, downstream sizing.
+pub(crate) fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, String> {
+    match args.flags.get(key) {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(format!("--{key} must be ≥ 1 (omit the flag for the default)")),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("--{key} expects a positive integer, got {v:?}")),
+        },
+    }
+}
+
+/// Parse `--key` as a typed value, erroring on unparseable input instead
+/// of silently using the default (`Args::get` does the latter — fine for
+/// study binaries, wrong for CI-gating subcommands where a typo like
+/// `--per-bin 25O` must not quietly gate a different population).
+pub(crate) fn parsed_flag<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse::<T>().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
 fn report_line(out: &mut dyn Write, rep: &TestReport, verbose: bool) {
     if verbose {
         let _ = write!(out, "{}", rep.summarize());
@@ -305,16 +337,16 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
     let figure = args.flags.get("figure").map(String::as_str).unwrap_or("fig3a");
     let workload = FigureWorkload::by_id(figure)
         .ok_or_else(|| format!("unknown figure {figure:?} (fig3a|fig3b|fig4a|fig4b)"))?;
-    let bins = args.get("bins", 20usize);
+    let bins = parsed_flag(args, "bins", 20usize)?;
     if bins == 0 {
         return Err("--bins must be ≥ 1".into());
     }
-    let per_bin = args.get("per-bin", 200usize).max(1);
-    let seed = args.get("seed", 20070326u64);
+    let per_bin = positive_count(args, "per-bin")?.unwrap_or(200);
+    let seed = parsed_flag(args, "seed", 20070326u64)?;
 
     let mut config = PoolSweepConfig::new(workload, per_bin, seed);
     config.bins = UtilizationBins::new(0.0, 1.0, bins);
-    config.workers = args.get("workers", 0usize);
+    config.workers = positive_count(args, "workers")?.unwrap_or(0);
     let outcome = run_pool_sweep(&config, &analysis_evaluators());
 
     let _ = write!(out, "{}", fpga_rt_exp::output::render_text(&outcome.result));
@@ -349,20 +381,165 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(ExitCode::Accepted)
 }
 
+/// `fpga-rt conform` — cross-validate every analytic verdict against the
+/// discrete-event simulator over binned UUniFast populations, classifying
+/// each (taskset, evaluator) pair into sound-accept / sound-reject /
+/// pessimistic-reject / SOUNDNESS-VIOLATION with minimized counterexample
+/// traces for any violation.
+///
+/// Stdout and the `--out` artifact are byte-identical for every
+/// `--workers` value at a fixed seed — CI diffs a 1-worker run against a
+/// 4-worker run and additionally gates on zero violations over ≥10 000
+/// tasksets across all four figures. Exit code: 0 when every verdict
+/// conforms, 1 on any soundness violation.
+pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use fpga_rt_conform::{
+        paper_conform_evaluators, render_csv_rows, render_text, run_conform, run_twod_bridge,
+        ConformConfig, ConformReport, TwodBridgeConfig, CSV_HEADER,
+    };
+
+    let bins = parsed_flag(args, "bins", 20usize)?;
+    if bins == 0 {
+        return Err("--bins must be ≥ 1".into());
+    }
+    let per_bin = positive_count(args, "per-bin")?.unwrap_or(100);
+    let seed = parsed_flag(args, "seed", 20070326u64)?;
+    let workers = positive_count(args, "workers")?.unwrap_or(0);
+    let sim_horizon = parsed_flag(args, "sim-horizon", 50.0f64)?;
+    if !(sim_horizon.is_finite() && sim_horizon > 0.0) {
+        return Err(format!("--sim-horizon must be a positive factor, got {sim_horizon}"));
+    }
+
+    if args.has("twod") {
+        // A 1-D population flag in bridge mode (or vice versa, below)
+        // would be silently ignored — i.e. a differently-sized population
+        // than the operator asked for. Refuse instead.
+        for stray in ["figure", "per-bin"] {
+            if args.has(stray) {
+                return Err(format!(
+                    "--{stray} applies to the 1-D mode; --twod sizes its \
+                     population with --samples"
+                ));
+            }
+        }
+        let mut config =
+            TwodBridgeConfig::new(positive_count(args, "samples")?.unwrap_or(500), seed);
+        config.bins = UtilizationBins::new(0.0, 1.0, bins);
+        config.workers = workers;
+        config.sim_horizon = sim_horizon;
+        let outcome = run_twod_bridge(&config);
+        let _ = write!(out, "{}", render_text(&outcome.report));
+        let _ = writeln!(
+            out,
+            "sim-1d-nf vs native-2d: both-clean {}, 1d-clean/2d-miss (anomaly) {}, \
+             1d-miss/2d-clean {}, both-miss {}",
+            outcome.sim1d.both_clean,
+            outcome.sim1d.anomaly_1d_clean_2d_miss,
+            outcome.sim1d.conservative_1d_miss_2d_clean,
+            outcome.sim1d.both_miss
+        );
+        let _ = writeln!(
+            out,
+            "native-2d scheduling anomalies on AnyOf-accepted draws \
+             (measured, not gated): {}",
+            outcome.analytic_anomalies
+        );
+        if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
+            let mut json =
+                serde_json::to_string_pretty(&outcome.artifact()).map_err(|e| e.to_string())?;
+            json.push('\n');
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+        if outcome.failed_units > 0 {
+            // An unclassified unit could be the violating one; a gate
+            // must not certify a silently reduced population.
+            return Err(format!(
+                "{} of {} samples lost to panicking evaluators — population not fully \
+                 classified",
+                outcome.failed_units, config.samples
+            ));
+        }
+        return Ok(if outcome.report.sound() { ExitCode::Accepted } else { ExitCode::Rejected });
+    }
+
+    if args.has("samples") {
+        return Err("--samples applies to --twod mode; the 1-D mode sizes its population \
+             with --bins × --per-bin"
+            .into());
+    }
+    let figure = args.flags.get("figure").map(String::as_str).unwrap_or("all");
+    let workloads: Vec<FigureWorkload> = if figure == "all" {
+        FigureWorkload::all()
+    } else {
+        vec![FigureWorkload::by_id(figure)
+            .ok_or_else(|| format!("unknown figure {figure:?} (fig3a|fig3b|fig4a|fig4b|all)"))?]
+    };
+
+    let mut reports: Vec<ConformReport> = Vec::with_capacity(workloads.len());
+    let mut exhausted = 0usize;
+    let mut failed = 0usize;
+    for workload in workloads {
+        let mut config = ConformConfig::new(workload, per_bin, seed);
+        config.bins = UtilizationBins::new(0.0, 1.0, bins);
+        config.workers = workers;
+        config.sim_horizon = sim_horizon;
+        let outcome = run_conform(&config, paper_conform_evaluators());
+        let _ = write!(out, "{}", render_text(&outcome.report));
+        exhausted += outcome.exhausted_units;
+        failed += outcome.failed_units;
+        reports.push(outcome.report);
+    }
+    let violations: usize = reports.iter().map(|r| r.total_violations).sum();
+    if exhausted > 0 {
+        let _ = writeln!(out, "note: {exhausted} samples exhausted the generator's attempt budget");
+    }
+
+    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
+        let rendered = if path.ends_with(".csv") {
+            let mut csv = String::from(CSV_HEADER);
+            csv.push('\n');
+            for r in &reports {
+                csv.push_str(&render_csv_rows(r));
+            }
+            csv
+        } else {
+            let mut json = if reports.len() == 1 {
+                serde_json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
+            } else {
+                serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
+            };
+            json.push('\n');
+            json
+        };
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if failed > 0 {
+        // An unclassified unit could be the violating one; a gate must
+        // not certify a silently reduced population.
+        return Err(format!(
+            "{failed} samples lost to panicking evaluators — population not fully classified"
+        ));
+    }
+    Ok(if violations == 0 { ExitCode::Accepted } else { ExitCode::Rejected })
+}
+
 /// `fpga-rt serve` — the online admission-control service: JSONL requests
 /// on stdin (or `--input FILE`), one JSONL response per request on stdout,
 /// a human summary on stderr.
 pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
-    let columns: u32 = args.get("columns", 0);
-    if columns == 0 {
-        return Err("--columns N (≥1) is required".into());
+    let columns = positive_count(args, "columns")?.ok_or("--columns N (≥1) is required")? as u32;
+    let exact_margin = parsed_flag(args, "exact-margin", 1e-9f64)?;
+    if !(exact_margin.is_finite() && exact_margin >= 0.0) {
+        return Err(format!(
+            "--exact-margin must be a finite non-negative value, got {exact_margin}"
+        ));
     }
     let config = ServeConfig {
         columns,
-        shards: args.get("shards", 1u32).max(1),
-        workers: args.get("workers", 0usize),
-        batch: args.get("batch", 64usize).max(1),
-        exact_margin: args.get("exact-margin", 1e-9f64),
+        shards: positive_count(args, "shards")?.unwrap_or(1).min(u32::MAX as usize) as u32,
+        workers: positive_count(args, "workers")?.unwrap_or(0),
+        batch: positive_count(args, "batch")?.unwrap_or(64),
+        exact_margin,
         max_denominator: 1_000_000,
         deterministic: args.has("deterministic"),
     };
@@ -612,6 +789,161 @@ mod tests {
     fn sweep_rejects_bad_flags() {
         assert!(sweep(&args(&["--figure", "fig9z"]), &mut Vec::new()).is_err());
         assert!(sweep(&args(&["--bins", "0"]), &mut Vec::new()).is_err());
+    }
+
+    /// Satellite bugfix: an explicit `--workers 0` / `--shards 0` (or
+    /// garbage) is a usage error at arg-parse time — previously the zero
+    /// leaked into (sweep) or was silently corrected by (serve) the
+    /// downstream sizing, and garbage silently fell back to the default.
+    #[test]
+    fn zero_and_garbage_worker_counts_are_rejected() {
+        let err = sweep(&args(&["--workers", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--workers must be ≥ 1"), "{err}");
+        let err = sweep(&args(&["--workers", "abc"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = serve(&args(&["--columns", "10", "--shards", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--shards must be ≥ 1"), "{err}");
+        let err =
+            serve(&args(&["--columns", "10", "--workers", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--workers must be ≥ 1"), "{err}");
+        let err = conform(&args(&["--workers", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--workers must be ≥ 1"), "{err}");
+        // Gate-relevant numeric flags reject garbage instead of silently
+        // gating a default-sized population (`--per-bin 25O` is a typo,
+        // not a request for the default).
+        let err = conform(&args(&["--per-bin", "25O"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = conform(&args(&["--seed", "xyz"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("cannot parse"), "{err}");
+        let err = sweep(&args(&["--per-bin", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--per-bin must be ≥ 1"), "{err}");
+        // Omitting the flags keeps the documented defaults working.
+        assert!(positive_count(&args(&[]), "workers").unwrap().is_none());
+        assert_eq!(parsed_flag(&args(&[]), "seed", 7u64).unwrap(), 7);
+    }
+
+    /// The conform engine's acceptance criterion at smoke scale: stdout
+    /// and the `--out` JSON are byte-identical for `--workers 1` vs `4`,
+    /// the report is violation-free, and the exit code says so.
+    #[test]
+    fn conform_output_is_byte_identical_and_sound() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut transcripts = Vec::new();
+        for workers in ["1", "4"] {
+            let path = dir.join(format!("conform-w{workers}.json"));
+            let out_path = path.to_string_lossy().into_owned();
+            let mut buf = Vec::new();
+            let code = conform(
+                &args(&[
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "3",
+                    "--per-bin",
+                    "6",
+                    "--sim-horizon",
+                    "20",
+                    "--seed",
+                    "7",
+                    "--workers",
+                    workers,
+                    "--out",
+                    &out_path,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert_eq!(code, ExitCode::Accepted, "violation at smoke scale");
+            transcripts.push((String::from_utf8(buf).unwrap(), std::fs::read(&path).unwrap()));
+        }
+        assert_eq!(transcripts[0].0, transcripts[1].0, "stdout differs across workers");
+        assert_eq!(transcripts[0].1, transcripts[1].1, "--out JSON differs across workers");
+        assert!(transcripts[0].0.contains("total soundness violations: 0"));
+        let json_text = String::from_utf8(transcripts[0].1.clone()).unwrap();
+        let report: fpga_rt_conform::ConformReport =
+            serde_json::from_str(&json_text).expect("valid ConformReport JSON");
+        assert_eq!(report.series.len(), 4, "DP, GN1, GN2, AnyOf");
+    }
+
+    #[test]
+    fn conform_writes_multi_figure_csv() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conform.csv");
+        let out_path = path.to_string_lossy().into_owned();
+        let code = conform(
+            &args(&[
+                "--bins",
+                "2",
+                "--per-bin",
+                "2",
+                "--sim-horizon",
+                "10",
+                "--seed",
+                "3",
+                "--out",
+                &out_path,
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("workload,evaluator,utilization,"), "{csv}");
+        // 4 figures × 4 evaluators × 2 bins rows + header.
+        assert_eq!(csv.lines().count(), 1 + 4 * 4 * 2);
+        for figure in ["fig3a", "fig3b", "fig4a", "fig4b"] {
+            assert!(csv.contains(figure), "missing {figure}");
+        }
+    }
+
+    #[test]
+    fn conform_twod_bridge_mode_runs() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conform-twod.json");
+        let out_path = path.to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code = conform(
+            &args(&[
+                "--twod",
+                "--samples",
+                "20",
+                "--bins",
+                "4",
+                "--sim-horizon",
+                "15",
+                "--seed",
+                "9",
+                "--out",
+                &out_path,
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("twod-bridge"));
+        assert!(text.contains("sim-1d-nf vs native-2d:"));
+        let artifact: fpga_rt_conform::TwodBridgeArtifact =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(artifact.counterexamples.is_empty());
+        assert_eq!(artifact.report.series.len(), 4);
+        assert_eq!(artifact.sim1d.total(), 20);
+    }
+
+    #[test]
+    fn conform_rejects_bad_flags() {
+        assert!(conform(&args(&["--figure", "fig9z"]), &mut Vec::new()).is_err());
+        assert!(conform(&args(&["--bins", "0"]), &mut Vec::new()).is_err());
+        assert!(conform(&args(&["--sim-horizon", "0"]), &mut Vec::new()).is_err());
+        // Mode-mismatched population flags are refused, not ignored.
+        let err = conform(&args(&["--twod", "--per-bin", "2000"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--samples"), "{err}");
+        assert!(conform(&args(&["--twod", "--figure", "fig3a"]), &mut Vec::new()).is_err());
+        let err = conform(&args(&["--samples", "100"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--twod"), "{err}");
     }
 
     #[test]

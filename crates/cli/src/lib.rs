@@ -34,6 +34,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "generate" => commands::generate(&parsed, out),
         "tables" => commands::tables(out),
         "sweep" => commands::sweep(&parsed, out),
+        "conform" => commands::conform(&parsed, out),
         "serve" => commands::serve(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", usage());
@@ -61,6 +62,11 @@ pub fn usage() -> String {
      \x20           [--workers W] [--seed S] [--out FILE.json|FILE.csv]\n\
      \x20           (parallel DP/GN1/GN2/AnyOf acceptance-ratio curves;\n\
      \x20           output is byte-identical for any --workers)\n\
+     \x20 conform   [--figure fig3a|fig3b|fig4a|fig4b|all] [--bins N] [--per-bin M]\n\
+     \x20           [--sim-horizon F] [--workers W] [--seed S] [--out FILE.json|FILE.csv]\n\
+     \x20           [--twod [--samples N]]\n\
+     \x20           (cross-validate DP/GN1/GN2/AnyOf against the simulator;\n\
+     \x20           exit 1 on any SOUNDNESS-VIOLATION; byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
      \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
      \x20           (JSONL admission-control service on stdin/stdout)"

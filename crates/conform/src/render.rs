@@ -1,0 +1,127 @@
+//! Deterministic text / CSV rendering of conformance reports.
+//!
+//! Both renderers are pure functions of the report, so stdout and `--out`
+//! artifacts participate in the same byte-identity guarantee the engine
+//! gives (CI diffs a 1-worker run against a 4-worker run).
+
+use crate::engine::ConformReport;
+use core::fmt::Write as _;
+
+/// Render an aligned plain-text view: one block per evaluator, one row per
+/// utilization bin, plus a greppable summary line
+/// (`total soundness violations: N`).
+pub fn render_text(report: &ConformReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "conformance {}: {} (sim horizon {}×Tmax)",
+        report.workload_id, report.caption, report.sim_horizon
+    );
+    for s in &report.series {
+        let _ = writeln!(out, "{} (targets {})", s.name, s.targets.join(", "));
+        let _ = writeln!(
+            out,
+            "  {:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
+            "US/A", "samples", "sound-acc", "sound-rej", "pess-rej", "VIOLATION"
+        );
+        for b in &s.bins {
+            let _ = writeln!(
+                out,
+                "  {:>6.3} {:>8} {:>12} {:>12} {:>12} {:>10}",
+                b.utilization,
+                b.samples,
+                b.sound_accept,
+                b.sound_reject,
+                b.pessimistic_reject,
+                b.violations
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "necessary-test rejects: {} ({} of them simulated clean within the horizon)",
+        report.nec_rejects, report.nec_reject_sim_clean
+    );
+    let _ = writeln!(out, "total soundness violations: {}", report.total_violations);
+    out
+}
+
+/// CSV header shared by all conformance rows.
+pub const CSV_HEADER: &str =
+    "workload,evaluator,utilization,samples,sound_accept,sound_reject,pessimistic_reject,violations";
+
+/// Render CSV rows (without header) for one report — callers prepend
+/// [`CSV_HEADER`] once, so multi-figure runs concatenate cleanly.
+pub fn render_csv_rows(report: &ConformReport) -> String {
+    let mut out = String::new();
+    for s in &report.series {
+        for b in &s.bins {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{},{},{},{},{}",
+                report.workload_id,
+                s.name,
+                b.utilization,
+                b.samples,
+                b.sound_accept,
+                b.sound_reject,
+                b.pessimistic_reject,
+                b.violations
+            );
+        }
+    }
+    out
+}
+
+/// Render a complete single-report CSV (header + rows).
+pub fn render_csv(report: &ConformReport) -> String {
+    format!("{CSV_HEADER}\n{}", render_csv_rows(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{BinClassCounts, ConformSeries};
+
+    fn fixture() -> ConformReport {
+        ConformReport {
+            workload_id: "fig3a".into(),
+            caption: "4 tasks".into(),
+            sim_horizon: 50.0,
+            series: vec![ConformSeries {
+                name: "DP".into(),
+                targets: vec!["EDF-FkF".into(), "EDF-NF".into()],
+                bins: vec![BinClassCounts {
+                    utilization: 0.25,
+                    samples: 10,
+                    sound_accept: 4,
+                    sound_reject: 1,
+                    pessimistic_reject: 5,
+                    violations: 0,
+                }],
+            }],
+            nec_rejects: 2,
+            nec_reject_sim_clean: 1,
+            total_violations: 0,
+            counterexamples: vec![],
+        }
+    }
+
+    #[test]
+    fn text_has_summary_and_rows() {
+        let text = render_text(&fixture());
+        assert!(text.contains("total soundness violations: 0"));
+        assert!(text.contains("DP (targets EDF-FkF, EDF-NF)"));
+        assert!(text.contains("0.250"));
+        assert!(text.contains("necessary-test rejects: 2 (1 of them"));
+    }
+
+    #[test]
+    fn csv_is_one_row_per_evaluator_bin() {
+        let csv = render_csv(&fixture());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines[1], "fig3a,DP,0.2500,10,4,1,5,0");
+    }
+}

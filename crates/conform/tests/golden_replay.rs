@@ -1,0 +1,98 @@
+//! Golden-file pin of the minimized counterexample format.
+//!
+//! A deliberately unsound evaluator ("accept everything") is run through
+//! the real conformance engine on a fixed population; the first minimized
+//! counterexample it produces is serialized and diffed byte-for-byte
+//! against `testdata/counterexample.golden.json`. This pins
+//!
+//! 1. the **wire format** (field names, tuple encoding, trace-segment
+//!    schema) — downstream tooling parses these files;
+//! 2. the **determinism** of generation, classification, minimization and
+//!    evidence capture end to end (any drift in generator streams,
+//!    minimizer order or trace segmentation shows up as a diff);
+//!
+//! and the replay half re-simulates the golden taskset from the file
+//! alone, proving a shipped counterexample is self-contained evidence.
+//!
+//! Regenerate after an *intentional* format change with:
+//! `FPGA_RT_BLESS=1 cargo test -p fpga-rt-conform --test golden_replay`
+
+use fpga_rt_conform::{
+    run_conform, ConformConfig, ConformEvaluator, Counterexample, ViolationKind,
+};
+use fpga_rt_exp::Evaluator;
+use fpga_rt_gen::{FigureWorkload, UtilizationBins};
+use fpga_rt_model::Fpga;
+use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig, Trace};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/testdata/counterexample.golden.json");
+
+/// The fixed population the golden counterexample is drawn from.
+fn fixture_config() -> ConformConfig {
+    let mut config = ConformConfig::new(FigureWorkload::fig3a(), 6, 42);
+    config.bins = UtilizationBins::new(0.0, 1.0, 4);
+    config.sim_horizon = 20.0;
+    config.workers = 1;
+    config
+}
+
+fn first_counterexample() -> Counterexample {
+    let always = ConformEvaluator::new(
+        Evaluator::new("UNSOUND-ALWAYS", |_, _| true),
+        vec![SchedulerKind::EdfNf],
+    );
+    let outcome = run_conform(&fixture_config(), vec![always]);
+    assert!(!outcome.report.sound(), "the unsound evaluator must be disproved");
+    outcome.report.counterexamples.first().expect("at least one counterexample").clone()
+}
+
+#[test]
+fn counterexample_format_matches_golden() {
+    let mut rendered = serde_json::to_string_pretty(&first_counterexample()).expect("serializable");
+    rendered.push('\n');
+    if std::env::var("FPGA_RT_BLESS").is_ok() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden");
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(GOLDEN).expect("golden file missing — bless with FPGA_RT_BLESS=1");
+    assert_eq!(
+        rendered, golden,
+        "counterexample format drifted; if intentional, re-bless with FPGA_RT_BLESS=1"
+    );
+}
+
+/// The golden file alone is enough to replay the violation: rebuild the
+/// taskset, re-simulate under the recorded scheduler/horizon, and observe
+/// the same first miss.
+#[test]
+fn golden_counterexample_replays_from_the_file_alone() {
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file present");
+    let cx: Counterexample = serde_json::from_str(&golden).expect("golden parses");
+    assert_eq!(cx.evaluator, "UNSOUND-ALWAYS");
+    assert_eq!(cx.kind, ViolationKind::SimMiss);
+
+    let ts = cx.taskset().expect("golden tuples form a valid taskset");
+    let dev = Fpga::new(cx.device_columns).unwrap();
+    let kind = match cx.scheduler.as_deref() {
+        Some("EDF-FkF") => SchedulerKind::EdfFkf,
+        _ => SchedulerKind::EdfNf,
+    };
+    let cfg = SimConfig::default()
+        .with_scheduler(kind)
+        .with_horizon(Horizon::PeriodsOfTmax(cx.sim_horizon));
+    let outcome = simulate_f64(&ts, &dev, &cfg).unwrap();
+    assert!(!outcome.schedulable(), "golden counterexample no longer misses");
+
+    let recorded = cx.first_miss.expect("sim-miss counterexamples carry the miss");
+    let replayed = outcome.first_miss().expect("miss observed");
+    assert_eq!(replayed.task, recorded.task);
+    assert_eq!(replayed.job_index, recorded.job_index);
+    assert!((replayed.time - recorded.time).abs() < 1e-9, "miss time drifted");
+
+    // The stored trace tail is a structurally valid schedule fragment
+    // ending at (or before) the miss.
+    let tail = Trace { device_columns: cx.device_columns, segments: cx.trace_tail.clone() };
+    tail.check_invariants().expect("trace tail is well-formed");
+    assert!(tail.segments.last().map(|s| s.from <= recorded.time).unwrap_or(false));
+}

@@ -19,6 +19,10 @@
 //! * [`gen`] — synthetic taskset generators reproducing the Section 6
 //!   workloads;
 //! * [`exp`] — the experiment harness regenerating every table and figure;
+//! * [`conform`] — the pool-parallel conformance engine cross-validating
+//!   every analytic verdict against the simulator at population scale,
+//!   with minimized counterexamples for any soundness violation
+//!   (`fpga-rt conform`);
 //! * [`pool`] — the deterministic sharded worker pool (ordered results,
 //!   panic containment, output invariant in worker count and batch size)
 //!   shared by the service session loop and the parallel sweep engine;
@@ -57,6 +61,7 @@
 
 pub use fpga_rt_2d as twod;
 pub use fpga_rt_analysis as analysis;
+pub use fpga_rt_conform as conform;
 pub use fpga_rt_exp as exp;
 pub use fpga_rt_gen as gen;
 pub use fpga_rt_model as model;

@@ -8,7 +8,11 @@
 //! 3. the EDF-NF *fit* property (Definition 2): under free migration a
 //!    waiting job never fits the idle area;
 //! 4. conservation: busy-area integral equals completed work (zero
-//!    overhead).
+//!    overhead);
+//! 5. representation invariance: results are unchanged under taskset
+//!    permutation (modulo the index relabeling) and under power-of-two
+//!    time rescaling (exact in binary floating point, reusing the
+//!    `tests/scale_invariance.rs` machinery for the analytic tests).
 
 use fpga_rt::gen::TasksetSpec;
 use fpga_rt::prelude::*;
@@ -104,6 +108,127 @@ proptest! {
             out.metrics.busy_area_time,
             trace_work
         );
+    }
+}
+
+/// Distinct-period tasksets for the representation-invariance properties:
+/// pairwise-distinct periods (gap ≥ 0.5) make simultaneous absolute
+/// deadlines across tasks a measure-zero event under the synchronous
+/// pattern, so EDF's deterministic tie-breaking (by slot index) cannot
+/// leak the task *order* into the schedule.
+fn distinct_period_taskset() -> impl Strategy<Value = TaskSet<f64>> {
+    (2usize..7, 0u64..1_000_000).prop_map(|(n, seed)| {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tuples: Vec<(f64, f64, f64, u32)> = (0..n)
+            .map(|i| {
+                let period = 5.0 + 2.0 * i as f64 + rng.gen_range(0.0..1.5);
+                let exec = period * rng.gen_range(0.05..0.8);
+                let area = rng.gen_range(1..60u32);
+                (exec, period, period, area)
+            })
+            .collect();
+        TaskSet::try_from_tuples(&tuples).expect("positive by construction")
+    })
+}
+
+fn sim_metrics(
+    ts: &TaskSet<f64>,
+    kind: SchedulerKind,
+    horizon: Horizon,
+) -> fpga_rt::sim::SimOutcome {
+    let dev = Fpga::new(100).unwrap();
+    let cfg = SimConfig::default().with_scheduler(kind).with_horizon(horizon).collect_all_misses();
+    simulate_f64(ts, &dev, &cfg).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite property: simulation results are invariant under taskset
+    /// permutation — the engine must depend on the *set* of tasks, not on
+    /// their index order (indices only relabel the reported statistics).
+    #[test]
+    fn sim_invariant_under_taskset_permutation(
+        ts in distinct_period_taskset(),
+        rot in 1usize..6,
+    ) {
+        let n = ts.len();
+        // Never the identity: every case exercises a genuine reorder
+        // (n ≥ 2 by construction).
+        let rot = 1 + rot % (n - 1);
+        // Rotate the task order by `rot` (a generator for the full
+        // symmetric group under repeated application).
+        let permuted_tasks: Vec<_> =
+            (0..n).map(|i| *ts.task((i + rot) % n)).collect();
+        let permuted = TaskSet::new(permuted_tasks).unwrap();
+        for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+            let a = sim_metrics(&ts, kind.clone(), Horizon::PeriodsOfTmax(15.0));
+            let b = sim_metrics(&permuted, kind.clone(), Horizon::PeriodsOfTmax(15.0));
+            prop_assert_eq!(a.schedulable(), b.schedulable(), "{:?}", kind);
+            prop_assert_eq!(a.metrics.released, b.metrics.released);
+            prop_assert_eq!(a.metrics.completed, b.metrics.completed);
+            prop_assert_eq!(a.metrics.misses.len(), b.metrics.misses.len());
+            prop_assert!((a.metrics.busy_area_time - b.metrics.busy_area_time).abs()
+                < 1e-6 * (1.0 + a.metrics.busy_area_time));
+            // Per-task statistics relabel through the permutation:
+            // permuted task i is original task (i + rot) mod n.
+            for i in 0..n {
+                let orig = &a.metrics.response[(i + rot) % n];
+                let perm = &b.metrics.response[i];
+                prop_assert_eq!(orig.completed, perm.completed, "task {}", i);
+                prop_assert!((orig.max - perm.max).abs() < 1e-9, "task {}", i);
+            }
+            // Misses relabel the same way (kill-at-deadline keeps one
+            // record per (task, job) pair; order may differ with ties).
+            let mut a_misses: Vec<(usize, u64)> =
+                a.metrics.misses.iter().map(|m| (m.task.0, m.job_index)).collect();
+            let mut b_misses: Vec<(usize, u64)> = b
+                .metrics
+                .misses
+                .iter()
+                .map(|m| ((m.task.0 + rot) % n, m.job_index))
+                .collect();
+            a_misses.sort_unstable();
+            b_misses.sort_unstable();
+            prop_assert_eq!(a_misses, b_misses);
+        }
+    }
+
+    /// Satellite property: simulation results are invariant under
+    /// power-of-two time rescaling (exact in binary floating point, the
+    /// same trick `tests/scale_invariance.rs` uses for the analytic
+    /// tests). Every event time scales exactly, so the schedule is the
+    /// same schedule with a stretched clock: verdicts and counts are
+    /// unchanged and every reported time scales by the factor.
+    #[test]
+    fn sim_invariant_under_time_rescaling(
+        ts in distinct_period_taskset(),
+        exp in -2i32..5,
+    ) {
+        let scale = 2f64.powi(exp);
+        let scaled = ts.map_time(|v| v * scale).unwrap();
+        for kind in [SchedulerKind::EdfFkf, SchedulerKind::EdfNf] {
+            let a = sim_metrics(&ts, kind.clone(), Horizon::PeriodsOfTmax(15.0));
+            let b = sim_metrics(&scaled, kind.clone(), Horizon::PeriodsOfTmax(15.0));
+            prop_assert_eq!(a.schedulable(), b.schedulable(), "{:?}", kind);
+            prop_assert_eq!(a.metrics.released, b.metrics.released);
+            prop_assert_eq!(a.metrics.completed, b.metrics.completed);
+            prop_assert_eq!(a.metrics.misses.len(), b.metrics.misses.len());
+            prop_assert_eq!(a.metrics.preemptions, b.metrics.preemptions);
+            prop_assert_eq!(a.metrics.placements, b.metrics.placements);
+            prop_assert!((a.metrics.span * scale - b.metrics.span).abs() < 1e-9 * scale);
+            for (ra, rb) in a.metrics.response.iter().zip(&b.metrics.response) {
+                prop_assert_eq!(ra.completed, rb.completed);
+                prop_assert!((ra.max * scale - rb.max).abs() < 1e-6 * scale.max(1.0));
+            }
+            for (ma, mb) in a.metrics.misses.iter().zip(&b.metrics.misses) {
+                prop_assert_eq!(ma.task, mb.task);
+                prop_assert_eq!(ma.job_index, mb.job_index);
+                prop_assert!((ma.time * scale - mb.time).abs() < 1e-6 * scale.max(1.0));
+            }
+        }
     }
 }
 

@@ -8,6 +8,15 @@
 //! plus a short measured loop and prints `ns/iter`, which keeps
 //! `cargo bench` functional and — more importantly for CI —
 //! `cargo bench --no-run` compiling the full suite.
+//!
+//! Two environment variables bound the budget for smoke runs (used by the
+//! CI `bench-smoke` job, which only needs every target to *execute* and
+//! emit one parseable line per benchmark):
+//!
+//! * `CRITERION_SHIM_SAMPLES` — samples per benchmark (clamped to 1–8;
+//!   default: the group's `sample_size`, itself clamped to 8);
+//! * `CRITERION_SHIM_ITERS` — timed iterations per sample (minimum 1,
+//!   default 16; warm-up shrinks to match when smaller than 3).
 
 #![forbid(unsafe_code)]
 
@@ -143,15 +152,23 @@ pub struct Bencher {
     iterations: u64,
 }
 
+/// `CRITERION_SHIM_ITERS` (≥ 1), or the default.
+fn timed_iters() -> u64 {
+    std::env::var("CRITERION_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(16)
+}
+
 impl Bencher {
     /// Time repeated calls of `routine`.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        // Warm-up.
-        for _ in 0..3 {
+        let iters = timed_iters();
+        for _ in 0..3u64.min(iters) {
             black_box(routine());
         }
         let start = Instant::now();
-        let iters = 16u64;
         for _ in 0..iters {
             black_box(routine());
         }
@@ -165,10 +182,10 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
-        for _ in 0..3 {
+        let iters = timed_iters();
+        for _ in 0..3u64.min(iters) {
             black_box(routine(setup()));
         }
-        let iters = 16u64;
         let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
         let start = Instant::now();
         for input in inputs {
@@ -182,8 +199,13 @@ impl Bencher {
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
     let mut bencher = Bencher::default();
     // A handful of samples bounded well below criterion's defaults: the
-    // shim reports ballpark numbers, not statistics.
-    let samples = sample_size.clamp(1, 8);
+    // shim reports ballpark numbers, not statistics. The env override
+    // exists for CI smoke runs.
+    let samples = std::env::var("CRITERION_SHIM_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(sample_size)
+        .clamp(1, 8);
     for _ in 0..samples {
         f(&mut bencher);
     }
