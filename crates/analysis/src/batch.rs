@@ -1,0 +1,728 @@
+//! Batch-vectorized evaluation of the paper's analytic tests.
+//!
+//! The scalar [`SchedTest`](crate::SchedTest) implementations are built for
+//! diagnosis: every call allocates a [`TestReport`](crate::TestReport) with
+//! one formatted note per task, GN2 additionally allocates a candidate
+//! vector and a β vector per λ attempt, and the `AnyOf` composite re-runs
+//! its components from scratch. None of that matters for a single verdict —
+//! all of it matters when 10⁴–10⁵ tasksets per second flow through the
+//! sweep and conformance engines (the scale argued for by Goossens &
+//! Meumeu Yomsi's exact global-EDF work, arXiv:1012.5929, and Singh's EDF
+//! complexity-reduction results, arXiv:1101.0056: the win comes from
+//! restructuring the per-taskset inner loop, not from more workers).
+//!
+//! This module provides the hot-path kernel:
+//!
+//! * [`TaskSetBatch`] — a structure-of-arrays store: task parameters packed
+//!   into contiguous columns (`Ck`, `Dk`, `Tk`, `Ak`) with the derived
+//!   per-task ratios (`Ck/Tk`, `Ck·Ak/Tk`, `Ck/Dk`) and the per-taskset GN2
+//!   λ-candidate pool computed **once at pack time**, sorted and deduped —
+//!   every per-task λ window is then a contiguous slice scan instead of a
+//!   fresh collect + sort.
+//! * [`BatchAnalyzer`] — evaluates DP (Theorem 1), GN1 (Theorem 2), GN2
+//!   (Theorem 3) and the Section-6 `AnyOf` composite over packed tasksets
+//!   with **zero per-taskset heap allocation**: the three component
+//!   verdicts are computed in one pass and `AnyOf` is derived from them
+//!   instead of re-evaluated.
+//! * [`ScratchSpace`] — the reusable pack buffer engines thread through
+//!   worker state (one per `fpga-rt-pool` shard) so repeated single-taskset
+//!   calls also stay allocation-free in steady state.
+//!
+//! ## Bit-identity contract
+//!
+//! The kernel is a *pure re-packing* of the scalar tests at their default
+//! (paper) configurations: every floating-point operation is performed in
+//! the same order on the same values, so verdicts **and margins** are
+//! bit-identical to [`DpTest`](crate::DpTest), [`Gn1Test`](crate::Gn1Test),
+//! [`Gn2Test`](crate::Gn2Test) and
+//! [`AnyOfTest::paper_suite`](crate::AnyOfTest::paper_suite) — asserted by
+//! the `batch_equiv` property tests over all four figure generators,
+//! including knife-edge margins where a comparison holds with exact
+//! equality. Ablation configurations (`DP-real`, `GN1-bcl`, grid search, …)
+//! are served by the scalar path only.
+//!
+//! The only intentional deviation is *what is reported*: instead of a
+//! formatted [`TestReport`](crate::TestReport), each series yields a
+//! [`BatchVerdict`] carrying the verdict and the deciding inequality's
+//! `(lhs, rhs)` — the same two numbers the scalar report's final
+//! `TaskCheck` row carries.
+
+use fpga_rt_model::{Fpga, TaskSet, Time};
+
+/// Which kernel evaluates the DP/GN1/GN2/AnyOf series in an engine that
+/// supports both (`fpga-rt sweep --kernel scalar|batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisKernel {
+    /// The batch SoA kernel of this module (default).
+    #[default]
+    Batch,
+    /// The scalar [`SchedTest`](crate::SchedTest) implementations — the
+    /// escape hatch for cross-checking the kernels against each other.
+    Scalar,
+}
+
+impl AnalysisKernel {
+    /// Parse a CLI value (`"batch"` / `"scalar"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "batch" => Some(AnalysisKernel::Batch),
+            "scalar" => Some(AnalysisKernel::Scalar),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase identifier (`"batch"` / `"scalar"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKernel::Batch => "batch",
+            AnalysisKernel::Scalar => "scalar",
+        }
+    }
+}
+
+/// The four analytic series the kernel computes, in the fixed order the
+/// sweep and conformance engines report them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisSeries {
+    /// Theorem 1 — the Danne–Platzner utilization bound with the integer
+    /// correction.
+    Dp,
+    /// Theorem 2 — the BCL-style interference test for EDF-NF.
+    Gn1,
+    /// Theorem 3 — the BAK2-style λ-extended busy-window test.
+    Gn2,
+    /// The Section-6 composite: accept iff any component accepts.
+    AnyOf,
+}
+
+impl AnalysisSeries {
+    /// All four series in report order.
+    pub const ALL: [AnalysisSeries; 4] =
+        [AnalysisSeries::Dp, AnalysisSeries::Gn1, AnalysisSeries::Gn2, AnalysisSeries::AnyOf];
+
+    /// The series name used across sweep/conformance artifacts — identical
+    /// to the scalar evaluator names, so switching kernels causes no
+    /// golden-file churn.
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisSeries::Dp => "DP",
+            AnalysisSeries::Gn1 => "GN1",
+            AnalysisSeries::Gn2 => "GN2",
+            AnalysisSeries::AnyOf => "AnyOf",
+        }
+    }
+}
+
+/// One series verdict for one taskset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchVerdict {
+    /// `true` when the sufficient condition holds.
+    pub accepted: bool,
+    /// `(lhs, rhs)` of the deciding inequality — bit-identical to the last
+    /// `TaskCheck` row of the scalar report (the failing row on rejection,
+    /// the final evaluated row on acceptance). `None` when the taskset was
+    /// rejected by the precondition guard before any row was evaluated.
+    pub margin: Option<(f64, f64)>,
+}
+
+impl BatchVerdict {
+    fn precondition_reject() -> Self {
+        BatchVerdict { accepted: false, margin: None }
+    }
+}
+
+/// All four series verdicts for one taskset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchVerdicts {
+    /// Theorem 1.
+    pub dp: BatchVerdict,
+    /// Theorem 2.
+    pub gn1: BatchVerdict,
+    /// Theorem 3.
+    pub gn2: BatchVerdict,
+    /// The composite (derived from the three components: the margin is the
+    /// first accepting component's, or GN2's when everything rejects —
+    /// exactly the final check row of the scalar `AnyOfTest`).
+    pub any_of: BatchVerdict,
+}
+
+impl BatchVerdicts {
+    /// Look up one series.
+    pub fn series(&self, series: AnalysisSeries) -> BatchVerdict {
+        match series {
+            AnalysisSeries::Dp => self.dp,
+            AnalysisSeries::Gn1 => self.gn1,
+            AnalysisSeries::Gn2 => self.gn2,
+            AnalysisSeries::AnyOf => self.any_of,
+        }
+    }
+}
+
+/// A population of tasksets packed into contiguous structure-of-arrays
+/// columns.
+///
+/// `push` copies a taskset's parameters into the column store, computes the
+/// derived per-task ratios and per-taskset aggregates the kernels need, and
+/// sorts the taskset's GN2 λ-candidate pool — all once, amortized over
+/// every test and every λ attempt. `clear` retains the allocations, so a
+/// reused batch reaches a steady state with **zero per-taskset heap
+/// allocation**.
+#[derive(Debug, Clone)]
+pub struct TaskSetBatch {
+    /// `starts[i]..starts[i+1]` is taskset `i`'s column range.
+    starts: Vec<usize>,
+    /// `cand_starts[i]..cand_starts[i+1]` is taskset `i`'s λ-candidate pool.
+    cand_starts: Vec<usize>,
+    exec: Vec<f64>,
+    deadline: Vec<f64>,
+    period: Vec<f64>,
+    area: Vec<u32>,
+    /// `Ak` as `f64` (`Time::from_u32`, precomputed).
+    area_f: Vec<f64>,
+    /// `Ck/Tk`.
+    ut: Vec<f64>,
+    /// `Ck·Ak/Tk`.
+    us: Vec<f64>,
+    /// `Ck/Dk`.
+    density: Vec<f64>,
+    /// Sorted deduped λ candidates ({uᵢ} ∪ {Cᵢ/Dᵢ : Dᵢ > Tᵢ}) per taskset.
+    cand: Vec<f64>,
+    /// `US(Γ)` accumulated in task order (the scalar fold).
+    us_total: Vec<f64>,
+    amax: Vec<u32>,
+    amin: Vec<u32>,
+}
+
+impl Default for TaskSetBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskSetBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        TaskSetBatch {
+            starts: vec![0],
+            cand_starts: vec![0],
+            exec: Vec::new(),
+            deadline: Vec::new(),
+            period: Vec::new(),
+            area: Vec::new(),
+            area_f: Vec::new(),
+            ut: Vec::new(),
+            us: Vec::new(),
+            density: Vec::new(),
+            cand: Vec::new(),
+            us_total: Vec::new(),
+            amax: Vec::new(),
+            amin: Vec::new(),
+        }
+    }
+
+    /// Number of packed tasksets.
+    pub fn len(&self) -> usize {
+        self.us_total.len()
+    }
+
+    /// `true` when no taskset is packed.
+    pub fn is_empty(&self) -> bool {
+        self.us_total.is_empty()
+    }
+
+    /// Total number of packed tasks across all tasksets.
+    pub fn total_tasks(&self) -> usize {
+        self.exec.len()
+    }
+
+    /// Drop all packed tasksets, keeping the column allocations.
+    pub fn clear(&mut self) {
+        self.starts.truncate(1);
+        self.cand_starts.truncate(1);
+        self.exec.clear();
+        self.deadline.clear();
+        self.period.clear();
+        self.area.clear();
+        self.area_f.clear();
+        self.ut.clear();
+        self.us.clear();
+        self.density.clear();
+        self.cand.clear();
+        self.us_total.clear();
+        self.amax.clear();
+        self.amin.clear();
+    }
+
+    /// Pack one taskset: copy the columns, derive the ratios and
+    /// aggregates, and sort this taskset's λ-candidate pool.
+    pub fn push(&mut self, taskset: &TaskSet<f64>) {
+        let mut us_total = 0.0f64;
+        let mut amax = 0u32;
+        let mut amin = u32::MAX;
+        for task in taskset {
+            let (c, d, p, a) = (task.exec(), task.deadline(), task.period(), task.area());
+            let area_f = f64::from(a);
+            let ut = c / p;
+            let us = c * area_f / p;
+            let density = c / d;
+            self.exec.push(c);
+            self.deadline.push(d);
+            self.period.push(p);
+            self.area.push(a);
+            self.area_f.push(area_f);
+            self.ut.push(ut);
+            self.us.push(us);
+            self.density.push(density);
+            // The scalar `TaskSet::system_utilization` fold, in task order.
+            us_total += us;
+            amax = amax.max(a);
+            amin = amin.min(a);
+            // λ discontinuity points (Gn2Test::lambda_candidates): every
+            // uᵢ, plus Cᵢ/Dᵢ for post-period deadlines.
+            self.cand.push(ut);
+            if d > p {
+                self.cand.push(density);
+            }
+        }
+        let cand_start = *self.cand_starts.last().expect("initialized with sentinel 0");
+        let pool = &mut self.cand[cand_start..];
+        pool.sort_unstable_by(|a, b| a.partial_cmp(b).expect("validated times are ordered"));
+        // In-place dedup of the freshly sorted pool (same result as the
+        // scalar sort + `dedup_by` on equality).
+        let mut keep = 0;
+        for i in 0..pool.len() {
+            if i == 0 || pool[i] != pool[keep - 1] {
+                pool[keep] = pool[i];
+                keep += 1;
+            }
+        }
+        let pool_len = keep;
+        self.cand.truncate(cand_start + pool_len);
+
+        self.starts.push(self.exec.len());
+        self.cand_starts.push(self.cand.len());
+        self.us_total.push(us_total);
+        self.amax.push(amax);
+        self.amin.push(amin);
+    }
+
+    /// Borrow taskset `i`'s columns.
+    fn view(&self, i: usize) -> View<'_> {
+        let r = self.starts[i]..self.starts[i + 1];
+        View {
+            exec: &self.exec[r.clone()],
+            deadline: &self.deadline[r.clone()],
+            period: &self.period[r.clone()],
+            area: &self.area[r.clone()],
+            area_f: &self.area_f[r.clone()],
+            ut: &self.ut[r.clone()],
+            us: &self.us[r.clone()],
+            density: &self.density[r],
+            cand: &self.cand[self.cand_starts[i]..self.cand_starts[i + 1]],
+            us_total: self.us_total[i],
+            amax: self.amax[i],
+            amin: self.amin[i],
+        }
+    }
+}
+
+/// One packed taskset's columns and aggregates.
+struct View<'a> {
+    exec: &'a [f64],
+    deadline: &'a [f64],
+    period: &'a [f64],
+    area: &'a [u32],
+    area_f: &'a [f64],
+    ut: &'a [f64],
+    us: &'a [f64],
+    density: &'a [f64],
+    cand: &'a [f64],
+    us_total: f64,
+    amax: u32,
+    amin: u32,
+}
+
+/// Reusable pack buffer for repeated single-taskset kernel calls.
+///
+/// Engines keep one per worker (the `fpga-rt-pool` shard-state factory
+/// builds it), so the steady-state hot path performs no heap allocation. A
+/// fresh `ScratchSpace` is also cheap — empty `Vec`s allocate nothing — so
+/// one-off calls construct one on the spot.
+#[derive(Debug, Default)]
+pub struct ScratchSpace {
+    batch: TaskSetBatch,
+}
+
+impl ScratchSpace {
+    /// An empty scratch space (no allocation until first use).
+    pub fn new() -> Self {
+        ScratchSpace::default()
+    }
+}
+
+/// The batch evaluator for the paper-default configurations of DP, GN1,
+/// GN2 and the `AnyOf` composite. See the [module docs](self) for the
+/// bit-identity contract; ablation configurations are scalar-only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchAnalyzer;
+
+impl BatchAnalyzer {
+    /// The analyzer (stateless; all buffers live in [`ScratchSpace`] /
+    /// [`TaskSetBatch`]).
+    pub fn new() -> Self {
+        BatchAnalyzer
+    }
+
+    /// Evaluate all four series for one taskset, packing it into
+    /// `scratch`'s reused buffer.
+    pub fn analyze(
+        &self,
+        taskset: &TaskSet<f64>,
+        device: &Fpga,
+        scratch: &mut ScratchSpace,
+    ) -> BatchVerdicts {
+        scratch.batch.clear();
+        scratch.batch.push(taskset);
+        self.verdicts(&scratch.batch.view(0), device)
+    }
+
+    /// Evaluate one series for one taskset (`AnyOf` short-circuits its
+    /// components exactly like the scalar composite).
+    pub fn analyze_series(
+        &self,
+        series: AnalysisSeries,
+        taskset: &TaskSet<f64>,
+        device: &Fpga,
+        scratch: &mut ScratchSpace,
+    ) -> BatchVerdict {
+        scratch.batch.clear();
+        scratch.batch.push(taskset);
+        let v = scratch.batch.view(0);
+        if !precondition_ok(&v, device.columns()) {
+            return BatchVerdict::precondition_reject();
+        }
+        let cols = device.columns();
+        match series {
+            AnalysisSeries::Dp => dp_kernel(&v, cols),
+            AnalysisSeries::Gn1 => gn1_kernel(&v, cols),
+            AnalysisSeries::Gn2 => gn2_kernel(&v, cols),
+            AnalysisSeries::AnyOf => {
+                let dp = dp_kernel(&v, cols);
+                if dp.accepted {
+                    return dp;
+                }
+                let gn1 = gn1_kernel(&v, cols);
+                if gn1.accepted {
+                    return gn1;
+                }
+                gn2_kernel(&v, cols)
+            }
+        }
+    }
+
+    /// Evaluate all four series for every packed taskset, filling `out`
+    /// (cleared first) with one [`BatchVerdicts`] per taskset in pack
+    /// order.
+    pub fn analyze_batch(&self, batch: &TaskSetBatch, device: &Fpga, out: &mut Vec<BatchVerdicts>) {
+        out.clear();
+        out.reserve(batch.len());
+        for i in 0..batch.len() {
+            out.push(self.verdicts(&batch.view(i), device));
+        }
+    }
+
+    fn verdicts(&self, v: &View<'_>, device: &Fpga) -> BatchVerdicts {
+        let cols = device.columns();
+        if !precondition_ok(v, cols) {
+            let reject = BatchVerdict::precondition_reject();
+            return BatchVerdicts { dp: reject, gn1: reject, gn2: reject, any_of: reject };
+        }
+        let dp = dp_kernel(v, cols);
+        let gn1 = gn1_kernel(v, cols);
+        let gn2 = gn2_kernel(v, cols);
+        // The composite's final check row is the first accepting
+        // component's, or GN2's when all three reject.
+        let any_of = if dp.accepted {
+            dp
+        } else if gn1.accepted {
+            gn1
+        } else {
+            gn2
+        };
+        BatchVerdicts { dp, gn1, gn2, any_of }
+    }
+}
+
+/// The shared precondition guard (`traits::precondition_reject`): every
+/// task fits the device, no task has `Ck > Dk`.
+fn precondition_ok(v: &View<'_>, cols: u32) -> bool {
+    v.area.iter().all(|&a| a <= cols) && !v.exec.iter().zip(v.deadline).any(|(&c, &d)| c > d)
+}
+
+/// Theorem 1 (`DpTest`, integer-column bound): for every τk,
+/// `US(Γ) ≤ (A(H) − Amax + 1)·(1 − UT(τk)) + US(τk)`.
+fn dp_kernel(v: &View<'_>, cols: u32) -> BatchVerdict {
+    let abnd = (i64::from(cols) - i64::from(v.amax) + 1) as f64;
+    let us_total = v.us_total;
+    let mut margin = (0.0, 0.0);
+    for k in 0..v.exec.len() {
+        let rhs = abnd * (1.0 - v.ut[k]) + v.us[k];
+        margin = (us_total, rhs);
+        let passed = us_total <= rhs;
+        if !passed {
+            return BatchVerdict { accepted: false, margin: Some(margin) };
+        }
+    }
+    BatchVerdict { accepted: true, margin: Some(margin) }
+}
+
+/// Theorem 2 (`Gn1Test`, paper defaults — `βi = Wi/Di`, RHS `+ 1`): for
+/// every τk, `Σ_{i≠k} Ai·min(βi, 1 − Ck/Dk) < (A(H) − Ak + 1)·(1 − Ck/Dk)`.
+fn gn1_kernel(v: &View<'_>, cols: u32) -> BatchVerdict {
+    let n = v.exec.len();
+    let cols_i = i64::from(cols);
+    let mut margin = (0.0, 0.0);
+    for k in 0..n {
+        let slack = 1.0 - v.density[k];
+        let abnd = (cols_i - i64::from(v.area[k]) + 1) as f64;
+        let dk = v.deadline[k];
+        let mut lhs = 0.0f64;
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            // Lemma 4 (`gn1::time_work_bound`):
+            // Ni = max(⌊(Dk − Di)/Ti⌋ + 1, 0);  Wi = Ni·Ci + carry-in.
+            let ni = (((dk - v.deadline[i]) / v.period[i]).floor_i64() + 1).max(0) as f64;
+            let carry = v.exec[i].min_t((dk - ni * v.period[i]).max_zero());
+            let w = ni * v.exec[i] + carry;
+            let beta = w / v.deadline[i];
+            lhs += v.area_f[i] * beta.min_t(slack);
+        }
+        let rhs = abnd * slack;
+        margin = (lhs, rhs);
+        let passed = lhs < rhs;
+        if !passed {
+            return BatchVerdict { accepted: false, margin: Some(margin) };
+        }
+    }
+    BatchVerdict { accepted: true, margin: Some(margin) }
+}
+
+/// Theorem 3 (`Gn2Test`, paper defaults — Baker's λ in βλk case 2, strict
+/// condition 2, paper λ points): for every τk some candidate λ must
+/// satisfy condition 1 or 2. The λ window is a contiguous slice of the
+/// taskset's pre-sorted candidate pool.
+fn gn2_kernel(v: &View<'_>, cols: u32) -> BatchVerdict {
+    let n = v.exec.len();
+    let abnd = (i64::from(cols) - i64::from(v.amax) + 1) as f64;
+    let amin = f64::from(v.amin);
+    let mut margin = (0.0, 0.0);
+    for k in 0..n {
+        let uk = v.ut[k];
+        // λk = λ·max(1, Tk/Dk) ≤ 1  ⇔  λ ≤ 1/scale.
+        let scale = (v.period[k] / v.deadline[k]).max_t(1.0);
+        let lambda_max = 1.0 / scale;
+        let dk = v.deadline[k];
+        let mut passing = false;
+        let mut best: Option<(f64, f64)> = None;
+        for &lambda in v.cand {
+            if lambda < uk {
+                continue;
+            }
+            if lambda > lambda_max {
+                break;
+            }
+            let lambda_k = lambda * scale;
+            let one_minus = 1.0 - lambda_k;
+            let mut lhs1 = 0.0f64;
+            let mut lhs2 = 0.0f64;
+            for i in 0..n {
+                // Lemma 7 (`Gn2Test::beta_lambda`, Baker case 2).
+                let ui = v.ut[i];
+                let beta = if ui <= lambda {
+                    let extended = ui * (1.0 - v.deadline[i] / dk) + v.exec[i] / dk;
+                    ui.max_t(extended)
+                } else if lambda >= v.density[i] {
+                    lambda
+                } else {
+                    ui + (v.exec[i] - lambda * v.deadline[i]) / dk
+                };
+                let a = v.area_f[i];
+                lhs1 += a * beta.min_t(one_minus);
+                lhs2 += a * beta.min_t(1.0);
+            }
+            let rhs1 = abnd * one_minus;
+            let rhs2 = (abnd - amin) * one_minus + amin;
+            let better = match best {
+                None => true,
+                Some((bl, br)) => lhs2 - rhs2 < bl - br,
+            };
+            if better {
+                best = Some((lhs2, rhs2));
+            }
+            if lhs1 < rhs1 {
+                margin = (lhs1, rhs1);
+                passing = true;
+                break;
+            }
+            if lhs2 < rhs2 {
+                margin = (lhs2, rhs2);
+                passing = true;
+                break;
+            }
+        }
+        if !passing {
+            let m = best.unwrap_or((f64::INFINITY, 0.0));
+            return BatchVerdict { accepted: false, margin: Some(m) };
+        }
+    }
+    BatchVerdict { accepted: true, margin: Some(margin) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AnyOfTest, DpTest, Gn1Test, Gn2Test, SchedTest, TestReport};
+
+    fn fpga10() -> Fpga {
+        Fpga::new(10).unwrap()
+    }
+
+    fn table1() -> TaskSet<f64> {
+        TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap()
+    }
+    fn table2() -> TaskSet<f64> {
+        TaskSet::try_from_tuples(&[(4.50, 8.0, 8.0, 3), (8.00, 9.0, 9.0, 5)]).unwrap()
+    }
+    fn table3() -> TaskSet<f64> {
+        TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap()
+    }
+
+    /// The scalar margin the batch kernel mirrors: the report's final
+    /// check row.
+    fn scalar_margin(rep: &TestReport) -> Option<(f64, f64)> {
+        rep.checks.last().map(|c| (c.lhs, c.rhs))
+    }
+
+    fn assert_matches_scalar(ts: &TaskSet<f64>, dev: &Fpga) {
+        let mut scratch = ScratchSpace::new();
+        let batch = BatchAnalyzer::new().analyze(ts, dev, &mut scratch);
+        let dp = DpTest::default().check(ts, dev);
+        let gn1 = Gn1Test::default().check(ts, dev);
+        let gn2 = Gn2Test::default().check(ts, dev);
+        let any = AnyOfTest::paper_suite().check(ts, dev);
+        for (name, b, s) in [
+            ("DP", batch.dp, &dp),
+            ("GN1", batch.gn1, &gn1),
+            ("GN2", batch.gn2, &gn2),
+            ("AnyOf", batch.any_of, &any),
+        ] {
+            assert_eq!(b.accepted, s.accepted(), "{name} verdict");
+            assert_eq!(b.margin, scalar_margin(s), "{name} margin");
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_paper_tables() {
+        let dev = fpga10();
+        for ts in [table1(), table2(), table3()] {
+            assert_matches_scalar(&ts, &dev);
+        }
+    }
+
+    #[test]
+    fn matches_scalar_on_precondition_rejects() {
+        let dev = fpga10();
+        // Task wider than the device.
+        let wide = TaskSet::try_from_tuples(&[(1.0, 5.0, 5.0, 11)]).unwrap();
+        assert_matches_scalar(&wide, &dev);
+        // Trivially infeasible execution time.
+        let infeasible = TaskSet::try_from_tuples(&[(6.0, 5.0, 5.0, 1)]).unwrap();
+        assert_matches_scalar(&infeasible, &dev);
+        let mut scratch = ScratchSpace::new();
+        let v = BatchAnalyzer::new().analyze(&wide, &dev, &mut scratch);
+        assert_eq!(v.dp, BatchVerdict { accepted: false, margin: None });
+        assert_eq!(v.any_of.margin, None);
+    }
+
+    #[test]
+    fn matches_scalar_on_post_period_deadlines() {
+        // Dk > Tk exercises βλk case 2/3 and the density candidates.
+        let dev = fpga10();
+        let ts = TaskSet::try_from_tuples(&[(4.0, 8.0, 5.0, 2), (1.0, 10.0, 10.0, 2)]).unwrap();
+        assert_matches_scalar(&ts, &dev);
+        // Dk < Tk exercises λmax < 1.
+        let constrained =
+            TaskSet::try_from_tuples(&[(1.0, 3.0, 6.0, 3), (2.0, 5.0, 9.0, 4)]).unwrap();
+        assert_matches_scalar(&constrained, &dev);
+    }
+
+    #[test]
+    fn analyze_batch_matches_per_taskset_analyze() {
+        let dev = fpga10();
+        let mut batch = TaskSetBatch::new();
+        let sets = [table1(), table2(), table3()];
+        for ts in &sets {
+            batch.push(ts);
+        }
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.total_tasks(), 6);
+        let mut out = Vec::new();
+        BatchAnalyzer::new().analyze_batch(&batch, &dev, &mut out);
+        let mut scratch = ScratchSpace::new();
+        for (ts, got) in sets.iter().zip(&out) {
+            assert_eq!(*got, BatchAnalyzer::new().analyze(ts, &dev, &mut scratch));
+        }
+        // Clearing retains nothing logically but keeps working.
+        batch.clear();
+        assert!(batch.is_empty());
+        batch.push(&table2());
+        BatchAnalyzer::new().analyze_batch(&batch, &dev, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].dp.accepted && out[0].gn1.accepted && !out[0].gn2.accepted);
+    }
+
+    #[test]
+    fn analyze_series_matches_full_pass() {
+        let dev = fpga10();
+        let analyzer = BatchAnalyzer::new();
+        let mut scratch = ScratchSpace::new();
+        for ts in [table1(), table2(), table3()] {
+            let full = analyzer.analyze(&ts, &dev, &mut scratch);
+            for series in AnalysisSeries::ALL {
+                let one = analyzer.analyze_series(series, &ts, &dev, &mut scratch);
+                assert_eq!(one, full.series(series), "{}", series.name());
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_pool_is_sorted_and_deduped() {
+        // Duplicate utilizations collapse; post-period deadlines add their
+        // density.
+        let ts = TaskSet::try_from_tuples(&[
+            (1.0, 5.0, 5.0, 2),
+            (2.0, 10.0, 10.0, 3),
+            (4.0, 8.0, 5.0, 2),
+        ])
+        .unwrap();
+        let mut batch = TaskSetBatch::new();
+        batch.push(&ts);
+        let v = batch.view(0);
+        // u = {0.2, 0.2, 0.8}, density(τ2 with D>T) = 0.5 → {0.2, 0.5, 0.8}.
+        assert_eq!(v.cand, &[0.2, 0.5, 0.8]);
+        assert_eq!(v.amax, 3);
+        assert_eq!(v.amin, 2);
+    }
+
+    #[test]
+    fn kernel_and_series_identifiers_are_stable() {
+        assert_eq!(AnalysisKernel::parse("batch"), Some(AnalysisKernel::Batch));
+        assert_eq!(AnalysisKernel::parse("scalar"), Some(AnalysisKernel::Scalar));
+        assert_eq!(AnalysisKernel::parse("simd"), None);
+        assert_eq!(AnalysisKernel::default().name(), "batch");
+        let names: Vec<&str> = AnalysisSeries::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["DP", "GN1", "GN2", "AnyOf"]);
+    }
+}

@@ -21,6 +21,11 @@
 //! * [`AnyOfTest`] — the composite the paper recommends in Section 6:
 //!   *"different schedulability bounds should be applied together, i.e.,
 //!   determine that a taskset is unschedulable only if all tests fail."*
+//! * [`batch`] — the hot-path kernel: [`BatchAnalyzer`] evaluates the
+//!   paper-default DP/GN1/GN2/AnyOf verdicts over structure-of-arrays
+//!   packed tasksets ([`TaskSetBatch`]) with zero per-taskset heap
+//!   allocation, bit-identical to the scalar tests (the sweep and
+//!   conformance engines ride this kernel).
 //! * [`IncrementalState`] — aggregate-caching online admission state for the
 //!   DP bound: O(1) re-checks against a mutating
 //!   [`fpga_rt_model::LiveTaskSet`], powering the `fpga-rt-service`
@@ -60,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod alpha;
+pub mod batch;
 pub mod composite;
 pub mod dp;
 pub mod gn1;
@@ -70,6 +76,10 @@ pub mod necessary;
 pub mod report;
 pub mod traits;
 
+pub use batch::{
+    AnalysisKernel, AnalysisSeries, BatchAnalyzer, BatchVerdict, BatchVerdicts, ScratchSpace,
+    TaskSetBatch,
+};
 pub use composite::{AllOfTest, AnyOfTest};
 pub use dp::{DpAreaBound, DpConfig, DpTest};
 pub use gn1::{Gn1BetaDenominator, Gn1Config, Gn1Test};

@@ -25,14 +25,7 @@ fn config(workers: usize) -> ConformConfig {
     config
 }
 
-fn worker_counts() -> Vec<usize> {
-    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut counts = vec![1, 2];
-    if all > 2 {
-        counts.push(all);
-    }
-    counts
-}
+use fpga_rt_bench::bench_worker_counts as worker_counts;
 
 fn bench_conform(c: &mut Criterion) {
     let mut group = c.benchmark_group("conform_throughput");

@@ -1,15 +1,22 @@
 //! `sweep_throughput` — tasksets/sec of the pool-backed acceptance-ratio
-//! sweep engine at 1, 2 and all-core worker counts, on one fixed
-//! population (fig3a, 5 bins × 40 tasksets, DP/GN1/GN2/AnyOf).
+//! sweep engine, in two dimensions on one fixed population (fig3a, 5 bins
+//! × 40 tasksets, DP/GN1/GN2/AnyOf):
 //!
-//! Because the engine is deterministic in the worker count, every row
-//! evaluates the *identical* work — the criterion rows expose the pool's
-//! scaling directly, and the `speedup_report` pass prints the multi-worker
-//! speedup over the single-worker baseline (the PR's acceptance
-//! criterion).
+//! * **worker scaling** — 1, 2 and all-core pools on the default (batch)
+//!   kernel; because the engine is deterministic in the worker count,
+//!   every row evaluates the *identical* work.
+//! * **kernel comparison** — the batch SoA kernel against the scalar
+//!   evaluators at `--workers 1` (`kernel_speedup_report` prints the
+//!   ratio; the PR-5 acceptance criterion is batch ≥ 1.5× scalar).
+//!
+//! Worker counts honour `FPGA_RT_BENCH_MAX_WORKERS`
+//! ([`fpga_rt_bench::bench_worker_counts`]) so CI perf jobs can pin the
+//! suite to single-worker rows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
+use fpga_rt_analysis::AnalysisKernel;
+use fpga_rt_bench::bench_worker_counts;
+use fpga_rt_exp::sweep::{analysis_evaluators_for, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, UtilizationBins};
 use std::hint::black_box;
 
@@ -23,45 +30,44 @@ fn config(workers: usize) -> PoolSweepConfig {
     config
 }
 
-fn worker_counts() -> Vec<usize> {
-    // Always measure a 2-worker pool even on a single-core runner (the
-    // pool itself is core-agnostic); add the all-core row when it differs.
-    let all = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let mut counts = vec![1, 2];
-    if all > 2 {
-        counts.push(all);
-    }
-    counts
-}
-
 fn bench_sweep(c: &mut Criterion) {
-    let evaluators = analysis_evaluators();
     let mut group = c.benchmark_group("sweep_throughput");
-    for workers in worker_counts() {
-        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+    for workers in bench_worker_counts() {
+        group.bench_with_input(BenchmarkId::new("batch", workers), &workers, |b, &w| {
+            let evaluators = analysis_evaluators_for(AnalysisKernel::Batch);
             b.iter(|| black_box(run_pool_sweep(&config(w), &evaluators)))
         });
     }
+    // One scalar row at the noise-minimal worker count anchors the kernel
+    // comparison inside the tracked bench set.
+    group.bench_with_input(BenchmarkId::new("scalar", 1usize), &1usize, |b, &w| {
+        let evaluators = analysis_evaluators_for(AnalysisKernel::Scalar);
+        b.iter(|| black_box(run_pool_sweep(&config(w), &evaluators)))
+    });
     group.finish();
 }
 
-/// Direct tasksets/sec and speedup figures (the criterion shim only prints
-/// ns/iter of the whole sweep).
+fn best_time(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Direct tasksets/sec and worker-speedup figures on the batch kernel
+/// (the criterion shim only prints ns/iter of the whole sweep).
 fn speedup_report(_c: &mut Criterion) {
-    let evaluators = analysis_evaluators();
-    let time = |workers: usize| -> f64 {
-        let mut best = f64::INFINITY;
-        for _ in 0..3 {
-            let start = std::time::Instant::now();
-            black_box(run_pool_sweep(&config(workers), &evaluators));
-            best = best.min(start.elapsed().as_secs_f64());
-        }
-        best
+    let evaluators = analysis_evaluators_for(AnalysisKernel::Batch);
+    let time = |workers: usize| {
+        best_time(|| drop(black_box(run_pool_sweep(&config(workers), &evaluators))))
     };
     let units = (BINS * PER_BIN) as f64;
     let base = time(1);
     println!("sweep_throughput: workers=1     {:>10.0} tasksets/sec (baseline)", units / base);
-    for workers in worker_counts().into_iter().skip(1) {
+    for workers in bench_worker_counts().into_iter().skip(1) {
         let t = time(workers);
         println!(
             "sweep_throughput: workers={workers:<5} {:>10.0} tasksets/sec ({:.2}x speedup)",
@@ -71,5 +77,22 @@ fn speedup_report(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_sweep, speedup_report);
+/// Batch-vs-scalar kernel ratio at `--workers 1` on the fig-3 population —
+/// the PR-5 acceptance criterion (≥ 1.5×).
+fn kernel_speedup_report(_c: &mut Criterion) {
+    let batch_evals = analysis_evaluators_for(AnalysisKernel::Batch);
+    let scalar_evals = analysis_evaluators_for(AnalysisKernel::Scalar);
+    let units = (BINS * PER_BIN) as f64;
+    let scalar = best_time(|| drop(black_box(run_pool_sweep(&config(1), &scalar_evals))));
+    let batch = best_time(|| drop(black_box(run_pool_sweep(&config(1), &batch_evals))));
+    println!(
+        "sweep_throughput: kernel=scalar w1 {:>10.0} tasksets/sec, kernel=batch w1 {:>10.0} \
+         tasksets/sec ({:.2}x, acceptance ≥ 1.50x)",
+        units / scalar,
+        units / batch,
+        scalar / batch
+    );
+}
+
+criterion_group!(benches, bench_sweep, speedup_report, kernel_speedup_report);
 criterion_main!(benches);

@@ -2,9 +2,11 @@
 
 use crate::io::{device_from, taskset_from};
 use crate::ExitCode;
-use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport};
+use fpga_rt_analysis::{
+    AnalysisKernel, AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport,
+};
 use fpga_rt_exp::cli::Args;
-use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
+use fpga_rt_exp::sweep::{analysis_evaluators_for, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, TasksetSpec, UtilizationBins};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
 use fpga_rt_service::{serve_session, ServeConfig};
@@ -53,6 +55,17 @@ pub(crate) fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, St
             Ok(n) => Ok(Some(n)),
             Err(_) => Err(format!("--{key} expects a positive integer, got {v:?}")),
         },
+    }
+}
+
+/// Parse `--kernel batch|scalar` (default batch). The two kernels are
+/// bit-identical by contract — the scalar path exists as an escape hatch
+/// and as the reference the batch kernel is cross-checked against.
+pub(crate) fn kernel_flag(args: &Args) -> Result<AnalysisKernel, String> {
+    match args.flags.get("kernel") {
+        None => Ok(AnalysisKernel::default()),
+        Some(v) => AnalysisKernel::parse(v)
+            .ok_or_else(|| format!("--kernel expects batch|scalar, got {v:?}")),
     }
 }
 
@@ -332,7 +345,9 @@ pub fn tables(out: &mut dyn Write) -> CmdResult {
 ///
 /// Stdout (the aligned text table) and the `--out` file are byte-identical
 /// for every `--workers` value at a fixed seed — CI diffs a 1-worker run
-/// against a 4-worker run to enforce this.
+/// against a 4-worker run to enforce this — and for both `--kernel`
+/// values (the batch kernel is a bit-identical re-packing of the scalar
+/// tests).
 pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
     let figure = args.flags.get("figure").map(String::as_str).unwrap_or("fig3a");
     let workload = FigureWorkload::by_id(figure)
@@ -343,11 +358,12 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
     }
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(200);
     let seed = parsed_flag(args, "seed", 20070326u64)?;
+    let kernel = kernel_flag(args)?;
 
     let mut config = PoolSweepConfig::new(workload, per_bin, seed);
     config.bins = UtilizationBins::new(0.0, 1.0, bins);
     config.workers = positive_count(args, "workers")?.unwrap_or(0);
-    let outcome = run_pool_sweep(&config, &analysis_evaluators());
+    let outcome = run_pool_sweep(&config, &analysis_evaluators_for(kernel));
 
     let _ = write!(out, "{}", fpga_rt_exp::output::render_text(&outcome.result));
     if outcome.exhausted_units > 0 {
@@ -394,8 +410,8 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
 /// conforms, 1 on any soundness violation.
 pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
     use fpga_rt_conform::{
-        paper_conform_evaluators, render_csv_rows, render_text, run_conform, run_twod_bridge,
-        ConformConfig, ConformReport, TwodBridgeConfig, CSV_HEADER,
+        paper_conform_evaluators_for, render_csv_multi, render_text, run_conform, run_twod_bridge,
+        ConformConfig, ConformReport, TwodBridgeConfig,
     };
 
     let bins = parsed_flag(args, "bins", 20usize)?;
@@ -405,6 +421,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(100);
     let seed = parsed_flag(args, "seed", 20070326u64)?;
     let workers = positive_count(args, "workers")?.unwrap_or(0);
+    let kernel = kernel_flag(args)?;
     let sim_horizon = parsed_flag(args, "sim-horizon", 50.0f64)?;
     if !(sim_horizon.is_finite() && sim_horizon > 0.0) {
         return Err(format!("--sim-horizon must be a positive factor, got {sim_horizon}"));
@@ -421,6 +438,14 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
                      population with --samples"
                 ));
             }
+        }
+        // Same policy for --kernel: the bridge does not thread a kernel
+        // choice, so accepting the flag would pretend a scalar
+        // cross-check happened when it did not.
+        if args.has("kernel") {
+            return Err("--kernel applies to the 1-D mode; --twod always uses the \
+                 engine's default evaluators"
+                .into());
         }
         let mut config =
             TwodBridgeConfig::new(positive_count(args, "samples")?.unwrap_or(500), seed);
@@ -483,7 +508,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
         config.bins = UtilizationBins::new(0.0, 1.0, bins);
         config.workers = workers;
         config.sim_horizon = sim_horizon;
-        let outcome = run_conform(&config, paper_conform_evaluators());
+        let outcome = run_conform(&config, paper_conform_evaluators_for(kernel));
         let _ = write!(out, "{}", render_text(&outcome.report));
         exhausted += outcome.exhausted_units;
         failed += outcome.failed_units;
@@ -496,12 +521,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
 
     if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
         let rendered = if path.ends_with(".csv") {
-            let mut csv = String::from(CSV_HEADER);
-            csv.push('\n');
-            for r in &reports {
-                csv.push_str(&render_csv_rows(r));
-            }
-            csv
+            render_csv_multi(&reports)
         } else {
             let mut json = if reports.len() == 1 {
                 serde_json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
@@ -769,6 +789,77 @@ mod tests {
         assert_eq!(json.series.len(), 4, "DP, GN1, GN2, AnyOf");
     }
 
+    /// The `--kernel` escape hatch: scalar and batch runs are
+    /// byte-identical on stdout and in the artifact, and garbage values
+    /// are refused.
+    #[test]
+    fn sweep_kernels_are_byte_identical() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut transcripts = Vec::new();
+        for kernel in ["batch", "scalar"] {
+            let path = dir.join(format!("sweep-k-{kernel}.json"));
+            let out_path = path.to_string_lossy().into_owned();
+            let mut buf = Vec::new();
+            let code = sweep(
+                &args(&[
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "3",
+                    "--per-bin",
+                    "8",
+                    "--seed",
+                    "7",
+                    "--kernel",
+                    kernel,
+                    "--out",
+                    &out_path,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert_eq!(code, ExitCode::Accepted);
+            transcripts.push((String::from_utf8(buf).unwrap(), std::fs::read(&path).unwrap()));
+        }
+        assert_eq!(transcripts[0].0, transcripts[1].0, "stdout differs across kernels");
+        assert_eq!(transcripts[0].1, transcripts[1].1, "--out JSON differs across kernels");
+        let err = sweep(&args(&["--kernel", "simd"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("batch|scalar"), "{err}");
+        let err = conform(&args(&["--kernel", "simd"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("batch|scalar"), "{err}");
+    }
+
+    /// Same contract for conform at smoke scale.
+    #[test]
+    fn conform_kernels_are_byte_identical() {
+        let mut transcripts = Vec::new();
+        for kernel in ["batch", "scalar"] {
+            let mut buf = Vec::new();
+            let code = conform(
+                &args(&[
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "2",
+                    "--per-bin",
+                    "4",
+                    "--sim-horizon",
+                    "15",
+                    "--seed",
+                    "7",
+                    "--kernel",
+                    kernel,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert_eq!(code, ExitCode::Accepted);
+            transcripts.push(String::from_utf8(buf).unwrap());
+        }
+        assert_eq!(transcripts[0], transcripts[1], "stdout differs across kernels");
+    }
+
     #[test]
     fn sweep_writes_csv_when_asked() {
         let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
@@ -942,6 +1033,8 @@ mod tests {
         let err = conform(&args(&["--twod", "--per-bin", "2000"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--samples"), "{err}");
         assert!(conform(&args(&["--twod", "--figure", "fig3a"]), &mut Vec::new()).is_err());
+        let err = conform(&args(&["--twod", "--kernel", "scalar"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("1-D mode"), "{err}");
         let err = conform(&args(&["--samples", "100"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--twod"), "{err}");
     }

@@ -21,7 +21,9 @@
 //! finite horizon, an upper bound on true schedulability (the same caveat
 //! as the paper's own simulation curves).
 
-use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, SchedTest};
+use fpga_rt_analysis::{
+    AnalysisKernel, AnalysisSeries, AnyOfTest, DpTest, Gn1Test, Gn2Test, SchedTest,
+};
 use fpga_rt_exp::Evaluator;
 use fpga_rt_sim::SchedulerKind;
 use serde::{Deserialize, Serialize};
@@ -119,7 +121,7 @@ impl ConformEvaluator {
     }
 }
 
-/// The paper's four analytic series with their theorem-given targets:
+/// The theorem-given simulation targets of one analytic series:
 ///
 /// * **DP** (Theorem 1) and **GN2** (Theorem 3) prove EDF-FkF
 ///   schedulability, and EDF-NF via Danne's dominance — both schedulers
@@ -127,23 +129,57 @@ impl ConformEvaluator {
 /// * **GN1** (Theorem 2) proves EDF-NF only.
 /// * **AnyOf** accepts when any component accepts; since GN1 only covers
 ///   EDF-NF, the composite's guarantee is EDF-NF.
+fn series_targets(series: AnalysisSeries) -> Vec<SchedulerKind> {
+    match series {
+        AnalysisSeries::Dp | AnalysisSeries::Gn2 => {
+            vec![SchedulerKind::EdfFkf, SchedulerKind::EdfNf]
+        }
+        AnalysisSeries::Gn1 | AnalysisSeries::AnyOf => vec![SchedulerKind::EdfNf],
+    }
+}
+
+/// The paper's four analytic series (DP, GN1, GN2, AnyOf) with their
+/// theorem-given targets (see `series_targets` above), riding the
+/// allocation-free batch kernel ([`Evaluator::analysis`]).
 pub fn paper_conform_evaluators() -> Vec<ConformEvaluator> {
+    AnalysisSeries::ALL
+        .into_iter()
+        .map(|s| ConformEvaluator::new(Evaluator::analysis(s), series_targets(s)))
+        .collect()
+}
+
+/// The same four series as scalar closures over the test implementations —
+/// the `fpga-rt conform --kernel scalar` escape hatch. Verdicts (and
+/// therefore whole conformance reports) are byte-identical to
+/// [`paper_conform_evaluators`]; asserted by tests.
+pub fn paper_conform_evaluators_scalar() -> Vec<ConformEvaluator> {
     let any = AnyOfTest::paper_suite();
     vec![
         ConformEvaluator::new(
             Evaluator::from_test(DpTest::default()),
-            vec![SchedulerKind::EdfFkf, SchedulerKind::EdfNf],
+            series_targets(AnalysisSeries::Dp),
         ),
-        ConformEvaluator::new(Evaluator::from_test(Gn1Test::default()), vec![SchedulerKind::EdfNf]),
+        ConformEvaluator::new(
+            Evaluator::from_test(Gn1Test::default()),
+            series_targets(AnalysisSeries::Gn1),
+        ),
         ConformEvaluator::new(
             Evaluator::from_test(Gn2Test::default()),
-            vec![SchedulerKind::EdfFkf, SchedulerKind::EdfNf],
+            series_targets(AnalysisSeries::Gn2),
         ),
         ConformEvaluator::new(
             Evaluator::new("AnyOf", move |ts, dev| any.is_schedulable(ts, dev)),
-            vec![SchedulerKind::EdfNf],
+            series_targets(AnalysisSeries::AnyOf),
         ),
     ]
+}
+
+/// The paper suite for an explicit kernel choice.
+pub fn paper_conform_evaluators_for(kernel: AnalysisKernel) -> Vec<ConformEvaluator> {
+    match kernel {
+        AnalysisKernel::Batch => paper_conform_evaluators(),
+        AnalysisKernel::Scalar => paper_conform_evaluators_scalar(),
+    }
 }
 
 #[cfg(test)]

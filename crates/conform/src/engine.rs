@@ -15,7 +15,7 @@ use crate::classify::{Classification, ConformEvaluator, SIM_SCHEDULERS};
 use crate::counterexample::{
     capture_miss_evidence, minimize_taskset, Counterexample, ViolationKind,
 };
-use fpga_rt_analysis::{NecessaryTest, SchedTest};
+use fpga_rt_analysis::{BatchAnalyzer, BatchVerdicts, NecessaryTest, SchedTest, ScratchSpace};
 use fpga_rt_exp::acceptance::sample_seed;
 use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
 use fpga_rt_model::{Fpga, TaskSet};
@@ -210,8 +210,17 @@ struct ConformContext {
 
 impl ConformContext {
     /// Evaluate one generated taskset (pure; shared by the pool workers
-    /// and the tests).
-    fn evaluate(&self, ts: &TaskSet<f64>, bin: usize, sample: usize, seed: u64) -> UnitReport {
+    /// and the tests). `scratch` is the worker's reusable pack buffer:
+    /// analysis-kind evaluators ride the allocation-free batch kernel
+    /// through it.
+    fn evaluate(
+        &self,
+        ts: &TaskSet<f64>,
+        bin: usize,
+        sample: usize,
+        seed: u64,
+        scratch: &mut ScratchSpace,
+    ) -> UnitReport {
         let nec_rejected = !NecessaryTest.is_schedulable(ts, &self.device);
         let mut sim_clean = [false; 2];
         for (i, kind) in SIM_SCHEDULERS.iter().enumerate() {
@@ -221,8 +230,23 @@ impl ConformContext {
         }
         let mut classes = Vec::with_capacity(self.evaluators.len());
         let mut counterexamples = Vec::new();
+        // Analysis-kind evaluators share one batch-kernel pass: the
+        // taskset is packed once and all four series come out of it
+        // (identical verdicts to per-series evaluation — the kernel's
+        // `analyze`/`analyze_series` agreement is asserted by tests).
+        let mut batch_verdicts: Option<BatchVerdicts> = None;
         for ev in &self.evaluators {
-            let accepted = ev.evaluator.accepts(ts, &self.device);
+            let accepted = match ev.evaluator.analysis_series() {
+                Some(series) => {
+                    batch_verdicts
+                        .get_or_insert_with(|| {
+                            BatchAnalyzer::new().analyze(ts, &self.device, scratch)
+                        })
+                        .series(series)
+                        .accepted
+                }
+                None => ev.evaluator.accepts_with(ts, &self.device, scratch),
+            };
             let mut class = ev.classify(accepted, &sim_clean);
             if accepted && nec_rejected {
                 class = Classification::SoundnessViolation;
@@ -323,12 +347,15 @@ pub fn run_conform(config: &ConformConfig, evaluators: Vec<ConformEvaluator>) ->
         config: config.clone(),
     });
 
-    // Stateless units: the shard key only spreads work across workers.
+    // The shard key only spreads work across workers; the shard state is
+    // the worker's scratch buffer for the batch analysis kernel.
     let shards = 256u32;
-    let mut pool: ShardedPool<usize, Option<UnitReport>> =
-        ShardedPool::new(PoolConfig { workers: config.workers, shards }, |_shard| (), {
+    let mut pool: ShardedPool<usize, Option<UnitReport>> = ShardedPool::new(
+        PoolConfig { workers: config.workers, shards },
+        |_shard| ScratchSpace::new(),
+        {
             let context = Arc::clone(&context);
-            move |(), _shard, unit| {
+            move |scratch, _shard, unit| {
                 let bin = unit / context.config.per_bin.max(1);
                 let sample = unit % context.config.per_bin.max(1);
                 let seed = sample_seed(context.config.seed, bin, sample);
@@ -336,9 +363,10 @@ pub fn run_conform(config: &ConformConfig, evaluators: Vec<ConformEvaluator>) ->
                 context
                     .generator
                     .sample_in_bin(bin, &mut rng)
-                    .map(|ts| context.evaluate(&ts, bin, sample, seed))
+                    .map(|ts| context.evaluate(&ts, bin, sample, seed, scratch))
             }
-        });
+        },
+    );
     let workers = pool.workers();
 
     let mut series: Vec<ConformSeries> = series_meta
@@ -435,6 +463,17 @@ mod tests {
             assert_eq!(out.report, reference.report, "workers={workers}");
             assert_eq!(out.exhausted_units, reference.exhausted_units);
         }
+    }
+
+    /// The kernel escape hatch can never change an artifact: the batch
+    /// and scalar paper suites produce byte-identical reports.
+    #[test]
+    fn batch_and_scalar_kernels_produce_identical_reports() {
+        use crate::classify::paper_conform_evaluators_scalar;
+        let batch = run_conform(&tiny_config(2), paper_conform_evaluators());
+        let scalar = run_conform(&tiny_config(2), paper_conform_evaluators_scalar());
+        assert_eq!(batch.report, scalar.report);
+        assert_eq!(batch.exhausted_units, scalar.exhausted_units);
     }
 
     #[test]

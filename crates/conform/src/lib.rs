@@ -55,7 +55,10 @@ pub mod engine;
 pub mod render;
 pub mod twod;
 
-pub use classify::{paper_conform_evaluators, Classification, ConformEvaluator, SIM_SCHEDULERS};
+pub use classify::{
+    paper_conform_evaluators, paper_conform_evaluators_for, paper_conform_evaluators_scalar,
+    Classification, ConformEvaluator, SIM_SCHEDULERS,
+};
 pub use counterexample::{
     capture_miss_evidence, minimize_taskset, minimize_with, Counterexample, ViolationKind,
     TRACE_TAIL_SEGMENTS,
@@ -63,7 +66,7 @@ pub use counterexample::{
 pub use engine::{
     run_conform, BinClassCounts, ConformConfig, ConformOutcome, ConformReport, ConformSeries,
 };
-pub use render::{render_csv, render_csv_rows, render_text, CSV_HEADER};
+pub use render::{render_csv, render_csv_multi, render_csv_rows, render_text, CSV_HEADER};
 pub use twod::{
     run_twod_bridge, Sim1dAgreement, TwodBridgeArtifact, TwodBridgeConfig, TwodBridgeOutcome,
     TwodCounterexample,

@@ -2,48 +2,57 @@
 //!
 //! Both renderers are pure functions of the report, so stdout and `--out`
 //! artifacts participate in the same byte-identity guarantee the engine
-//! gives (CI diffs a 1-worker run against a 4-worker run).
+//! gives (CI diffs a 1-worker run against a 4-worker run). The cell/row
+//! emission rides the shared buffered writers in [`fpga_rt_exp::output`]
+//! — one buffer per artifact, no per-cell `format!` round trips, and a
+//! single copy of the CSV quoting rules for the whole workspace.
 
 use crate::engine::ConformReport;
-use core::fmt::Write as _;
+use fpga_rt_exp::output::{CsvWriter, TextWriter};
 
 /// Render an aligned plain-text view: one block per evaluator, one row per
 /// utilization bin, plus a greppable summary line
 /// (`total soundness violations: N`).
 pub fn render_text(report: &ConformReport) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "conformance {}: {} (sim horizon {}×Tmax)",
+    let mut out = TextWriter::new();
+    out.rawf(format_args!(
+        "conformance {}: {} (sim horizon {}×Tmax)\n",
         report.workload_id, report.caption, report.sim_horizon
-    );
+    ));
     for s in &report.series {
-        let _ = writeln!(out, "{} (targets {})", s.name, s.targets.join(", "));
-        let _ = writeln!(
-            out,
-            "  {:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
-            "US/A", "samples", "sound-acc", "sound-rej", "pess-rej", "VIOLATION"
-        );
+        out.rawf(format_args!("{} (targets {})\n", s.name, s.targets.join(", ")));
+        out.raw("  ");
+        for (width, head) in
+            [(6, "US/A"), (8, "samples"), (12, "sound-acc"), (12, "sound-rej"), (12, "pess-rej")]
+        {
+            out.right_str(width, head);
+            out.raw(" ");
+        }
+        out.right_str(10, "VIOLATION");
+        out.newline();
         for b in &s.bins {
-            let _ = writeln!(
-                out,
-                "  {:>6.3} {:>8} {:>12} {:>12} {:>12} {:>10}",
-                b.utilization,
-                b.samples,
-                b.sound_accept,
-                b.sound_reject,
-                b.pessimistic_reject,
-                b.violations
-            );
+            out.raw("  ");
+            out.right_f64(6, 3, b.utilization);
+            out.raw(" ");
+            for (width, v) in [
+                (8, b.samples),
+                (12, b.sound_accept),
+                (12, b.sound_reject),
+                (12, b.pessimistic_reject),
+            ] {
+                out.right_usize(width, v);
+                out.raw(" ");
+            }
+            out.right_usize(10, b.violations);
+            out.newline();
         }
     }
-    let _ = writeln!(
-        out,
-        "necessary-test rejects: {} ({} of them simulated clean within the horizon)",
+    out.rawf(format_args!(
+        "necessary-test rejects: {} ({} of them simulated clean within the horizon)\n",
         report.nec_rejects, report.nec_reject_sim_clean
-    );
-    let _ = writeln!(out, "total soundness violations: {}", report.total_violations);
-    out
+    ));
+    out.rawf(format_args!("total soundness violations: {}\n", report.total_violations));
+    out.finish()
 }
 
 /// CSV header shared by all conformance rows.
@@ -51,31 +60,41 @@ pub const CSV_HEADER: &str =
     "workload,evaluator,utilization,samples,sound_accept,sound_reject,pessimistic_reject,violations";
 
 /// Render CSV rows (without header) for one report — callers prepend
-/// [`CSV_HEADER`] once, so multi-figure runs concatenate cleanly.
+/// [`CSV_HEADER`] once (or use [`render_csv_multi`]), so multi-figure runs
+/// concatenate cleanly.
 pub fn render_csv_rows(report: &ConformReport) -> String {
-    let mut out = String::new();
+    let mut out = CsvWriter::new();
     for s in &report.series {
         for b in &s.bins {
-            let _ = writeln!(
-                out,
-                "{},{},{:.4},{},{},{},{},{}",
-                report.workload_id,
-                s.name,
-                b.utilization,
-                b.samples,
-                b.sound_accept,
-                b.sound_reject,
-                b.pessimistic_reject,
-                b.violations
-            );
+            out.str_cell(&report.workload_id);
+            out.str_cell(&s.name);
+            out.f64_cell(b.utilization, 4);
+            out.usize_cell(b.samples);
+            out.usize_cell(b.sound_accept);
+            out.usize_cell(b.sound_reject);
+            out.usize_cell(b.pessimistic_reject);
+            out.usize_cell(b.violations);
+            out.end_row();
         }
     }
-    out
+    out.finish()
 }
 
 /// Render a complete single-report CSV (header + rows).
 pub fn render_csv(report: &ConformReport) -> String {
-    format!("{CSV_HEADER}\n{}", render_csv_rows(report))
+    render_csv_multi(std::slice::from_ref(report))
+}
+
+/// Render one CSV artifact covering several reports (header once, then
+/// every report's rows in order) — the multi-figure `--out .csv` shape.
+pub fn render_csv_multi(reports: &[ConformReport]) -> String {
+    let mut out = CsvWriter::new();
+    out.raw_rows(CSV_HEADER);
+    out.raw_rows("\n");
+    for report in reports {
+        out.raw_rows(&render_csv_rows(report));
+    }
+    out.finish()
 }
 
 #[cfg(test)]
@@ -116,6 +135,47 @@ mod tests {
         assert!(text.contains("necessary-test rejects: 2 (1 of them"));
     }
 
+    /// The shared writers reproduce the pre-PR-5 `format!` rendering
+    /// byte for byte (CI's worker-diff goldens must not churn).
+    #[test]
+    fn text_is_byte_compatible_with_format() {
+        use core::fmt::Write as _;
+        let report = fixture();
+        let mut reference = String::new();
+        let _ = writeln!(
+            reference,
+            "conformance {}: {} (sim horizon {}×Tmax)",
+            report.workload_id, report.caption, report.sim_horizon
+        );
+        for s in &report.series {
+            let _ = writeln!(reference, "{} (targets {})", s.name, s.targets.join(", "));
+            let _ = writeln!(
+                reference,
+                "  {:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
+                "US/A", "samples", "sound-acc", "sound-rej", "pess-rej", "VIOLATION"
+            );
+            for b in &s.bins {
+                let _ = writeln!(
+                    reference,
+                    "  {:>6.3} {:>8} {:>12} {:>12} {:>12} {:>10}",
+                    b.utilization,
+                    b.samples,
+                    b.sound_accept,
+                    b.sound_reject,
+                    b.pessimistic_reject,
+                    b.violations
+                );
+            }
+        }
+        let _ = writeln!(
+            reference,
+            "necessary-test rejects: {} ({} of them simulated clean within the horizon)",
+            report.nec_rejects, report.nec_reject_sim_clean
+        );
+        let _ = writeln!(reference, "total soundness violations: {}", report.total_violations);
+        assert_eq!(render_text(&report), reference);
+    }
+
     #[test]
     fn csv_is_one_row_per_evaluator_bin() {
         let csv = render_csv(&fixture());
@@ -123,5 +183,14 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert_eq!(lines[0], CSV_HEADER);
         assert_eq!(lines[1], "fig3a,DP,0.2500,10,4,1,5,0");
+    }
+
+    #[test]
+    fn multi_report_csv_has_one_header() {
+        let csv = render_csv_multi(&[fixture(), fixture()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines[1], lines[2]);
     }
 }

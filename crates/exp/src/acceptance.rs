@@ -6,7 +6,7 @@
 //! per-sample deterministic RNG seeding, so results are independent of the
 //! thread count.
 
-use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, SchedTest};
+use fpga_rt_analysis::{AnalysisSeries, BatchAnalyzer, SchedTest, ScratchSpace};
 use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
 use fpga_rt_model::{Fpga, TaskSet};
 use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
@@ -17,12 +17,20 @@ use std::sync::Arc;
 /// Shared accept/reject predicate.
 type DecideFn = Arc<dyn Fn(&TaskSet<f64>, &Fpga) -> bool + Send + Sync>;
 
+/// How an [`Evaluator`] decides: an opaque closure, or one of the four
+/// analytic series routed through the allocation-free batch kernel.
+#[derive(Clone)]
+enum EvalKind {
+    Custom(DecideFn),
+    Analysis(AnalysisSeries),
+}
+
 /// A named accept/reject predicate over `f64` tasksets.
 #[derive(Clone)]
 pub struct Evaluator {
     /// Series name (`"DP"`, `"SIM-NF"`, ...).
     pub name: String,
-    decide: DecideFn,
+    kind: EvalKind,
 }
 
 impl Evaluator {
@@ -31,16 +39,34 @@ impl Evaluator {
         name: impl Into<String>,
         decide: impl Fn(&TaskSet<f64>, &Fpga) -> bool + Send + Sync + 'static,
     ) -> Self {
-        Evaluator { name: name.into(), decide: Arc::new(decide) }
+        Evaluator { name: name.into(), kind: EvalKind::Custom(Arc::new(decide)) }
     }
 
-    /// Wrap an analytic schedulability test.
+    /// Wrap an analytic schedulability test (scalar path — use
+    /// [`Evaluator::analysis`] for the batch kernel).
     pub fn from_test<S>(test: S) -> Self
     where
         S: SchedTest<f64> + Send + Sync + 'static,
     {
         let name = test.name().to_string();
         Evaluator::new(name, move |ts, dev| test.is_schedulable(ts, dev))
+    }
+
+    /// One of the paper-default analytic series, evaluated through the
+    /// allocation-free [`BatchAnalyzer`] kernel — bit-identical to the
+    /// corresponding scalar test (and named identically, so artifacts do
+    /// not churn when a runner switches kernels).
+    pub fn analysis(series: AnalysisSeries) -> Self {
+        Evaluator { name: series.name().to_string(), kind: EvalKind::Analysis(series) }
+    }
+
+    /// The analytic series this evaluator routes through the batch
+    /// kernel, when it does.
+    pub fn analysis_series(&self) -> Option<AnalysisSeries> {
+        match self.kind {
+            EvalKind::Analysis(series) => Some(series),
+            EvalKind::Custom(_) => None,
+        }
     }
 
     /// Wrap a simulation run (synchronous release, stop at first miss):
@@ -64,9 +90,24 @@ impl Evaluator {
         })
     }
 
-    /// Run the predicate.
+    /// Run the predicate. One-off convenience: analysis-kind evaluators
+    /// build a throwaway [`ScratchSpace`] (cheap — empty buffers allocate
+    /// nothing up front); hot loops should hold one and call
+    /// [`Evaluator::accepts_with`].
     pub fn accepts(&self, ts: &TaskSet<f64>, dev: &Fpga) -> bool {
-        (self.decide)(ts, dev)
+        self.accepts_with(ts, dev, &mut ScratchSpace::new())
+    }
+
+    /// Run the predicate with a caller-owned scratch buffer, so repeated
+    /// analysis-kind evaluations perform zero per-taskset heap allocation.
+    /// Custom evaluators ignore `scratch`.
+    pub fn accepts_with(&self, ts: &TaskSet<f64>, dev: &Fpga, scratch: &mut ScratchSpace) -> bool {
+        match &self.kind {
+            EvalKind::Custom(decide) => decide(ts, dev),
+            EvalKind::Analysis(series) => {
+                BatchAnalyzer::new().analyze_series(*series, ts, dev, scratch).accepted
+            }
+        }
     }
 }
 
@@ -76,12 +117,13 @@ impl core::fmt::Debug for Evaluator {
     }
 }
 
-/// The paper's figure series: DP, GN1, GN2 and the two simulations.
+/// The paper's figure series: DP, GN1, GN2 (batch-kernel analysis, see
+/// [`Evaluator::analysis`]) and the two simulations.
 pub fn standard_evaluators(sim_horizon_factor: f64) -> Vec<Evaluator> {
     vec![
-        Evaluator::from_test(DpTest::default()),
-        Evaluator::from_test(Gn1Test::default()),
-        Evaluator::from_test(Gn2Test::default()),
+        Evaluator::analysis(AnalysisSeries::Dp),
+        Evaluator::analysis(AnalysisSeries::Gn1),
+        Evaluator::analysis(AnalysisSeries::Gn2),
         Evaluator::from_sim(SchedulerKind::EdfNf, sim_horizon_factor),
         Evaluator::from_sim(SchedulerKind::EdfFkf, sim_horizon_factor),
     ]
@@ -221,6 +263,9 @@ pub fn run_sweep(
                 let device = &device;
                 scope.spawn(move || {
                     let mut local = vec![vec![(0usize, 0usize); n_eval]; n_bins];
+                    // One scratch per worker: analysis-kind evaluators run
+                    // allocation-free through the batch kernel.
+                    let mut scratch = ScratchSpace::new();
                     loop {
                         let unit = next_unit.fetch_add(1, Ordering::Relaxed);
                         if unit >= total_units {
@@ -231,7 +276,7 @@ pub fn run_sweep(
                         let mut rng = StdRng::seed_from_u64(sample_seed(config.seed, bin, sample));
                         if let Some(ts) = generator.sample_in_bin(bin, &mut rng) {
                             for (e, ev) in evaluators.iter().enumerate() {
-                                let ok = ev.accepts(&ts, device);
+                                let ok = ev.accepts_with(&ts, device, &mut scratch);
                                 local[bin][e].0 += 1;
                                 if ok {
                                     local[bin][e].1 += 1;
@@ -285,6 +330,7 @@ pub fn run_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test};
 
     fn tiny_sweep(threads: usize) -> SweepResult {
         let mut config = SweepConfig::new(FigureWorkload::fig3a(), 8, 42);
@@ -338,6 +384,40 @@ mod tests {
         let evals = standard_evaluators(20.0);
         let names: Vec<&str> = evals.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(names, vec!["DP", "GN1", "GN2", "SIM-NF", "SIM-FkF"]);
+    }
+
+    /// Analysis-kind evaluators (batch kernel) agree with the scalar
+    /// tests verdict-for-verdict, and a reused scratch changes nothing.
+    #[test]
+    fn analysis_evaluators_match_scalar_tests() {
+        let dev = Fpga::new(10).unwrap();
+        let sets = [
+            TaskSet::try_from_tuples(&[(1.26, 7.0, 7.0, 9), (0.95, 5.0, 5.0, 6)]).unwrap(),
+            TaskSet::try_from_tuples(&[(4.50, 8.0, 8.0, 3), (8.00, 9.0, 9.0, 5)]).unwrap(),
+            TaskSet::try_from_tuples(&[(2.10, 5.0, 5.0, 7), (2.00, 7.0, 7.0, 7)]).unwrap(),
+        ];
+        let pairs: Vec<(Evaluator, Evaluator)> = vec![
+            (Evaluator::analysis(AnalysisSeries::Dp), Evaluator::from_test(DpTest::default())),
+            (Evaluator::analysis(AnalysisSeries::Gn1), Evaluator::from_test(Gn1Test::default())),
+            (Evaluator::analysis(AnalysisSeries::Gn2), Evaluator::from_test(Gn2Test::default())),
+            (
+                Evaluator::analysis(AnalysisSeries::AnyOf),
+                Evaluator::from_test(AnyOfTest::paper_suite()),
+            ),
+        ];
+        let mut scratch = ScratchSpace::new();
+        for (batch, scalar) in &pairs {
+            assert!(batch.analysis_series().is_some());
+            assert!(scalar.analysis_series().is_none());
+            for ts in &sets {
+                assert_eq!(
+                    batch.accepts_with(ts, &dev, &mut scratch),
+                    scalar.accepts(ts, &dev),
+                    "{} on {ts:?}",
+                    batch.name
+                );
+            }
+        }
     }
 
     #[test]

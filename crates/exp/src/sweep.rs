@@ -15,14 +15,30 @@
 //!   byte-identical across worker counts *and* identical to what the
 //!   scoped-thread runner produces for the same configuration (asserted by
 //!   tests).
-//! * **Containment** — a panicking evaluator poisons one sample (counted
-//!   in [`PoolSweepOutcome::failed_units`]), not the whole sweep.
+//! * **Containment** — a panicking evaluator poisons one work unit
+//!   (counted in [`PoolSweepOutcome::failed_units`]), not the whole sweep.
+//!
+//! ## Kernels
+//!
+//! When every evaluator is analysis-kind ([`Evaluator::analysis`] — the
+//! [`analysis_evaluators`] suite), the engine takes the **batch path**: a
+//! work unit is a [`BATCH_SAMPLES`]-sample block, each worker packs its
+//! block into a per-worker [`TaskSetBatch`] (structure-of-arrays columns,
+//! λ candidates pre-sorted at pack time, held in `fpga-rt-pool` shard
+//! state) and one [`BatchAnalyzer`] pass produces all four verdicts with
+//! zero per-taskset heap allocation. Any custom evaluator in the list
+//! falls back to the per-sample scalar path (with a per-worker
+//! [`ScratchSpace`] so analysis-kind members of a mixed list still ride
+//! the kernel). Both paths produce bit-identical curves — the batch kernel
+//! is a pure re-packing of the scalar tests — so the choice (and the
+//! `fpga-rt sweep --kernel scalar|batch` escape hatch) never shows up in
+//! artifacts.
 //!
 //! The result reuses [`SweepResult`], so the text/markdown/CSV renderers in
 //! [`crate::output`] and `serde_json` serialization apply unchanged. The
 //! `fpga-rt sweep` CLI subcommand and the `sweep` study binary wrap this
 //! module; `cargo bench -p fpga-rt-bench --bench sweep_throughput` measures
-//! its scaling.
+//! its scaling and the batch-vs-scalar kernel speedup.
 //!
 //! ```
 //! use fpga_rt_exp::sweep::{run_pool_sweep, PoolSweepConfig};
@@ -40,12 +56,21 @@
 //! ```
 
 use crate::acceptance::{sample_seed, AcceptanceSeries, Evaluator, SeriesPoint, SweepResult};
-use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test};
+use fpga_rt_analysis::{
+    AnalysisKernel, AnalysisSeries, BatchAnalyzer, BatchVerdicts, ScratchSpace, TaskSetBatch,
+};
 use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
+
+/// Samples per batch-path work unit: large enough to amortize pool
+/// messaging and keep the SoA columns cache-resident, small enough that a
+/// contained panic loses little. Fixed (never derived from `workers` or
+/// `chunk`) so the unit decomposition — and therefore every artifact — is
+/// invariant in both.
+pub const BATCH_SAMPLES: usize = 64;
 
 /// Configuration of a pool-backed sweep.
 #[derive(Debug, Clone)]
@@ -95,7 +120,9 @@ pub struct PoolSweepOutcome {
     /// Work units whose generator exhausted its attempt budget (the bin
     /// quota is reported short, exactly like the scoped-thread runner).
     pub exhausted_units: usize,
-    /// Work units lost to a panicking evaluator (contained by the pool).
+    /// Samples lost to a panicking evaluator (contained by the pool). On
+    /// the batch path a panic poisons its whole [`BATCH_SAMPLES`] block,
+    /// and every sample of the block is counted here.
     pub failed_units: usize,
     /// The resolved pool worker count the sweep actually used.
     pub workers: usize,
@@ -105,71 +132,120 @@ pub struct PoolSweepOutcome {
 struct SweepContext {
     generator: BinnedGenerator,
     device: fpga_rt_model::Fpga,
-    evaluators: Vec<Evaluator>,
     per_bin: usize,
     seed: u64,
 }
 
-/// Per-unit verdicts: which evaluators accepted the sampled taskset, or
-/// `None` when the generator could not fill the bin for this sample.
+impl SweepContext {
+    fn new(config: &PoolSweepConfig) -> Self {
+        SweepContext {
+            generator: BinnedGenerator::new(
+                config.workload.spec,
+                config.workload.device_columns,
+                config.bins,
+            )
+            .with_strategy(config.strategy),
+            device: config.workload.device(),
+            per_bin: config.per_bin,
+            seed: config.seed,
+        }
+    }
+
+    /// Draw the taskset of global sample index `unit`.
+    fn sample(&self, unit: usize) -> Option<fpga_rt_model::TaskSet<f64>> {
+        let bin = unit / self.per_bin;
+        let sample = unit % self.per_bin;
+        let mut rng = StdRng::seed_from_u64(sample_seed(self.seed, bin, sample));
+        self.generator.sample_in_bin(bin, &mut rng)
+    }
+}
+
+/// Per-sample verdicts on the scalar path: which evaluators accepted the
+/// sampled taskset, or `None` when the generator could not fill the bin
+/// for this sample.
 type UnitVerdicts = Option<Vec<bool>>;
+
+/// Per-sample verdicts on the batch path, packed: evaluator index `e` is
+/// bit `e` — the dispatch guard caps batch-path evaluator lists at 8, far
+/// above the 4 analytic series.
+type SampleMask = Option<u8>;
 
 /// The paper's analytic series — DP (Theorem 1), GN1 (Theorem 2), GN2
 /// (Theorem 3) and the Section-6 composite (accept iff any test accepts),
-/// reported as `AnyOf` — the evaluator set of `fpga-rt sweep`.
+/// reported as `AnyOf` — the evaluator set of `fpga-rt sweep`, riding the
+/// batch kernel ([`Evaluator::analysis`]).
 pub fn analysis_evaluators() -> Vec<Evaluator> {
+    AnalysisSeries::ALL.into_iter().map(Evaluator::analysis).collect()
+}
+
+/// The same four series as scalar closures over the [`fpga_rt_analysis`]
+/// test implementations — the `--kernel scalar` escape hatch, and the
+/// reference the batch kernel is cross-checked against (byte-identical
+/// curves, asserted by tests).
+pub fn analysis_evaluators_scalar() -> Vec<Evaluator> {
+    use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, SchedTest};
     let any = AnyOfTest::paper_suite();
     vec![
         Evaluator::from_test(DpTest::default()),
         Evaluator::from_test(Gn1Test::default()),
         Evaluator::from_test(Gn2Test::default()),
-        Evaluator::new("AnyOf", move |ts, dev| {
-            use fpga_rt_analysis::SchedTest;
-            any.is_schedulable(ts, dev)
-        }),
+        Evaluator::new("AnyOf", move |ts, dev| any.is_schedulable(ts, dev)),
     ]
 }
 
+/// The analytic suite for an explicit kernel choice.
+pub fn analysis_evaluators_for(kernel: AnalysisKernel) -> Vec<Evaluator> {
+    match kernel {
+        AnalysisKernel::Batch => analysis_evaluators(),
+        AnalysisKernel::Scalar => analysis_evaluators_scalar(),
+    }
+}
+
 /// Run a sweep over the shared worker pool. Deterministic for a given
-/// `config` and evaluator list — independent of `workers` and `chunk`.
+/// `config` and evaluator list — independent of `workers` and `chunk`,
+/// and independent of whether the batch or the scalar path evaluates the
+/// analytic series.
 pub fn run_pool_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> PoolSweepOutcome {
-    let n_bins = config.bins.n;
-    let n_eval = evaluators.len();
-    let context = Arc::new(SweepContext {
-        generator: BinnedGenerator::new(
-            config.workload.spec,
-            config.workload.device_columns,
-            config.bins,
-        )
-        .with_strategy(config.strategy),
-        device: config.workload.device(),
-        evaluators: evaluators.to_vec(),
-        per_bin: config.per_bin,
-        seed: config.seed,
-    });
+    let all_analysis: Option<Vec<AnalysisSeries>> =
+        evaluators.iter().map(Evaluator::analysis_series).collect();
+    match all_analysis {
+        Some(series) if !series.is_empty() && series.len() <= 8 => {
+            run_batched_sweep(config, evaluators, series)
+        }
+        _ => run_scalar_sweep(config, evaluators),
+    }
+}
+
+/// The per-sample path: each unit draws one taskset and runs every
+/// evaluator on it (analysis-kind members still use the kernel through the
+/// worker's scratch buffer).
+fn run_scalar_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> PoolSweepOutcome {
+    let context = Arc::new(SweepContext::new(config));
+    let evaluators_arc: Arc<[Evaluator]> = evaluators.into();
 
     // Stateless work: shard only spreads units across workers. 256 shards
     // keep any worker count ≤ 256 evenly loaded while staying cheap.
     let shards = 256u32;
-    let mut pool: ShardedPool<usize, UnitVerdicts> =
-        ShardedPool::new(PoolConfig { workers: config.workers, shards }, |_shard| (), {
+    let mut pool: ShardedPool<usize, UnitVerdicts> = ShardedPool::new(
+        PoolConfig { workers: config.workers, shards },
+        |_shard| ScratchSpace::new(),
+        {
             let context = Arc::clone(&context);
-            move |(), _shard, unit| {
-                let bin = unit / context.per_bin;
-                let sample = unit % context.per_bin;
-                let mut rng = StdRng::seed_from_u64(sample_seed(context.seed, bin, sample));
-                context.generator.sample_in_bin(bin, &mut rng).map(|ts| {
-                    context.evaluators.iter().map(|ev| ev.accepts(&ts, &context.device)).collect()
+            let evaluators = Arc::clone(&evaluators_arc);
+            move |scratch, _shard, unit| {
+                context.sample(unit).map(|ts| {
+                    evaluators
+                        .iter()
+                        .map(|ev| ev.accepts_with(&ts, &context.device, scratch))
+                        .collect()
                 })
             }
-        });
+        },
+    );
     let workers = pool.workers();
 
-    // counts[bin][evaluator] = (samples, accepted); summation is
-    // order-independent, and results arrive in submission order anyway.
-    let mut counts = vec![vec![(0usize, 0usize); n_eval]; n_bins];
-    let mut exhausted_units = 0usize;
-    let mut failed_units = 0usize;
+    let n_bins = config.bins.n;
+    let mut tally = SweepTally::new(n_bins, evaluators.len());
     let total_units = n_bins * config.per_bin;
     let chunk = config.chunk.max(1);
     let mut unit = 0usize;
@@ -182,45 +258,185 @@ pub fn run_pool_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> Poo
         for (offset, result) in results.into_iter().enumerate() {
             let bin = (unit + offset) / config.per_bin;
             match result {
-                Ok(Some(verdicts)) => {
-                    for (e, ok) in verdicts.into_iter().enumerate() {
-                        counts[bin][e].0 += 1;
-                        if ok {
-                            counts[bin][e].1 += 1;
-                        }
-                    }
-                }
-                Ok(None) => exhausted_units += 1,
-                Err(_) => failed_units += 1,
+                Ok(Some(verdicts)) => tally.record_bools(bin, &verdicts),
+                Ok(None) => tally.exhausted += 1,
+                Err(_) => tally.failed += 1,
             }
         }
         unit = upper;
     }
 
-    let series = evaluators
-        .iter()
-        .enumerate()
-        .map(|(e, ev)| AcceptanceSeries {
-            name: ev.name.clone(),
-            points: (0..n_bins)
-                .map(|bin| SeriesPoint {
-                    utilization: config.bins.center(bin),
-                    samples: counts[bin][e].0,
-                    accepted: counts[bin][e].1,
-                })
-                .collect(),
-        })
-        .collect();
+    tally.into_outcome(config, evaluators, workers)
+}
 
-    PoolSweepOutcome {
-        result: SweepResult {
-            workload_id: config.workload.id.to_string(),
-            caption: config.workload.caption.to_string(),
-            series,
+/// The batch path: each unit is a [`BATCH_SAMPLES`]-sample block packed
+/// into the worker's structure-of-arrays [`TaskSetBatch`] and evaluated in
+/// one [`BatchAnalyzer`] pass.
+fn run_batched_sweep(
+    config: &PoolSweepConfig,
+    evaluators: &[Evaluator],
+    series: Vec<AnalysisSeries>,
+) -> PoolSweepOutcome {
+    /// Per-worker reusable buffers, built by the pool's shard-state
+    /// factory: the pack buffer and the verdict store reach a steady state
+    /// with zero per-taskset heap allocation.
+    #[derive(Default)]
+    struct BlockScratch {
+        batch: TaskSetBatch,
+        verdicts: Vec<BatchVerdicts>,
+    }
+
+    let context = Arc::new(SweepContext::new(config));
+    let n_bins = config.bins.n;
+    let total_units = n_bins * config.per_bin;
+    let series: Arc<[AnalysisSeries]> = series.into();
+
+    let shards = 256u32;
+    let mut pool: ShardedPool<usize, Vec<SampleMask>> = ShardedPool::new(
+        PoolConfig { workers: config.workers, shards },
+        |_shard| BlockScratch::default(),
+        {
+            let context = Arc::clone(&context);
+            let series = Arc::clone(&series);
+            move |scratch: &mut BlockScratch, _shard, block: usize| {
+                let start = block * BATCH_SAMPLES;
+                let end = (start + BATCH_SAMPLES).min(total_units);
+                let mut out: Vec<SampleMask> = Vec::with_capacity(end - start);
+                scratch.batch.clear();
+                for unit in start..end {
+                    match context.sample(unit) {
+                        Some(ts) => {
+                            scratch.batch.push(&ts);
+                            out.push(Some(0));
+                        }
+                        None => out.push(None),
+                    }
+                }
+                BatchAnalyzer::new().analyze_batch(
+                    &scratch.batch,
+                    &context.device,
+                    &mut scratch.verdicts,
+                );
+                let mut packed = scratch.verdicts.iter();
+                for slot in out.iter_mut().filter(|s| s.is_some()) {
+                    let verdicts = packed.next().expect("one verdict set per packed taskset");
+                    let mut mask = 0u8;
+                    for (e, &s) in series.iter().enumerate() {
+                        if verdicts.series(s).accepted {
+                            mask |= mask_bit(e);
+                        }
+                    }
+                    *slot = Some(mask);
+                }
+                out
+            }
         },
-        exhausted_units,
-        failed_units,
-        workers,
+    );
+    let workers = pool.workers();
+
+    let mut tally = SweepTally::new(n_bins, evaluators.len());
+    let total_blocks = total_units.div_ceil(BATCH_SAMPLES);
+    let blocks_per_chunk = config.chunk.max(1).div_ceil(BATCH_SAMPLES);
+    let mut block = 0usize;
+    while block < total_blocks {
+        let upper = (block + blocks_per_chunk).min(total_blocks);
+        for b in block..upper {
+            pool.submit((b % shards as usize) as u32, b);
+        }
+        let results = pool.collect().expect("pool workers cannot die: panics are contained");
+        for (offset, result) in results.into_iter().enumerate() {
+            let b = block + offset;
+            let start = b * BATCH_SAMPLES;
+            let end = (start + BATCH_SAMPLES).min(total_units);
+            match result {
+                Ok(masks) => {
+                    debug_assert_eq!(masks.len(), end - start);
+                    for (unit, mask) in (start..end).zip(masks) {
+                        match mask {
+                            Some(mask) => tally.record(unit / config.per_bin, mask),
+                            None => tally.exhausted += 1,
+                        }
+                    }
+                }
+                // A contained panic poisons the whole block; the kernel
+                // itself is panic-free on validated tasksets, so this only
+                // fires on generator bugs.
+                Err(_) => tally.failed += end - start,
+            }
+        }
+        block = upper;
+    }
+
+    tally.into_outcome(config, evaluators, workers)
+}
+
+/// Bit of evaluator `e` in a [`SampleMask`].
+fn mask_bit(e: usize) -> u8 {
+    1u8 << e
+}
+
+/// Accumulated per-bin per-evaluator counts; summation is
+/// order-independent, and results arrive in submission order anyway.
+struct SweepTally {
+    /// `counts[bin][evaluator] = (samples, accepted)`.
+    counts: Vec<Vec<(usize, usize)>>,
+    exhausted: usize,
+    failed: usize,
+}
+
+impl SweepTally {
+    fn new(n_bins: usize, n_eval: usize) -> Self {
+        SweepTally { counts: vec![vec![(0, 0); n_eval]; n_bins], exhausted: 0, failed: 0 }
+    }
+
+    fn record(&mut self, bin: usize, mask: u8) {
+        for (e, cell) in self.counts[bin].iter_mut().enumerate() {
+            cell.0 += 1;
+            if mask & mask_bit(e) != 0 {
+                cell.1 += 1;
+            }
+        }
+    }
+
+    fn record_bools(&mut self, bin: usize, verdicts: &[bool]) {
+        for (cell, &ok) in self.counts[bin].iter_mut().zip(verdicts) {
+            cell.0 += 1;
+            if ok {
+                cell.1 += 1;
+            }
+        }
+    }
+
+    fn into_outcome(
+        self,
+        config: &PoolSweepConfig,
+        evaluators: &[Evaluator],
+        workers: usize,
+    ) -> PoolSweepOutcome {
+        let series = evaluators
+            .iter()
+            .enumerate()
+            .map(|(e, ev)| AcceptanceSeries {
+                name: ev.name.clone(),
+                points: (0..config.bins.n)
+                    .map(|bin| SeriesPoint {
+                        utilization: config.bins.center(bin),
+                        samples: self.counts[bin][e].0,
+                        accepted: self.counts[bin][e].1,
+                    })
+                    .collect(),
+            })
+            .collect();
+        PoolSweepOutcome {
+            result: SweepResult {
+                workload_id: config.workload.id.to_string(),
+                caption: config.workload.caption.to_string(),
+                series,
+            },
+            exhausted_units: self.exhausted,
+            failed_units: self.failed,
+            workers,
+        }
     }
 }
 
@@ -228,6 +444,7 @@ pub fn run_pool_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> Poo
 mod tests {
     use super::*;
     use crate::acceptance::{run_sweep, SweepConfig};
+    use fpga_rt_analysis::{DpTest, Gn1Test};
 
     fn tiny_config(workers: usize) -> PoolSweepConfig {
         let mut config = PoolSweepConfig::new(FigureWorkload::fig3a(), 8, 42);
@@ -246,6 +463,45 @@ mod tests {
             assert_eq!(out.result, reference.result, "workers={workers}");
             assert_eq!(out.exhausted_units, reference.exhausted_units);
         }
+    }
+
+    /// The tentpole contract: the batch kernel's curves are byte-identical
+    /// to the scalar evaluators' for the same configuration — the two
+    /// `--kernel` modes can never disagree in an artifact.
+    #[test]
+    fn batch_kernel_matches_scalar_kernel() {
+        for (figure, seed) in [
+            (FigureWorkload::fig3a(), 42u64),
+            (FigureWorkload::fig4a(), 7),
+            (FigureWorkload::fig4b(), 9),
+        ] {
+            let mut config = PoolSweepConfig::new(figure, 6, seed);
+            config.bins = UtilizationBins::new(0.0, 1.0, 4);
+            config.workers = 2;
+            let batch = run_pool_sweep(&config, &analysis_evaluators_for(AnalysisKernel::Batch));
+            let scalar = run_pool_sweep(&config, &analysis_evaluators_for(AnalysisKernel::Scalar));
+            assert_eq!(batch.result, scalar.result, "{}", figure.id);
+            assert_eq!(batch.exhausted_units, scalar.exhausted_units);
+        }
+    }
+
+    /// A strict subset of analysis series still takes the batch path and
+    /// matches the scalar tests.
+    #[test]
+    fn partial_analysis_suite_matches_scalar() {
+        let config = tiny_config(2);
+        let batch = run_pool_sweep(
+            &config,
+            &[Evaluator::analysis(AnalysisSeries::Gn2), Evaluator::analysis(AnalysisSeries::Dp)],
+        );
+        let scalar = run_pool_sweep(
+            &config,
+            &[
+                Evaluator::from_test(fpga_rt_analysis::Gn2Test::default()),
+                Evaluator::from_test(DpTest::default()),
+            ],
+        );
+        assert_eq!(batch.result, scalar.result);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""Render and compare fpga-rt bench-smoke baselines.
+
+Two subcommands:
+
+  render  <bench-output.txt> <out.json>
+      Parse the criterion shim's ``bench: <name> <N> ns/iter (shim)``
+      lines into a ``fpga-rt-bench-smoke/2`` JSON document. The shim
+      budget is recorded from CRITERION_SHIM_SAMPLES / CRITERION_SHIM_ITERS
+      so a comparison can refuse mismatched budgets.
+
+  compare <baseline.json> <current.json> [--threshold 1.25]
+          [--min-ns 50000] [--summary FILE]
+      Print a per-bench delta table (GitHub-flavoured markdown, also
+      appended to --summary when given, e.g. $GITHUB_STEP_SUMMARY) and
+      exit 1 when any *tracked* bench regressed beyond the threshold or
+      disappeared. A bench is tracked when its baseline time is at least
+      --min-ns: at smoke budgets, sub-50µs rows are dominated by timer
+      noise and are reported but never gated.
+
+The committed baseline lives at BENCH_5.json in the repository root; see
+docs/BENCHMARKS.md for the regeneration workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+
+SCHEMA = "fpga-rt-bench-smoke/2"
+BENCH_LINE = re.compile(r"^bench:\s+(.*?)\s+(\d+)\s+ns/iter \(shim\)$")
+
+
+def render(args: argparse.Namespace) -> int:
+    rows = []
+    with open(args.bench_output, encoding="utf-8") as f:
+        for line in f:
+            m = BENCH_LINE.match(line.strip())
+            if m:
+                rows.append({"name": m.group(1).strip(), "ns_per_iter": int(m.group(2))})
+    if not rows:
+        print("bench_gate: no 'ns/iter (shim)' lines parsed", file=sys.stderr)
+        return 1
+    doc = {
+        "schema": SCHEMA,
+        "commit": os.environ.get("GITHUB_SHA", "unknown"),
+        "ref": os.environ.get("GITHUB_REF", "unknown"),
+        "runner": platform.platform(),
+        "samples": os.environ.get("CRITERION_SHIM_SAMPLES", "default"),
+        "iters": os.environ.get("CRITERION_SHIM_ITERS", "default"),
+        "benchmarks": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"bench_gate: captured {len(rows)} benchmarks into {args.out}")
+    return 0
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if not str(doc.get("schema", "")).startswith("fpga-rt-bench-smoke/"):
+        raise SystemExit(f"bench_gate: {path} is not a bench-smoke document")
+    return doc
+
+
+def compare(args: argparse.Namespace) -> int:
+    baseline = load(args.baseline)
+    current = load(args.current)
+    base_rows = {b["name"]: b["ns_per_iter"] for b in baseline["benchmarks"]}
+    cur_rows = {b["name"]: b["ns_per_iter"] for b in current["benchmarks"]}
+
+    budget_mismatch = (str(baseline.get("samples")), str(baseline.get("iters"))) != (
+        str(current.get("samples")),
+        str(current.get("iters")),
+    )
+
+    lines = [
+        "### Perf gate: bench deltas vs committed baseline",
+        "",
+        f"Baseline `{args.baseline}` (commit `{baseline.get('commit', '?')[:12]}`, "
+        f"samples={baseline.get('samples')}, iters={baseline.get('iters')}) vs current "
+        f"(samples={current.get('samples')}, iters={current.get('iters')}). "
+        f"Gate: tracked benches (baseline ≥ {args.min_ns} ns) must stay within "
+        f"{args.threshold:.2f}x.",
+        "",
+        "| bench | baseline ns/iter | current ns/iter | delta | tracked | verdict |",
+        "|---|---:|---:|---:|:-:|:-:|",
+    ]
+
+    regressions = []
+    for name in sorted(base_rows):
+        base = base_rows[name]
+        tracked = base >= args.min_ns
+        cur = cur_rows.get(name)
+        if cur is None:
+            lines.append(f"| `{name}` | {base} | — | — | {'yes' if tracked else 'no'} | MISSING |")
+            if tracked:
+                regressions.append(f"{name}: missing from current run")
+            continue
+        ratio = cur / base if base else float("inf")
+        delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
+        if tracked and ratio > args.threshold:
+            verdict = "FAIL"
+            regressions.append(f"{name}: {base} → {cur} ns/iter ({delta})")
+        else:
+            verdict = "ok"
+        lines.append(
+            f"| `{name}` | {base} | {cur} | {delta} | {'yes' if tracked else 'no'} | {verdict} |"
+        )
+    for name in sorted(set(cur_rows) - set(base_rows)):
+        lines.append(
+            f"| `{name}` | — | {cur_rows[name]} | — | no | NEW (regen baseline) |"
+        )
+
+    lines.append("")
+    if budget_mismatch:
+        lines.append(
+            "**Shim budgets differ between baseline and current run — deltas are not "
+            "comparable; regenerate the baseline (docs/BENCHMARKS.md).**"
+        )
+        regressions.append("shim budget mismatch")
+    if regressions:
+        lines.append(f"**{len(regressions)} tracked regression(s) > {args.threshold:.2f}x:**")
+        lines.extend(f"- {r}" for r in regressions)
+    else:
+        lines.append("All tracked benches within threshold.")
+
+    # Times are only comparable within one runner hardware class: a
+    # baseline blessed on a laptop must not block (or vacuously pass) CI
+    # on a different machine. On mismatch the table is still printed and
+    # uploaded, but the gate goes report-only until the baseline is
+    # re-blessed from the bench-smoke artifact (docs/BENCHMARKS.md).
+    runner_mismatch = str(baseline.get("runner")) != str(current.get("runner"))
+    if runner_mismatch and not args.gate_across_runners:
+        lines.append("")
+        lines.append(
+            f"**Runner mismatch: baseline `{baseline.get('runner')}` vs current "
+            f"`{current.get('runner')}` — deltas reported but NOT gated. Re-bless "
+            "BENCH_5.json from this runner class (docs/BENCHMARKS.md) to arm the gate.**"
+        )
+        # A budget mismatch is a workflow misconfiguration and still fails.
+        regressions = [r for r in regressions if r == "shim budget mismatch"]
+
+    table = "\n".join(lines) + "\n"
+    print(table)
+    if args.summary:
+        with open(args.summary, "a", encoding="utf-8") as f:
+            f.write(table)
+    return 1 if regressions else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_render = sub.add_parser("render", help="parse bench output into a baseline JSON")
+    p_render.add_argument("bench_output")
+    p_render.add_argument("out")
+    p_render.set_defaults(func=render)
+
+    p_compare = sub.add_parser("compare", help="diff a current run against a baseline")
+    p_compare.add_argument("baseline")
+    p_compare.add_argument("current")
+    p_compare.add_argument("--threshold", type=float, default=1.25)
+    p_compare.add_argument("--min-ns", type=int, default=50_000)
+    p_compare.add_argument("--summary", default=None)
+    p_compare.add_argument(
+        "--gate-across-runners",
+        action="store_true",
+        help="enforce the threshold even when the baseline was recorded on a "
+        "different runner platform (default: report-only on mismatch)",
+    )
+    p_compare.set_defaults(func=compare)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

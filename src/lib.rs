@@ -72,7 +72,8 @@ pub use fpga_rt_sim as sim;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use fpga_rt_analysis::{
-        AnyOfTest, DpTest, Gn1Test, Gn2Test, IncrementalState, SchedTest, TestReport, Verdict,
+        AnalysisKernel, AnalysisSeries, AnyOfTest, BatchAnalyzer, DpTest, Gn1Test, Gn2Test,
+        IncrementalState, SchedTest, ScratchSpace, TaskSetBatch, TestReport, Verdict,
     };
     pub use fpga_rt_model::{
         Fpga, LiveTaskSet, ModelError, Rat64, Task, TaskHandle, TaskId, TaskSet, Time,
