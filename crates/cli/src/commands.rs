@@ -307,7 +307,7 @@ pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
 pub fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let seed = args.get("seed", 42u64);
+    let seed = args.seed(42)?;
     let spec = match args.flags.get("figure") {
         Some(id) => FigureWorkload::by_id(id).ok_or_else(|| format!("unknown figure {id:?}"))?.spec,
         None => TasksetSpec::unconstrained(args.get("n", 10usize)),
@@ -357,7 +357,7 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
         return Err("--bins must be ≥ 1".into());
     }
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(200);
-    let seed = parsed_flag(args, "seed", 20070326u64)?;
+    let seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
     let kernel = kernel_flag(args)?;
 
     let mut config = PoolSweepConfig::new(workload, per_bin, seed);
@@ -419,7 +419,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
         return Err("--bins must be ≥ 1".into());
     }
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(100);
-    let seed = parsed_flag(args, "seed", 20070326u64)?;
+    let seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
     let workers = positive_count(args, "workers")?.unwrap_or(0);
     let kernel = kernel_flag(args)?;
     let sim_horizon = parsed_flag(args, "sim-horizon", 50.0f64)?;
@@ -587,6 +587,52 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
         stats.tiers.gn2,
         stats.tiers.exact
     );
+    Ok(ExitCode::Accepted)
+}
+
+/// `fpga-rt loadgen` — the traffic-shaped load generator: synthesize
+/// deterministic arrival streams (Poisson, bursty on/off, adversarial
+/// knife-edge) across many logical sessions, replay them against
+/// in-process admission controllers on the shared worker pool, and report
+/// p50/p99/p999/max latency plus per-tier decision counts.
+///
+/// Under `--deterministic` the latency columns are zeroed and stdout plus
+/// the `--out` artifact are byte-identical for every `--workers` value at
+/// a fixed seed (asserted in tests and byte-diffed in CI).
+pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use fpga_rt_loadgen::{run, run_soak, ArrivalProfile, LoadConfig};
+
+    let profiles = match args.flags.get("profile").map(String::as_str) {
+        None | Some("all") => ArrivalProfile::all(),
+        Some(id) => vec![ArrivalProfile::by_id(id)
+            .ok_or_else(|| format!("unknown profile {id:?} (poisson|bursty|adversarial|all)"))?],
+    };
+    let mut config = LoadConfig::default();
+    config.ops = positive_count(args, "ops")?.unwrap_or(config.ops);
+    config.sessions = positive_count(args, "sessions")?
+        .unwrap_or(config.sessions as usize)
+        .min(u32::MAX as usize) as u32;
+    config.columns = positive_count(args, "columns")?
+        .unwrap_or(config.columns as usize)
+        .min(u32::MAX as usize) as u32;
+    config.rounds = positive_count(args, "rounds")?
+        .unwrap_or(config.rounds as usize)
+        .min(u32::MAX as usize) as u32;
+    config.workers = positive_count(args, "workers")?.unwrap_or(0);
+    config.seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
+    config.deterministic = args.has("deterministic");
+
+    let report = match positive_count(args, "soak")? {
+        Some(secs) => run_soak(&profiles, &config, secs as u64)?,
+        None => run(&profiles, &config)?,
+    };
+
+    let _ = write!(out, "{}", report.render_text());
+    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
+        let rendered =
+            if path.ends_with(".csv") { report.render_csv() } else { report.render_json() };
+        std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     Ok(ExitCode::Accepted)
 }
 
@@ -789,6 +835,92 @@ mod tests {
         assert_eq!(json.series.len(), 4, "DP, GN1, GN2, AnyOf");
     }
 
+    /// The loadgen acceptance criterion: under `--deterministic`, stdout
+    /// and the `--out` artifact are byte-identical for `--workers 1` and
+    /// `--workers 4` at a fixed seed, and every latency column is zeroed.
+    #[test]
+    fn loadgen_output_is_byte_identical_across_worker_counts() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut transcripts = Vec::new();
+        for workers in ["1", "4"] {
+            let path = dir.join(format!("loadgen-w{workers}.json"));
+            let out_path = path.to_string_lossy().into_owned();
+            let mut buf = Vec::new();
+            let code = loadgen(
+                &args(&[
+                    "--ops",
+                    "400",
+                    "--sessions",
+                    "8",
+                    "--columns",
+                    "32",
+                    "--seed",
+                    "7",
+                    "--deterministic",
+                    "--workers",
+                    workers,
+                    "--out",
+                    &out_path,
+                ]),
+                &mut buf,
+            )
+            .unwrap();
+            assert_eq!(code, ExitCode::Accepted);
+            transcripts.push((String::from_utf8(buf).unwrap(), std::fs::read(&path).unwrap()));
+        }
+        assert_eq!(transcripts[0].0, transcripts[1].0, "stdout differs across workers");
+        assert_eq!(transcripts[0].1, transcripts[1].1, "--out JSON differs across workers");
+        assert!(transcripts[0].0.contains("adversarial"), "all profiles run by default");
+        let json: fpga_rt_loadgen::LoadReport =
+            serde_json::from_str(&String::from_utf8(transcripts[0].1.clone()).unwrap())
+                .expect("valid LoadReport JSON");
+        assert_eq!(json.schema, fpga_rt_loadgen::SCHEMA);
+        assert_eq!(json.profiles.len(), 3, "poisson, bursty, adversarial");
+        for p in &json.profiles {
+            assert_eq!(p.latency.max_ns, 0, "deterministic mode zeroes latencies");
+        }
+    }
+
+    /// Loadgen flag validation: unknown profiles and `--soak` combined
+    /// with `--deterministic` are usage errors; a CSV `--out` renders the
+    /// documented header.
+    #[test]
+    fn loadgen_flags_are_validated() {
+        let err = loadgen(&args(&["--profile", "zzz"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("unknown profile"), "{err}");
+        let err = loadgen(&args(&["--deterministic", "--soak", "1"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--soak"), "{err}");
+        let err = loadgen(&args(&["--columns", "4"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("≥ 5"), "adversarial profile needs ≥ 5 columns: {err}");
+
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv_path = dir.join("loadgen.csv").to_string_lossy().into_owned();
+        let mut buf = Vec::new();
+        let code = loadgen(
+            &args(&[
+                "--profile",
+                "poisson",
+                "--ops",
+                "200",
+                "--sessions",
+                "4",
+                "--columns",
+                "16",
+                "--deterministic",
+                "--out",
+                &csv_path,
+            ]),
+            &mut buf,
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        assert!(csv.starts_with("profile,ops,admits,"), "{csv}");
+        assert_eq!(csv.lines().count(), 2, "header + one profile row");
+    }
+
     /// The `--kernel` escape hatch: scalar and batch runs are
     /// byte-identical on stdout and in the artifact, and garbage values
     /// are refused.
@@ -905,12 +1037,35 @@ mod tests {
         let err = conform(&args(&["--per-bin", "25O"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("positive integer"), "{err}");
         let err = conform(&args(&["--seed", "xyz"]), &mut Vec::new()).unwrap_err();
-        assert!(err.contains("cannot parse"), "{err}");
+        assert!(err.contains("unsigned 64-bit"), "{err}");
         let err = sweep(&args(&["--per-bin", "0"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--per-bin must be ≥ 1"), "{err}");
         // Omitting the flags keeps the documented defaults working.
         assert!(positive_count(&args(&[]), "workers").unwrap().is_none());
         assert_eq!(parsed_flag(&args(&[]), "seed", 7u64).unwrap(), 7);
+    }
+
+    /// Satellite bugfix: every seed-consuming subcommand routes `--seed`
+    /// through the shared checked helper. `generate --seed 12e3` used to
+    /// silently emit the default-seed population (`Args::get` swallows
+    /// parse failures); now it is a usage error across the board.
+    #[test]
+    fn garbage_seeds_are_rejected_by_every_subcommand() {
+        for (name, result) in [
+            ("generate", generate(&args(&["--n", "3", "--seed", "12e3"]), &mut Vec::new())),
+            ("sweep", sweep(&args(&["--seed", "12e3"]), &mut Vec::new())),
+            ("conform", conform(&args(&["--seed", "12e3"]), &mut Vec::new())),
+            ("loadgen", loadgen(&args(&["--seed", "12e3"]), &mut Vec::new())),
+        ] {
+            let err = result.unwrap_err();
+            assert!(err.contains("unsigned 64-bit"), "{name}: {err}");
+        }
+        // An absent flag still means the documented default seed.
+        let mut buf = Vec::new();
+        generate(&args(&["--n", "3"]), &mut buf).unwrap();
+        let mut buf2 = Vec::new();
+        generate(&args(&["--n", "3", "--seed", "42"]), &mut buf2).unwrap();
+        assert_eq!(buf, buf2, "default seed is 42");
     }
 
     /// The conform engine's acceptance criterion at smoke scale: stdout

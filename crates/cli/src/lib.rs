@@ -36,6 +36,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "sweep" => commands::sweep(&parsed, out),
         "conform" => commands::conform(&parsed, out),
         "serve" => commands::serve(&parsed, out),
+        "loadgen" => commands::loadgen(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", usage());
             Ok(ExitCode::Accepted)
@@ -69,7 +70,13 @@ pub fn usage() -> String {
      \x20           exit 1 on any SOUNDNESS-VIOLATION; byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
      \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
-     \x20           (JSONL admission-control service on stdin/stdout)"
+     \x20           (JSONL admission-control service on stdin/stdout)\n\
+     \x20 loadgen   [--profile poisson|bursty|adversarial|all] [--ops N] [--sessions K]\n\
+     \x20           [--columns N] [--rounds R] [--workers W] [--seed S] [--soak SECS]\n\
+     \x20           [--deterministic] [--out FILE.json|FILE.csv]\n\
+     \x20           (traffic-shaped load generator with p50/p99/p999 latency\n\
+     \x20           histograms; --deterministic output is byte-identical for\n\
+     \x20           any --workers)"
         .to_string()
 }
 

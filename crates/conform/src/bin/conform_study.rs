@@ -21,7 +21,7 @@ use fpga_rt_conform::{
     paper_conform_evaluators, render_csv, render_text, run_conform, run_twod_bridge, ConformConfig,
     TwodBridgeConfig,
 };
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_gen::{FigureWorkload, UtilizationBins};
 use std::time::Instant;
 
@@ -30,7 +30,7 @@ fn main() {
     let per_bin = args.get("per-bin", 250usize).max(1);
     let bins = args.get("bins", 20usize).max(1);
     let workers = args.get("workers", 0usize);
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let sim_horizon = args.get("sim-horizon", 50.0f64);
 
     let workloads: Vec<FigureWorkload> = if args.positional.is_empty() {

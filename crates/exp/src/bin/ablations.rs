@@ -6,14 +6,14 @@
 //! ```
 
 use fpga_rt_exp::ablations::{all_ablations, run_ablation};
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_exp::output::render_text;
 use fpga_rt_gen::FigureWorkload;
 
 fn main() {
     let args = Args::parse();
     let per_bin = args.get("per-bin", 200usize);
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let workload_id = args.positional.first().cloned().unwrap_or_else(|| "fig3b".to_string());
     let workload =
         FigureWorkload::by_id(&workload_id).unwrap_or_else(|| panic!("unknown id {workload_id}"));

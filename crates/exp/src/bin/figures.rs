@@ -14,7 +14,7 @@
 //! (drop text/markdown/CSV into `results/`).
 
 use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_exp::output::{render_csv, render_markdown, render_text};
 use fpga_rt_gen::FigureWorkload;
 use std::time::Instant;
@@ -23,7 +23,7 @@ fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
     let per_bin = args.get("per-bin", if quick { 50 } else { 500 });
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let horizon = args.get("sim-horizon", if quick { 20.0 } else { 50.0 });
     let with_sim = !args.has("no-sim");
 

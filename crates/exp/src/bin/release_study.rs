@@ -16,7 +16,7 @@
 //! ```
 
 use fpga_rt_exp::acceptance::{run_sweep, Evaluator, SweepConfig};
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_exp::output::render_text;
 use fpga_rt_gen::FigureWorkload;
 use fpga_rt_sim::{simulate_f64, Horizon, ReleaseModel, SchedulerKind, SimConfig};
@@ -24,7 +24,7 @@ use fpga_rt_sim::{simulate_f64, Horizon, ReleaseModel, SchedulerKind, SimConfig}
 fn main() {
     let args = Args::parse();
     let per_bin = args.get("per-bin", 200usize);
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let horizon = args.get("sim-horizon", 50.0f64);
     let offset_runs = args.get("offset-runs", 5usize);
     let workload_id = args.positional.first().cloned().unwrap_or_else(|| "fig3b".to_string());

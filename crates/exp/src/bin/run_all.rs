@@ -8,7 +8,7 @@
 
 use fpga_rt_exp::ablations::{all_ablations, run_ablation};
 use fpga_rt_exp::acceptance::{run_sweep, standard_evaluators, SweepConfig};
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_exp::output::{render_csv, render_markdown, render_text};
 use fpga_rt_exp::tables::{paper_tables, render_gn2_walkthrough, render_table_case, table_device};
 use fpga_rt_gen::FigureWorkload;
@@ -18,7 +18,7 @@ fn main() {
     let args = Args::parse();
     let quick = args.has("quick");
     let per_bin = args.get("per-bin", if quick { 50 } else { 500 });
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let horizon = args.get("sim-horizon", if quick { 20.0 } else { 50.0 });
     let dir = out_dir(&args);
     let t0 = Instant::now();

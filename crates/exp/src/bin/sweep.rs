@@ -13,7 +13,7 @@
 //! `--seed N`, `--write` (drop JSON/CSV/text into `results/`, honouring
 //! `--out-dir`). Outputs are byte-identical for any `--workers` value.
 
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_exp::output::{render_csv, render_text};
 use fpga_rt_exp::sweep::{analysis_evaluators, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, UtilizationBins};
@@ -24,7 +24,7 @@ fn main() {
     let per_bin = args.get("per-bin", 5000usize);
     let bins = args.get("bins", 20usize);
     let workers = args.get("workers", 0usize);
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
 
     let workloads: Vec<FigureWorkload> = if args.positional.is_empty() {
         FigureWorkload::all()

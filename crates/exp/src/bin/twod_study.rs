@@ -19,7 +19,7 @@ use fpga_rt_2d::{
     project_to_columns, simulate_2d, Device2D, Scheduler2D, Sim2DConfig, TasksetSpec2D,
 };
 use fpga_rt_analysis::{AnyOfTest, SchedTest};
-use fpga_rt_exp::cli::{out_dir, write_result, Args};
+use fpga_rt_exp::cli::{checked_seed, out_dir, write_result, Args};
 use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,7 +27,7 @@ use rand::SeedableRng;
 fn main() {
     let args = Args::parse();
     let sets_per_bin = args.get("sets", 300usize);
-    let seed = args.get("seed", 20070326u64);
+    let seed = checked_seed(&args);
     let device = Device2D::new(16, 8).unwrap();
     let spec = TasksetSpec2D {
         n_tasks: 6,

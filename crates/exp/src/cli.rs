@@ -43,10 +43,41 @@ impl Args {
         self.flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
+    /// `--seed` as a **checked** `u64`: absent means `default`, but a
+    /// present-and-unparseable value (`--seed 0x2a`, `--seed 12e3`, an
+    /// empty value from `--seed --quick`) is a usage error. [`Args::get`]
+    /// would silently substitute the default, which for a seed means
+    /// reproducing a different population than the one the operator asked
+    /// for — every seed-consuming entry point routes through this helper
+    /// instead.
+    pub fn seed(&self, default: u64) -> Result<u64, String> {
+        match self.flags.get("seed") {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<u64>()
+                .map_err(|_| format!("--seed expects an unsigned 64-bit integer, got {v:?}")),
+        }
+    }
+
     /// `true` when `--key` was present (with or without a value).
     pub fn has(&self, key: &str) -> bool {
         self.flags.contains_key(key)
     }
+}
+
+/// The shared experiment epoch seed (the paper's submission date), the
+/// default of every study binary and gate-relevant subcommand.
+pub const DEFAULT_SEED: u64 = 20070326;
+
+/// `--seed` for a study binary: checked parse against [`DEFAULT_SEED`],
+/// exiting with the usage code (2) on bad input. Study binaries have no
+/// `Result` plumbing in `main`; library callers use [`Args::seed`] and
+/// surface the error themselves.
+pub fn checked_seed(args: &Args) -> u64 {
+    args.seed(DEFAULT_SEED).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// Directory where experiment binaries drop their outputs
@@ -89,6 +120,26 @@ mod tests {
         let a = Args::from_args(["--quick", "--seed", "9"].iter().map(|s| s.to_string()));
         assert_eq!(a.flags.get("quick").map(String::as_str), Some(""));
         assert_eq!(a.get("seed", 0u64), 9);
+    }
+
+    /// Satellite bugfix regression: seed parsing is checked, never a
+    /// silent fallback to the default.
+    #[test]
+    fn seed_helper_rejects_unparseable_values() {
+        let a = Args::from_args(std::iter::empty());
+        assert_eq!(a.seed(42), Ok(42), "absent flag keeps the default");
+        let a = Args::from_args(["--seed", "123"].iter().map(|s| s.to_string()));
+        assert_eq!(a.seed(42), Ok(123));
+        for bad in [&["--seed", "12e3"][..], &["--seed", "0x2a"], &["--seed", "-1"]] {
+            let a = Args::from_args(bad.iter().map(|s| s.to_string()));
+            let err = a.seed(42).unwrap_err();
+            assert!(err.contains("unsigned 64-bit"), "{err}");
+        }
+        // `--seed --quick` leaves an empty value: also a usage error, not
+        // a silent default (`get` returns 42 here — the bug this fixes).
+        let a = Args::from_args(["--seed", "--quick"].iter().map(|s| s.to_string()));
+        assert_eq!(a.get("seed", 42u64), 42, "the silent-fallback behavior being replaced");
+        assert!(a.seed(42).is_err());
     }
 
     #[test]

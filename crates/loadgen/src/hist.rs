@@ -1,0 +1,233 @@
+//! Fixed-bucket log-scale latency histograms (HDR-style).
+//!
+//! A [`LatencyHistogram`] records `u64` nanosecond samples into a fixed
+//! array of buckets organized as powers of two with [`SUB_BUCKETS`]
+//! linear sub-buckets per power — the layout of an HDR histogram with
+//! 5 significant bits. Values below `2 * SUB_BUCKETS` land in unit-width
+//! buckets and are therefore **exact**; above that the relative
+//! quantization error is bounded by `1 / SUB_BUCKETS` (≈ 3%).
+//!
+//! No allocation after construction, `merge` is element-wise addition, and
+//! quantiles are reproducible: a quantile reports the **lower bound** of
+//! the bucket containing the requested rank, so two histograms with the
+//! same counts always report the same quantile — the property the
+//! loadgen determinism contract and the CI latency gate rely on.
+
+/// Linear sub-buckets per power of two (2^5: ≈3% worst-case quantization).
+pub const SUB_BUCKETS: u64 = 32;
+
+/// Values below this threshold (`2 * SUB_BUCKETS`) are recorded exactly.
+pub const EXACT_LIMIT: u64 = 2 * SUB_BUCKETS;
+
+/// Number of buckets: one unit bucket per value below [`EXACT_LIMIT`],
+/// then `SUB_BUCKETS` per remaining power of two of the `u64` range.
+const BUCKETS: usize = EXACT_LIMIT as usize + 58 * SUB_BUCKETS as usize;
+
+/// A fixed-size log-scale histogram of `u64` samples (nanoseconds).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value: identity below [`EXACT_LIMIT`], then
+/// `SUB_BUCKETS` linear sub-buckets per power of two.
+fn bucket_of(v: u64) -> usize {
+    if v < EXACT_LIMIT {
+        return v as usize;
+    }
+    // v ≥ 64 ⇒ exponent e = floor(log2 v) ≥ 6; the top 6 bits select the
+    // sub-bucket within the power.
+    let e = 63 - v.leading_zeros() as u64;
+    let sub = (v >> (e - 5)) & (SUB_BUCKETS - 1);
+    (EXACT_LIMIT + (e - 6) * SUB_BUCKETS + sub) as usize
+}
+
+/// Lower bound (smallest member) of a bucket — the value quantiles report.
+fn bucket_floor(index: usize) -> u64 {
+    let index = index as u64;
+    if index < EXACT_LIMIT {
+        return index;
+    }
+    let e = 6 + (index - EXACT_LIMIT) / SUB_BUCKETS;
+    let sub = (index - EXACT_LIMIT) % SUB_BUCKETS;
+    (SUB_BUCKETS + sub) << (e - 5)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: vec![0; BUCKETS], count: 0, max: 0, sum: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+        self.sum += u128::from(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples, truncated to whole units; `None` when
+    /// empty.
+    pub fn mean(&self) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        Some((self.sum / u128::from(self.count)) as u64)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the sample of rank `ceil(q · count)` (rank 1 minimum, so
+    /// `quantile(0.0)` is the smallest sample's bucket). `None` when empty.
+    ///
+    /// Exact for samples below [`EXACT_LIMIT`]; within `1/SUB_BUCKETS`
+    /// below the true value otherwise.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        debug_assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_floor(index));
+            }
+        }
+        unreachable!("rank ≤ count implies some bucket reaches it")
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_floor_inverts_bucket_of_on_lower_bounds() {
+        for index in 0..BUCKETS {
+            let floor = bucket_floor(index);
+            assert_eq!(bucket_of(floor), index, "index {index} floor {floor}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..EXACT_LIMIT {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(EXACT_LIMIT - 1));
+        // Rank ceil(0.5 * 64) = 32 → sample value 31 (samples are 0-based).
+        assert_eq!(h.quantile(0.5), Some(31));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LatencyHistogram::new();
+        h.record(42);
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(42), "q={q}");
+        }
+        assert_eq!(h.max(), 42);
+        assert_eq!(h.mean(), Some(42));
+    }
+
+    #[test]
+    fn hand_computed_quantiles() {
+        // Ten exact-representable samples.
+        let samples = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let mut h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(5), "rank ceil(5.0)=5 → 5th sample");
+        assert_eq!(h.quantile(0.99), Some(10), "rank ceil(9.9)=10");
+        assert_eq!(h.quantile(0.1), Some(1));
+        assert_eq!(h.quantile(0.999), Some(10));
+        assert_eq!(h.max(), 10);
+        assert_eq!(h.mean(), Some(5), "55/10 truncated");
+    }
+
+    #[test]
+    fn large_values_quantize_within_bound() {
+        let mut h = LatencyHistogram::new();
+        h.record(1_000_000);
+        let q = h.quantile(0.5).unwrap();
+        assert!(q <= 1_000_000, "lower bound: {q}");
+        assert!((1_000_000 - q) as f64 <= 1_000_000.0 / SUB_BUCKETS as f64, "{q}");
+        // Max stays exact even though the bucket is wide.
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn u64_extremes_are_representable() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.quantile(0.0), Some(0));
+        // u64::MAX lands in the histogram's topmost bucket: the reported
+        // lower bound is (32+31) << 58, within one sub-bucket of the value.
+        assert_eq!(h.quantile(1.0), Some(63u64 << 58));
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_count_preserving_and_commutative() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 31);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 100);
+        assert_eq!(ab.max(), a.max().max(b.max()));
+    }
+}

@@ -1,0 +1,390 @@
+//! Replaying synthesized streams against the in-process admission pipeline.
+//!
+//! Each logical session maps to one [`ShardedPool`] shard holding an
+//! independent [`AdmissionController`] plus that session's live handles.
+//! Because the pool pins a shard to exactly one worker and processes its
+//! items sequentially, replay outcomes (decisions, tier counts, degraded
+//! releases) are **invariant in the worker count** — only the measured
+//! latencies differ between runs, and `--deterministic` zeroes those, which
+//! is what makes the emitted artifacts byte-diffable in CI.
+//!
+//! A `Release` op releases the session's **oldest** live handle (FIFO); a
+//! release arriving at a session with no live task degrades to a query so
+//! the op stream can be fixed up-front without tracking accept/reject
+//! outcomes during synthesis.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use fpga_rt_model::{Fpga, TaskHandle};
+use fpga_rt_pool::{PoolConfig, ShardedPool};
+use fpga_rt_service::{AdmissionController, ControllerConfig, QueryStats};
+
+use crate::hist::LatencyHistogram;
+use crate::profile::{synthesize, ArrivalProfile, LoadSpec, OpKind};
+use crate::report::{runner_id, Budget, LatencySummary, LoadReport, ProfileReport, SCHEMA};
+
+/// Parameters of one `fpga-rt loadgen` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadConfig {
+    /// Operations per profile per round.
+    pub ops: usize,
+    /// Logical sessions (pool shards).
+    pub sessions: u32,
+    /// Device columns of every session's controller.
+    pub columns: u32,
+    /// Base stream seed; round `r` replays the stream for seed
+    /// `seed + r`, so rounds exercise distinct (but reproducible) traffic.
+    pub seed: u64,
+    /// Pool worker threads (`0` = available parallelism). Never recorded
+    /// in any output.
+    pub workers: usize,
+    /// Stream replays per profile.
+    pub rounds: u32,
+    /// Zero all latencies so artifacts are byte-diffable.
+    pub deterministic: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            ops: 4000,
+            sessions: 32,
+            columns: 100,
+            seed: 20070326,
+            workers: 0,
+            rounds: 1,
+            deterministic: false,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The stream spec of one profile/round combination.
+    fn spec(&self, profile: ArrivalProfile, round: u32) -> LoadSpec {
+        LoadSpec {
+            profile,
+            ops: self.ops,
+            sessions: self.sessions,
+            columns: self.columns,
+            seed: self.seed.wrapping_add(u64::from(round)),
+        }
+    }
+
+    /// The budget block recorded in reports.
+    fn budget(&self) -> Budget {
+        Budget {
+            ops: self.ops,
+            sessions: self.sessions,
+            rounds: self.rounds,
+            columns: self.columns,
+            seed: self.seed,
+            deterministic: self.deterministic,
+        }
+    }
+}
+
+/// One shard's replay state: its controller and live handles (FIFO).
+struct Session {
+    controller: AdmissionController,
+    live: VecDeque<TaskHandle>,
+}
+
+/// Pool request: apply one stream op, or report the shard's statistics.
+enum Req {
+    Apply(OpKind),
+    Stats,
+}
+
+/// What one op did, for aggregation on the driving thread.
+enum Resp {
+    Admitted { accepted: bool, latency_ns: u64 },
+    Released { degraded: bool, latency_ns: u64 },
+    Queried { latency_ns: u64 },
+    Stats(QueryStats),
+}
+
+/// How long a profile keeps replaying rounds.
+enum Stop {
+    /// Exactly `rounds` rounds (deterministic).
+    Rounds(u32),
+    /// Rounds until the wall-clock deadline passes (soak; at least one).
+    Deadline(Instant),
+}
+
+fn build_pool(config: &LoadConfig) -> ShardedPool<Req, Resp> {
+    let columns = config.columns;
+    let deterministic = config.deterministic;
+    ShardedPool::new(
+        PoolConfig { workers: config.workers, shards: config.sessions },
+        move |_shard| Session {
+            controller: AdmissionController::new(
+                Fpga::new(columns).expect("spec validation caught zero columns"),
+                ControllerConfig::default(),
+            ),
+            live: VecDeque::new(),
+        },
+        move |session, _shard, req| {
+            let kind = match req {
+                Req::Stats => return Resp::Stats(session.controller.stats()),
+                Req::Apply(kind) => kind,
+            };
+            let start = Instant::now();
+            let mut resp = match kind {
+                OpKind::Admit(params) => {
+                    let task = params.to_task().expect("synthesized params validate");
+                    let (decision, handle) = session.controller.admit(task, false);
+                    if let Some(handle) = handle {
+                        session.live.push_back(handle);
+                    }
+                    Resp::Admitted { accepted: decision.accepted, latency_ns: 0 }
+                }
+                OpKind::Release => match session.live.pop_front() {
+                    Some(handle) => {
+                        session.controller.release(handle).expect("handle is live by FIFO");
+                        Resp::Released { degraded: false, latency_ns: 0 }
+                    }
+                    None => {
+                        session.controller.query(false);
+                        Resp::Released { degraded: true, latency_ns: 0 }
+                    }
+                },
+                OpKind::Query => {
+                    session.controller.query(false);
+                    Resp::Queried { latency_ns: 0 }
+                }
+            };
+            if !deterministic {
+                let latency = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                match &mut resp {
+                    Resp::Admitted { latency_ns, .. }
+                    | Resp::Released { latency_ns, .. }
+                    | Resp::Queried { latency_ns } => *latency_ns = latency,
+                    Resp::Stats(_) => unreachable!("stats returned above"),
+                }
+            }
+            resp
+        },
+    )
+}
+
+/// Replay one profile under the given stop rule and aggregate its report.
+fn run_profile(
+    profile: ArrivalProfile,
+    config: &LoadConfig,
+    stop: Stop,
+) -> Result<ProfileReport, String> {
+    config.spec(profile, 0).validate()?;
+    let mut pool = build_pool(config);
+    let mut hist = LatencyHistogram::new();
+    let (mut ops, mut admits, mut accepted, mut rejected) = (0u64, 0u64, 0u64, 0u64);
+    let (mut releases, mut degraded_releases, mut queries) = (0u64, 0u64, 0u64);
+    let mut round = 0u32;
+    loop {
+        match stop {
+            Stop::Rounds(rounds) => {
+                if round >= rounds {
+                    break;
+                }
+            }
+            Stop::Deadline(deadline) => {
+                if round > 0 && Instant::now() >= deadline {
+                    break;
+                }
+            }
+        }
+        let stream = synthesize(&config.spec(profile, round))?;
+        let results = pool
+            .run_batch(stream.into_iter().map(|op| (op.session, Req::Apply(op.kind))))
+            .map_err(|e| e.to_string())?;
+        for result in results {
+            let resp = result.map_err(|p| p.to_string())?;
+            ops += 1;
+            let latency_ns = match resp {
+                Resp::Admitted { accepted: ok, latency_ns } => {
+                    admits += 1;
+                    if ok {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                    latency_ns
+                }
+                Resp::Released { degraded, latency_ns } => {
+                    if degraded {
+                        degraded_releases += 1;
+                    } else {
+                        releases += 1;
+                    }
+                    latency_ns
+                }
+                Resp::Queried { latency_ns } => {
+                    queries += 1;
+                    latency_ns
+                }
+                Resp::Stats(_) => return Err("unexpected stats response".to_string()),
+            };
+            hist.record(latency_ns);
+        }
+        round += 1;
+    }
+    // Total the per-shard controller statistics in shard order. These
+    // queries are bookkeeping, not stream ops — they stay out of the
+    // histogram and the op counts.
+    let mut tiers_total = QueryStats::default();
+    for result in pool.broadcast(|_| Req::Stats).map_err(|e| e.to_string())? {
+        match result.map_err(|p| p.to_string())? {
+            Resp::Stats(stats) => tiers_total.accumulate(&stats),
+            _ => return Err("expected stats response".to_string()),
+        }
+    }
+    debug_assert_eq!(tiers_total.decisions, admits, "stats count exactly the admit decisions");
+    Ok(ProfileReport {
+        profile: profile.as_str().to_string(),
+        ops,
+        admits,
+        accepted,
+        rejected,
+        releases,
+        degraded_releases,
+        queries,
+        tiers: tiers_total.tiers,
+        latency: LatencySummary::from_histogram(&hist),
+    })
+}
+
+/// Run the given profiles for the configured number of rounds each and
+/// assemble the full report.
+pub fn run(profiles: &[ArrivalProfile], config: &LoadConfig) -> Result<LoadReport, String> {
+    let mut reports = Vec::with_capacity(profiles.len());
+    for &profile in profiles {
+        reports.push(run_profile(profile, config, Stop::Rounds(config.rounds.max(1)))?);
+    }
+    Ok(LoadReport {
+        schema: SCHEMA.to_string(),
+        runner: runner_id(),
+        budget: config.budget(),
+        profiles: reports,
+    })
+}
+
+/// Soak mode: keep replaying rounds of every profile until `secs` seconds
+/// of wall clock have elapsed (the budget is split evenly across profiles;
+/// each profile runs at least one round). Incompatible with
+/// `deterministic` — a wall-clock stop rule makes the round count, and so
+/// the artifact, timing-dependent.
+pub fn run_soak(
+    profiles: &[ArrivalProfile],
+    config: &LoadConfig,
+    secs: u64,
+) -> Result<LoadReport, String> {
+    if config.deterministic {
+        return Err("--soak is wall-clock-bounded and cannot be --deterministic; \
+                    use --rounds for long deterministic runs"
+            .to_string());
+    }
+    if profiles.is_empty() {
+        return Err("no profiles selected".to_string());
+    }
+    let per_profile = Duration::from_secs(secs) / profiles.len() as u32;
+    let mut reports = Vec::with_capacity(profiles.len());
+    for &profile in profiles {
+        let deadline = Instant::now() + per_profile;
+        reports.push(run_profile(profile, config, Stop::Deadline(deadline))?);
+    }
+    Ok(LoadReport {
+        schema: SCHEMA.to_string(),
+        runner: runner_id(),
+        budget: config.budget(),
+        profiles: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(deterministic: bool, workers: usize) -> LoadConfig {
+        LoadConfig {
+            ops: 600,
+            sessions: 8,
+            columns: 100,
+            seed: 11,
+            workers,
+            rounds: 2,
+            deterministic,
+        }
+    }
+
+    #[test]
+    fn deterministic_reports_are_byte_identical_across_worker_counts() {
+        let all = ArrivalProfile::all();
+        let reference = run(&all, &small_config(true, 1)).unwrap();
+        for workers in [2, 4, 7] {
+            let other = run(&all, &small_config(true, workers)).unwrap();
+            assert_eq!(other.render_json(), reference.render_json(), "workers={workers}");
+            assert_eq!(other.render_csv(), reference.render_csv(), "workers={workers}");
+            assert_eq!(other.render_text(), reference.render_text(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn deterministic_latencies_are_all_zero() {
+        let report = run(&[ArrivalProfile::Poisson], &small_config(true, 3)).unwrap();
+        let latency = report.profiles[0].latency;
+        assert_eq!(latency, LatencySummary::default());
+    }
+
+    #[test]
+    fn op_counts_are_consistent() {
+        let config = small_config(true, 2);
+        let report = run(&ArrivalProfile::all(), &config).unwrap();
+        assert_eq!(report.profiles.len(), 3);
+        for p in &report.profiles {
+            assert_eq!(p.ops, (config.ops as u64) * u64::from(config.rounds), "{}", p.profile);
+            assert_eq!(
+                p.admits + p.releases + p.degraded_releases + p.queries,
+                p.ops,
+                "{}",
+                p.profile
+            );
+            assert_eq!(p.admits, p.accepted + p.rejected, "{}", p.profile);
+            assert_eq!(p.tiers.total(), p.admits, "{}: every admit settles in one tier", p.profile);
+        }
+    }
+
+    #[test]
+    fn adversarial_profile_reaches_the_exact_tier() {
+        let report = run(&[ArrivalProfile::Adversarial], &small_config(true, 2)).unwrap();
+        let p = &report.profiles[0];
+        assert!(p.tiers.exact > 0, "knife-edge admissions must escalate: {:?}", p.tiers);
+    }
+
+    #[test]
+    fn non_deterministic_runs_measure_latency() {
+        let config = LoadConfig { rounds: 1, ..small_config(false, 2) };
+        let report = run(&[ArrivalProfile::Poisson], &config).unwrap();
+        let latency = report.profiles[0].latency;
+        assert!(latency.max_ns > 0, "real runs record wall time: {latency:?}");
+        assert!(latency.p50_ns <= latency.p99_ns);
+        assert!(latency.p99_ns <= latency.p999_ns);
+        assert!(latency.p999_ns <= latency.max_ns);
+    }
+
+    #[test]
+    fn soak_refuses_deterministic_mode() {
+        let err = run_soak(&ArrivalProfile::all(), &small_config(true, 1), 1).unwrap_err();
+        assert!(err.contains("--soak"), "{err}");
+    }
+
+    #[test]
+    fn soak_runs_at_least_one_round_per_profile() {
+        let config = LoadConfig { ops: 50, ..small_config(false, 2) };
+        let report =
+            run_soak(&[ArrivalProfile::Poisson, ArrivalProfile::Bursty], &config, 0).unwrap();
+        assert_eq!(report.profiles.len(), 2);
+        for p in &report.profiles {
+            assert!(p.ops >= 50, "{}: at least one round", p.profile);
+        }
+    }
+}

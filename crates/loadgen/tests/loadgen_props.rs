@@ -1,0 +1,137 @@
+//! Property tests for the load generator: stream synthesis is a pure
+//! function of the spec, arrival times are sorted sums of non-negative
+//! gaps, and the latency histogram's quantiles are exact on
+//! exactly-representable inputs.
+
+use fpga_rt_loadgen::{synthesize, ArrivalProfile, LatencyHistogram, LoadSpec, OpKind};
+use proptest::prelude::*;
+
+fn any_profile() -> impl Strategy<Value = ArrivalProfile> {
+    (0u32..3).prop_map(|i| match i {
+        0 => ArrivalProfile::Poisson,
+        1 => ArrivalProfile::Bursty,
+        _ => ArrivalProfile::Adversarial,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Same spec ⇒ byte-identical stream, whatever the profile and seed.
+    #[test]
+    fn streams_are_deterministic_per_seed(
+        profile in any_profile(),
+        seed in 0u64..1_000_000,
+        ops in 1usize..400,
+        sessions in 1u32..32,
+    ) {
+        let spec = LoadSpec { profile, ops, sessions, columns: 100, seed };
+        let a = synthesize(&spec).unwrap();
+        let b = synthesize(&spec).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Arrival times are non-decreasing (cumulative non-negative gaps),
+    /// the stream has exactly `ops` entries, sessions stay in range, and
+    /// every admitted candidate validates into a model task.
+    #[test]
+    fn streams_are_sorted_and_well_formed(
+        profile in any_profile(),
+        seed in 0u64..1_000_000,
+        ops in 1usize..400,
+        sessions in 1u32..32,
+    ) {
+        let spec = LoadSpec { profile, ops, sessions, columns: 100, seed };
+        let stream = synthesize(&spec).unwrap();
+        prop_assert_eq!(stream.len(), ops);
+        for pair in stream.windows(2) {
+            prop_assert!(pair[1].at_ns >= pair[0].at_ns, "gap must be non-negative");
+        }
+        for op in &stream {
+            prop_assert!(op.session < sessions);
+            if let OpKind::Admit(params) = &op.kind {
+                let task = params.to_task();
+                prop_assert!(task.is_ok(), "invalid admit params: {:?}", params);
+                prop_assert!(task.unwrap().area() <= 100);
+            }
+        }
+    }
+
+    /// Values below the exact limit (64) land in unit buckets, so any
+    /// quantile of such a sample set is *exactly* the rank-selected sample:
+    /// the histogram agrees with a sorted-vector oracle.
+    #[test]
+    fn quantiles_match_sorted_oracle_on_exact_values(
+        mut samples in collection::vec(0u64..64, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        prop_assert_eq!(hist.quantile(q), Some(samples[rank - 1]));
+        prop_assert_eq!(hist.max(), *samples.last().unwrap());
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+    }
+
+    /// For arbitrary u64 samples the quantile is a lower bound within the
+    /// documented 1/32 relative quantization error.
+    #[test]
+    fn quantiles_are_lower_bounds_within_error(
+        mut samples in collection::vec(0u64..1_000_000_000, 1..200),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &v in &samples {
+            hist.record(v);
+        }
+        samples.sort_unstable();
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        let exact = samples[rank - 1];
+        let reported = hist.quantile(q).unwrap();
+        prop_assert!(reported <= exact);
+        prop_assert!(
+            (exact - reported) as f64 <= (exact as f64) / 32.0 + 1.0,
+            "reported {reported} too far below exact {exact}"
+        );
+    }
+
+    /// Merging two histograms is equivalent to recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in collection::vec(0u64..1_000_000, 0..100),
+        b in collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let mut ha = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+        }
+        let mut hb = LatencyHistogram::new();
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut hc = LatencyHistogram::new();
+        for &v in a.iter().chain(&b) {
+            hc.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha, hc);
+    }
+}
+
+/// Empty and single-sample histograms, pinned outside proptest so the
+/// hand-computed expectations stay explicit.
+#[test]
+fn empty_and_single_sample_quantiles() {
+    let empty = LatencyHistogram::new();
+    assert_eq!(empty.quantile(0.5), None);
+    assert_eq!(empty.mean(), None);
+
+    let mut one = LatencyHistogram::new();
+    one.record(37);
+    for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+        assert_eq!(one.quantile(q), Some(37), "q={q}");
+    }
+}

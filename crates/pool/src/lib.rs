@@ -276,6 +276,22 @@ impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
         }
         self.collect()
     }
+
+    /// Submit one item to **every** shard (in shard order) and collect the
+    /// per-shard responses, index `i` holding shard `i`'s result. The
+    /// canonical way to drain per-shard state — e.g. collecting each
+    /// shard's accumulated statistics at the end of a run — without
+    /// tracking shard keys at the call site.
+    ///
+    /// Must not be called with items already in flight (the per-shard
+    /// indexing would be ambiguous); panics if it is.
+    pub fn broadcast(
+        &mut self,
+        mut req: impl FnMut(u32) -> Req,
+    ) -> Result<Vec<ItemResult<Resp>>, PoolDisconnected> {
+        assert_eq!(self.in_flight, 0, "broadcast requires an empty batch");
+        self.run_batch((0..self.shards).map(|shard| (shard, req(shard))))
+    }
 }
 
 impl<Req, Resp> Drop for ShardedPool<Req, Resp> {
@@ -367,6 +383,23 @@ mod tests {
         let second = pool.run_batch([(0, ()), (1, ())]).unwrap();
         assert_eq!(first.into_iter().map(Result::unwrap).collect::<Vec<_>>(), vec![1, 1]);
         assert_eq!(second.into_iter().map(Result::unwrap).collect::<Vec<_>>(), vec![2, 2]);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_shard_in_shard_order() {
+        let mut pool: ShardedPool<(), u64> = ShardedPool::new(
+            PoolConfig { workers: 3, shards: 5 },
+            |shard| u64::from(shard) * 10,
+            |state, _, ()| {
+                *state += 1;
+                *state
+            },
+        );
+        // Touch shards unevenly first; broadcast still hits each one once.
+        pool.run_batch([(2, ()), (2, ()), (4, ())]).unwrap();
+        let out = pool.broadcast(|_| ()).unwrap();
+        let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, vec![1, 11, 23, 31, 42]);
     }
 
     #[test]

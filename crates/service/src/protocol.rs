@@ -110,6 +110,15 @@ impl TierCounts {
     pub fn total(&self) -> u64 {
         self.dp_inc + self.gn1 + self.gn2 + self.exact
     }
+
+    /// Element-wise accumulation of another counter set (used when summing
+    /// per-shard statistics into a service- or run-wide total).
+    pub fn accumulate(&mut self, other: &TierCounts) {
+        self.dp_inc += other.dp_inc;
+        self.gn1 += other.gn1;
+        self.gn2 += other.gn2;
+        self.exact += other.exact;
+    }
 }
 
 /// Controller statistics reported by `query`.
@@ -123,6 +132,18 @@ pub struct QueryStats {
     pub rejected: u64,
     /// Which tier settled each decision.
     pub tiers: TierCounts,
+}
+
+impl QueryStats {
+    /// Element-wise accumulation of another shard's statistics: totals a
+    /// sharded service (or a load-generator run) across its independent
+    /// per-shard controllers.
+    pub fn accumulate(&mut self, other: &QueryStats) {
+        self.decisions += other.decisions;
+        self.accepted += other.accepted;
+        self.rejected += other.rejected;
+        self.tiers.accumulate(&other.tiers);
+    }
 }
 
 /// One response line. Fields that do not apply to the request carry `null`.
@@ -238,6 +259,31 @@ mod tests {
     fn malformed_line_is_an_error() {
         assert!(parse_request("{not json").is_err());
         assert!(parse_request(r#"{"task":{}}"#).is_err(), "missing op");
+    }
+
+    #[test]
+    fn stats_accumulate_element_wise() {
+        let mut total = QueryStats::default();
+        let a = QueryStats {
+            decisions: 5,
+            accepted: 3,
+            rejected: 2,
+            tiers: TierCounts { dp_inc: 2, gn1: 1, gn2: 1, exact: 1 },
+        };
+        let b = QueryStats {
+            decisions: 4,
+            accepted: 4,
+            rejected: 0,
+            tiers: TierCounts { dp_inc: 4, gn1: 0, gn2: 0, exact: 0 },
+        };
+        total.accumulate(&a);
+        total.accumulate(&b);
+        assert_eq!(total.decisions, 9);
+        assert_eq!(total.accepted, 7);
+        assert_eq!(total.rejected, 2);
+        assert_eq!(total.tiers.total(), 9);
+        assert_eq!(total.tiers.dp_inc, 6);
+        assert_eq!(total.tiers.exact, 1);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Render and compare fpga-rt bench-smoke baselines.
+"""Render and compare fpga-rt bench-smoke and loadgen-smoke baselines.
 
 Two subcommands:
 
@@ -11,14 +11,30 @@ Two subcommands:
 
   compare <baseline.json> <current.json> [--threshold 1.25]
           [--min-ns 50000] [--summary FILE]
-      Print a per-bench delta table (GitHub-flavoured markdown, also
+      Print a per-metric delta table (GitHub-flavoured markdown, also
       appended to --summary when given, e.g. $GITHUB_STEP_SUMMARY) and
-      exit 1 when any *tracked* bench regressed beyond the threshold or
-      disappeared. A bench is tracked when its baseline time is at least
-      --min-ns: at smoke budgets, sub-50µs rows are dominated by timer
-      noise and are reported but never gated.
+      exit 1 when any *tracked* metric regressed beyond the threshold or
+      disappeared. A metric is tracked when its baseline time is at least
+      --min-ns: rows below the floor are dominated by timer noise and are
+      reported but never gated.
 
-The committed baseline lives at BENCH_5.json in the repository root; see
+      Both documents must share a schema family:
+
+      * ``fpga-rt-bench-smoke/2`` — micro-bench rows keyed by bench name,
+        value ``ns_per_iter``; budget is the (samples, iters) shim pair.
+      * ``fpga-rt-loadgen-smoke/1`` — end-to-end latency rows derived from
+        ``fpga-rt loadgen --out`` reports as ``<profile>/p50`` and
+        ``<profile>/p99`` in nanoseconds; budget is the full loadgen
+        budget object (ops, sessions, rounds, columns, seed,
+        deterministic). Loadgen latency gates should pass a lower
+        ``--min-ns`` (admission decisions are single-digit µs).
+
+      A budget mismatch between baseline and current always fails — the
+      numbers are not comparable. A runner-platform mismatch downgrades
+      the gate to report-only unless --gate-across-runners is given.
+
+The committed baselines live at BENCH_5.json (micro-bench) and
+BENCH_6.json (loadgen latency) in the repository root; see
 docs/BENCHMARKS.md for the regeneration workflow.
 """
 
@@ -32,6 +48,7 @@ import re
 import sys
 
 SCHEMA = "fpga-rt-bench-smoke/2"
+LOADGEN_SCHEMA = "fpga-rt-loadgen-smoke/1"
 BENCH_LINE = re.compile(r"^bench:\s+(.*?)\s+(\d+)\s+ns/iter \(shim\)$")
 
 
@@ -61,35 +78,74 @@ def render(args: argparse.Namespace) -> int:
     return 0
 
 
+def family(doc: dict) -> str:
+    schema = str(doc.get("schema", ""))
+    if schema.startswith("fpga-rt-loadgen-smoke/"):
+        return "loadgen"
+    if schema.startswith("fpga-rt-bench-smoke/"):
+        return "bench"
+    raise SystemExit(f"bench_gate: unknown schema {schema!r}")
+
+
 def load(path: str) -> dict:
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    if not str(doc.get("schema", "")).startswith("fpga-rt-bench-smoke/"):
-        raise SystemExit(f"bench_gate: {path} is not a bench-smoke document")
+    family(doc)  # refuse unknown documents early, with the schema named
     return doc
+
+
+def rows_of(doc: dict) -> dict:
+    """Flatten a document into comparable ``name -> nanoseconds`` rows."""
+    if family(doc) == "loadgen":
+        rows = {}
+        for p in doc["profiles"]:
+            rows[f"{p['profile']}/p50"] = int(p["latency"]["p50_ns"])
+            rows[f"{p['profile']}/p99"] = int(p["latency"]["p99_ns"])
+        return rows
+    return {b["name"]: b["ns_per_iter"] for b in doc["benchmarks"]}
+
+
+def budget_of(doc: dict):
+    """The workload-sizing knobs that must match for deltas to mean anything."""
+    if family(doc) == "loadgen":
+        budget = doc.get("budget", {})
+        return tuple(sorted((k, str(v)) for k, v in budget.items()))
+    return (str(doc.get("samples")), str(doc.get("iters")))
+
+
+def budget_text(doc: dict) -> str:
+    if family(doc) == "loadgen":
+        budget = doc.get("budget", {})
+        return ", ".join(f"{k}={budget[k]}" for k in sorted(budget))
+    return f"samples={doc.get('samples')}, iters={doc.get('iters')}"
 
 
 def compare(args: argparse.Namespace) -> int:
     baseline = load(args.baseline)
     current = load(args.current)
-    base_rows = {b["name"]: b["ns_per_iter"] for b in baseline["benchmarks"]}
-    cur_rows = {b["name"]: b["ns_per_iter"] for b in current["benchmarks"]}
+    if family(baseline) != family(current):
+        raise SystemExit(
+            f"bench_gate: schema families differ ({baseline.get('schema')!r} vs "
+            f"{current.get('schema')!r}) — micro-bench and loadgen documents "
+            "are not comparable"
+        )
+    base_rows = rows_of(baseline)
+    cur_rows = rows_of(current)
+    unit = "ns" if family(baseline) == "loadgen" else "ns/iter"
+    kind = "latency" if family(baseline) == "loadgen" else "bench"
 
-    budget_mismatch = (str(baseline.get("samples")), str(baseline.get("iters"))) != (
-        str(current.get("samples")),
-        str(current.get("iters")),
-    )
+    budget_mismatch = budget_of(baseline) != budget_of(current)
 
     lines = [
-        "### Perf gate: bench deltas vs committed baseline",
+        f"### Perf gate: {kind} deltas vs committed baseline",
         "",
         f"Baseline `{args.baseline}` (commit `{baseline.get('commit', '?')[:12]}`, "
-        f"samples={baseline.get('samples')}, iters={baseline.get('iters')}) vs current "
-        f"(samples={current.get('samples')}, iters={current.get('iters')}). "
-        f"Gate: tracked benches (baseline ≥ {args.min_ns} ns) must stay within "
+        f"{budget_text(baseline)}) vs current "
+        f"({budget_text(current)}). "
+        f"Gate: tracked rows (baseline ≥ {args.min_ns} ns) must stay within "
         f"{args.threshold:.2f}x.",
         "",
-        "| bench | baseline ns/iter | current ns/iter | delta | tracked | verdict |",
+        f"| {kind} | baseline {unit} | current {unit} | delta | tracked | verdict |",
         "|---|---:|---:|---:|:-:|:-:|",
     ]
 
@@ -107,7 +163,7 @@ def compare(args: argparse.Namespace) -> int:
         delta = f"{(ratio - 1.0) * 100.0:+.1f}%"
         if tracked and ratio > args.threshold:
             verdict = "FAIL"
-            regressions.append(f"{name}: {base} → {cur} ns/iter ({delta})")
+            regressions.append(f"{name}: {base} → {cur} {unit} ({delta})")
         else:
             verdict = "ok"
         lines.append(
@@ -121,10 +177,10 @@ def compare(args: argparse.Namespace) -> int:
     lines.append("")
     if budget_mismatch:
         lines.append(
-            "**Shim budgets differ between baseline and current run — deltas are not "
-            "comparable; regenerate the baseline (docs/BENCHMARKS.md).**"
+            "**Workload budgets differ between baseline and current run — deltas are "
+            "not comparable; regenerate the baseline (docs/BENCHMARKS.md).**"
         )
-        regressions.append("shim budget mismatch")
+        regressions.append("budget mismatch")
     if regressions:
         lines.append(f"**{len(regressions)} tracked regression(s) > {args.threshold:.2f}x:**")
         lines.extend(f"- {r}" for r in regressions)
@@ -139,13 +195,14 @@ def compare(args: argparse.Namespace) -> int:
     runner_mismatch = str(baseline.get("runner")) != str(current.get("runner"))
     if runner_mismatch and not args.gate_across_runners:
         lines.append("")
+        baseline_name = "BENCH_6.json" if family(baseline) == "loadgen" else "BENCH_5.json"
         lines.append(
             f"**Runner mismatch: baseline `{baseline.get('runner')}` vs current "
             f"`{current.get('runner')}` — deltas reported but NOT gated. Re-bless "
-            "BENCH_5.json from this runner class (docs/BENCHMARKS.md) to arm the gate.**"
+            f"{baseline_name} from this runner class (docs/BENCHMARKS.md) to arm the gate.**"
         )
         # A budget mismatch is a workflow misconfiguration and still fails.
-        regressions = [r for r in regressions if r == "shim budget mismatch"]
+        regressions = [r for r in regressions if r == "budget mismatch"]
 
     table = "\n".join(lines) + "\n"
     print(table)

@@ -28,7 +28,11 @@
 //!   shared by the service session loop and the parallel sweep engine;
 //! * [`service`] — the online admission-control runtime: incremental
 //!   fast→slow decision cascade (incremental DP → GN1 → GN2 → exact) behind
-//!   a batched, sharded JSONL protocol (`fpga-rt serve`).
+//!   a batched, sharded JSONL protocol (`fpga-rt serve`);
+//! * [`loadgen`] — the traffic-shaped load generator: deterministic
+//!   Poisson / bursty / adversarial arrival streams replayed against
+//!   in-process admission controllers, with HDR-style latency histograms
+//!   and the CI-gated latency baselines (`fpga-rt loadgen`).
 //!
 //! ## Quickstart
 //!
@@ -64,6 +68,7 @@ pub use fpga_rt_analysis as analysis;
 pub use fpga_rt_conform as conform;
 pub use fpga_rt_exp as exp;
 pub use fpga_rt_gen as gen;
+pub use fpga_rt_loadgen as loadgen;
 pub use fpga_rt_model as model;
 pub use fpga_rt_pool as pool;
 pub use fpga_rt_service as service;
@@ -75,6 +80,7 @@ pub mod prelude {
         AnalysisKernel, AnalysisSeries, AnyOfTest, BatchAnalyzer, DpTest, Gn1Test, Gn2Test,
         IncrementalState, SchedTest, ScratchSpace, TaskSetBatch, TestReport, Verdict,
     };
+    pub use fpga_rt_loadgen::{ArrivalProfile, LatencyHistogram, LoadConfig, LoadReport};
     pub use fpga_rt_model::{
         Fpga, LiveTaskSet, ModelError, Rat64, Task, TaskHandle, TaskId, TaskSet, Time,
     };
