@@ -1,0 +1,95 @@
+//! `obs_overhead` — the cost of the telemetry seam on the admission hot
+//! path, in three registry states over the same 1024-op admit/release mix
+//! as the `admission` bench:
+//!
+//! * `off` — no registry attached ([`Obs::off`]). The contract row: the
+//!   disabled seam must price like the uninstrumented controller (every
+//!   hook is a `None` check), and CI gates it against the committed
+//!   baseline alongside the other BENCH_5 rows.
+//! * `live` — a live registry with wall-clock span timers, the
+//!   `--metrics-out` configuration.
+//! * `deterministic` — a live registry in deterministic mode: samples are
+//!   counted but the span clock is never read (time fields are zeroed at
+//!   the recording site).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fpga_rt_model::{Fpga, Task};
+use fpga_rt_obs::Obs;
+use fpga_rt_service::{AdmissionController, ControllerConfig};
+use std::hint::black_box;
+
+const BATCH: usize = 1024;
+
+/// One scripted request: admit a task, or release the n-th oldest
+/// still-admitted handle.
+enum Op {
+    Admit(Task<f64>),
+    ReleaseOldest,
+}
+
+/// The `admission` bench's deterministic admit/release mix: light tasks
+/// (mostly dp-inc accepts), a heavy probe every 17th op (cascade to
+/// GN1/GN2), a release every 5th once the set has grown.
+fn make_batch(len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|r| {
+            if r % 5 == 4 && r > 8 {
+                Op::ReleaseOldest
+            } else if r % 17 == 13 {
+                Op::Admit(Task::implicit(4.5, 5.0, 60).unwrap())
+            } else {
+                let ut = 0.02 + 0.01 * ((r % 9) as f64);
+                let period = 4.0 + 0.5 * ((r % 13) as f64);
+                let area = 1 + (r % 8) as u32;
+                Op::Admit(Task::implicit(ut * period, period, area).unwrap())
+            }
+        })
+        .collect()
+}
+
+/// Replay a batch against a fresh controller wired to `obs`.
+fn run_batch(ops: &[Op], obs: &Obs) -> u64 {
+    let mut controller = AdmissionController::with_obs(
+        Fpga::new(100).unwrap(),
+        ControllerConfig::default(),
+        obs.clone(),
+    );
+    let mut handles = Vec::new();
+    let mut decisions = 0u64;
+    for op in ops {
+        match op {
+            Op::Admit(task) => {
+                let (decision, handle) = controller.admit(*task, false);
+                black_box(decision.accepted);
+                if let Some(h) = handle {
+                    handles.push(h);
+                }
+                decisions += 1;
+            }
+            Op::ReleaseOldest => {
+                if !handles.is_empty() {
+                    let h = handles.remove(0);
+                    let _ = black_box(controller.release(h));
+                    decisions += 1;
+                }
+            }
+        }
+    }
+    decisions
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let ops = make_batch(BATCH);
+    let mut group = c.benchmark_group("obs_overhead");
+    for (label, obs) in
+        [("off", Obs::off()), ("live", Obs::on(false)), ("deterministic", Obs::on(true))]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &ops, |b, ops| {
+            b.iter(|| black_box(run_batch(ops, &obs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

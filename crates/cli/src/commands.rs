@@ -9,7 +9,8 @@ use fpga_rt_exp::cli::Args;
 use fpga_rt_exp::sweep::{analysis_evaluators_for, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, TasksetSpec, UtilizationBins};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
-use fpga_rt_service::{serve_session, ServeConfig};
+use fpga_rt_obs::{Obs, Snapshot};
+use fpga_rt_service::{serve_session_with_obs, ServeConfig};
 use fpga_rt_sim::{
     simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind, SimConfig,
 };
@@ -67,6 +68,91 @@ pub(crate) fn kernel_flag(args: &Args) -> Result<AnalysisKernel, String> {
         Some(v) => AnalysisKernel::parse(v)
             .ok_or_else(|| format!("--kernel expects batch|scalar, got {v:?}")),
     }
+}
+
+/// An artifact encoding, dispatched on the output file's extension.
+///
+/// Every file-writing flag (`--out`, `--metrics-out`) resolves its path
+/// through [`artifact_target`] against the subcommand's supported set.
+/// Unrecognized extensions are usage errors (process exit code 2) naming
+/// the accepted extensions — previously each subcommand had its own
+/// fallback ("anything that isn't `.csv` is JSON"), so a typo like
+/// `--out curves.cvs` silently wrote the wrong format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArtifactFormat {
+    /// Pretty-printed JSON (`.json`).
+    Json,
+    /// Comma-separated values (`.csv`).
+    Csv,
+    /// Aligned plain text (`.txt`).
+    Text,
+}
+
+impl ArtifactFormat {
+    const fn extension(self) -> &'static str {
+        match self {
+            ArtifactFormat::Json => ".json",
+            ArtifactFormat::Csv => ".csv",
+            ArtifactFormat::Text => ".txt",
+        }
+    }
+}
+
+/// Resolve `--key FILE` against the formats the subcommand supports:
+/// `Ok(None)` when the flag is absent (or empty), the path/format pair
+/// when the extension matches, and a usage error listing the supported
+/// extensions otherwise. Called before the expensive run so a typo fails
+/// in milliseconds, not after the population has been evaluated.
+pub(crate) fn artifact_target(
+    args: &Args,
+    key: &str,
+    supported: &[ArtifactFormat],
+) -> Result<Option<(String, ArtifactFormat)>, String> {
+    let Some(path) = args.flags.get(key).filter(|p| !p.is_empty()) else {
+        return Ok(None);
+    };
+    match supported.iter().copied().find(|f| path.ends_with(f.extension())) {
+        Some(format) => Ok(Some((path.clone(), format))),
+        None => {
+            let accepted: Vec<&str> = supported.iter().map(|f| f.extension()).collect();
+            Err(format!(
+                "--{key} {path:?}: unsupported file extension (expected one of {})",
+                accepted.join("|")
+            ))
+        }
+    }
+}
+
+/// Parse `--metrics-out FILE.json|FILE.txt`, returning the resolved
+/// target plus the [`Obs`] handle the subcommand should instrument with:
+/// a live registry (deterministic when asked, so time-valued fields zero
+/// and the artifact byte-diffs across `--workers`) when the flag is
+/// given, and the no-op [`Obs::off`] otherwise — telemetry must cost
+/// nothing unless requested.
+pub(crate) fn metrics_target(
+    args: &Args,
+    deterministic: bool,
+) -> Result<(Option<(String, ArtifactFormat)>, Obs), String> {
+    let target =
+        artifact_target(args, "metrics-out", &[ArtifactFormat::Json, ArtifactFormat::Text])?;
+    let obs = if target.is_some() { Obs::on(deterministic) } else { Obs::off() };
+    Ok((target, obs))
+}
+
+/// Render and write the metrics snapshot to the resolved `--metrics-out`
+/// target (no-op when the flag was absent).
+pub(crate) fn write_metrics(
+    target: &Option<(String, ArtifactFormat)>,
+    snapshot: &Snapshot,
+) -> Result<(), String> {
+    let Some((path, format)) = target else { return Ok(()) };
+    let rendered = match format {
+        ArtifactFormat::Json => snapshot.render_json(),
+        ArtifactFormat::Text => snapshot.render_text(),
+        // `metrics_target` only offers .json|.txt.
+        ArtifactFormat::Csv => unreachable!("metrics artifacts are .json|.txt"),
+    };
+    std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// Parse `--key` as a typed value, erroring on unparseable input instead
@@ -359,10 +445,14 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(200);
     let seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
     let kernel = kernel_flag(args)?;
+    let deterministic = args.has("deterministic");
+    let out_target = artifact_target(args, "out", &[ArtifactFormat::Json, ArtifactFormat::Csv])?;
+    let (metrics, obs) = metrics_target(args, deterministic)?;
 
     let mut config = PoolSweepConfig::new(workload, per_bin, seed);
     config.bins = UtilizationBins::new(0.0, 1.0, bins);
     config.workers = positive_count(args, "workers")?.unwrap_or(0);
+    config.obs = obs.clone();
     let outcome = run_pool_sweep(&config, &analysis_evaluators_for(kernel));
 
     let _ = write!(out, "{}", fpga_rt_exp::output::render_text(&outcome.result));
@@ -383,16 +473,26 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
             bins * per_bin
         );
     }
-    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
-        let rendered = if path.ends_with(".csv") {
-            fpga_rt_exp::output::render_csv(&outcome.result)
-        } else {
-            let mut json =
-                serde_json::to_string_pretty(&outcome.result).map_err(|e| e.to_string())?;
-            json.push('\n');
-            json
+    if let Some((path, format)) = &out_target {
+        let rendered = match format {
+            ArtifactFormat::Csv => fpga_rt_exp::output::render_csv(&outcome.result),
+            _ => {
+                let mut json =
+                    serde_json::to_string_pretty(&outcome.result).map_err(|e| e.to_string())?;
+                json.push('\n');
+                json
+            }
         };
         std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(registry) = obs.registry() {
+        registry.set_meta("mode", "sweep");
+        registry.set_meta("figure", figure);
+        registry.set_meta("bins", &bins.to_string());
+        registry.set_meta("per_bin", &per_bin.to_string());
+        registry.set_meta("seed", &seed.to_string());
+        registry.set_meta("deterministic", if deterministic { "true" } else { "false" });
+        write_metrics(&metrics, &registry.snapshot())?;
     }
     Ok(ExitCode::Accepted)
 }
@@ -426,6 +526,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
     if !(sim_horizon.is_finite() && sim_horizon > 0.0) {
         return Err(format!("--sim-horizon must be a positive factor, got {sim_horizon}"));
     }
+    let deterministic = args.has("deterministic");
 
     if args.has("twod") {
         // A 1-D population flag in bridge mode (or vice versa, below)
@@ -447,6 +548,12 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
                  engine's default evaluators"
                 .into());
         }
+        // The bridge does not thread the telemetry registry; accepting the
+        // flag would write an empty metrics artifact.
+        if args.has("metrics-out") {
+            return Err("--metrics-out applies to the 1-D mode".into());
+        }
+        let out_target = artifact_target(args, "out", &[ArtifactFormat::Json])?;
         let mut config =
             TwodBridgeConfig::new(positive_count(args, "samples")?.unwrap_or(500), seed);
         config.bins = UtilizationBins::new(0.0, 1.0, bins);
@@ -469,7 +576,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
              (measured, not gated): {}",
             outcome.analytic_anomalies
         );
-        if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
+        if let Some((path, _)) = &out_target {
             let mut json =
                 serde_json::to_string_pretty(&outcome.artifact()).map_err(|e| e.to_string())?;
             json.push('\n');
@@ -500,6 +607,9 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
             .ok_or_else(|| format!("unknown figure {figure:?} (fig3a|fig3b|fig4a|fig4b|all)"))?]
     };
 
+    let out_target = artifact_target(args, "out", &[ArtifactFormat::Json, ArtifactFormat::Csv])?;
+    let (metrics, obs) = metrics_target(args, deterministic)?;
+
     let mut reports: Vec<ConformReport> = Vec::with_capacity(workloads.len());
     let mut exhausted = 0usize;
     let mut failed = 0usize;
@@ -508,6 +618,9 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
         config.bins = UtilizationBins::new(0.0, 1.0, bins);
         config.workers = workers;
         config.sim_horizon = sim_horizon;
+        // One shared registry across the figure loop, so per-figure
+        // counters accumulate into a single artifact.
+        config.obs = obs.clone();
         let outcome = run_conform(&config, paper_conform_evaluators_for(kernel));
         let _ = write!(out, "{}", render_text(&outcome.report));
         exhausted += outcome.exhausted_units;
@@ -519,19 +632,30 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
         let _ = writeln!(out, "note: {exhausted} samples exhausted the generator's attempt budget");
     }
 
-    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
-        let rendered = if path.ends_with(".csv") {
-            render_csv_multi(&reports)
-        } else {
-            let mut json = if reports.len() == 1 {
-                serde_json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
-            } else {
-                serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
-            };
-            json.push('\n');
-            json
+    if let Some((path, format)) = &out_target {
+        let rendered = match format {
+            ArtifactFormat::Csv => render_csv_multi(&reports),
+            _ => {
+                let mut json = if reports.len() == 1 {
+                    serde_json::to_string_pretty(&reports[0]).map_err(|e| e.to_string())?
+                } else {
+                    serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?
+                };
+                json.push('\n');
+                json
+            }
         };
         std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    if let Some(registry) = obs.registry() {
+        registry.set_meta("mode", "conform");
+        registry.set_meta("figure", figure);
+        registry.set_meta("bins", &bins.to_string());
+        registry.set_meta("per_bin", &per_bin.to_string());
+        registry.set_meta("seed", &seed.to_string());
+        registry.set_meta("sim_horizon", &sim_horizon.to_string());
+        registry.set_meta("deterministic", if deterministic { "true" } else { "false" });
+        write_metrics(&metrics, &registry.snapshot())?;
     }
     if failed > 0 {
         // An unclassified unit could be the violating one; a gate must
@@ -563,14 +687,16 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
         max_denominator: 1_000_000,
         deterministic: args.has("deterministic"),
     };
+    let (metrics, obs) = metrics_target(args, config.deterministic)?;
     let start = std::time::Instant::now();
-    let stats = match args.flags.get("input").filter(|p| !p.is_empty()) {
+    let (stats, snapshot) = match args.flags.get("input").filter(|p| !p.is_empty()) {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            serve_session(&mut std::io::BufReader::new(file), out, &config)?
+            serve_session_with_obs(&mut std::io::BufReader::new(file), out, &config, obs)?
         }
-        None => serve_session(&mut std::io::stdin().lock(), out, &config)?,
+        None => serve_session_with_obs(&mut std::io::stdin().lock(), out, &config, obs)?,
     };
+    write_metrics(&metrics, &snapshot)?;
     let elapsed = start.elapsed().as_secs_f64();
     let rate = if elapsed > 0.0 { stats.requests as f64 / elapsed } else { 0.0 };
     eprintln!(
@@ -600,7 +726,7 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
 /// the `--out` artifact are byte-identical for every `--workers` value at
 /// a fixed seed (asserted in tests and byte-diffed in CI).
 pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
-    use fpga_rt_loadgen::{run, run_soak, ArrivalProfile, LoadConfig};
+    use fpga_rt_loadgen::{run_soak_with_obs, run_with_obs, ArrivalProfile, LoadConfig};
 
     let profiles = match args.flags.get("profile").map(String::as_str) {
         None | Some("all") => ArrivalProfile::all(),
@@ -622,17 +748,23 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
     config.seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
     config.deterministic = args.has("deterministic");
 
-    let report = match positive_count(args, "soak")? {
-        Some(secs) => run_soak(&profiles, &config, secs as u64)?,
-        None => run(&profiles, &config)?,
+    let out_target = artifact_target(args, "out", &[ArtifactFormat::Json, ArtifactFormat::Csv])?;
+    let (metrics, obs) = metrics_target(args, config.deterministic)?;
+
+    let (report, snapshot) = match positive_count(args, "soak")? {
+        Some(secs) => run_soak_with_obs(&profiles, &config, secs as u64, obs)?,
+        None => run_with_obs(&profiles, &config, obs)?,
     };
 
     let _ = write!(out, "{}", report.render_text());
-    if let Some(path) = args.flags.get("out").filter(|p| !p.is_empty()) {
-        let rendered =
-            if path.ends_with(".csv") { report.render_csv() } else { report.render_json() };
+    if let Some((path, format)) = &out_target {
+        let rendered = match format {
+            ArtifactFormat::Csv => report.render_csv(),
+            _ => report.render_json(),
+        };
         std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
     }
+    write_metrics(&metrics, &snapshot)?;
     Ok(ExitCode::Accepted)
 }
 
@@ -1192,6 +1324,162 @@ mod tests {
         assert!(err.contains("1-D mode"), "{err}");
         let err = conform(&args(&["--samples", "100"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--twod"), "{err}");
+    }
+
+    /// Satellite bugfix: an unrecognized `--out` / `--metrics-out`
+    /// extension is a usage error naming the accepted extensions —
+    /// previously each subcommand fell back to JSON for anything that was
+    /// not `.csv`, so a typo silently wrote the wrong format.
+    #[test]
+    fn unknown_artifact_extensions_are_usage_errors() {
+        let err = sweep(&args(&["--out", "curves.cvs"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains(".json|.csv"), "{err}");
+        let err = conform(&args(&["--out", "report.yaml"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains(".json|.csv"), "{err}");
+        // The 2-D bridge artifact is JSON-only.
+        let err = conform(&args(&["--twod", "--out", "bridge.csv"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains(".json") && !err.contains(".csv|"), "{err}");
+        let err = loadgen(&args(&["--out", "load.txt"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains(".json|.csv"), "{err}");
+        // Metrics artifacts are .json|.txt, and the check fires before the
+        // session would start reading stdin.
+        for argv in [
+            vec!["serve", "--columns", "10", "--metrics-out", "m.csv"],
+            vec!["loadgen", "--metrics-out", "m.csv"],
+            vec!["sweep", "--metrics-out", "m.yaml"],
+            vec!["conform", "--metrics-out", "m"],
+        ] {
+            let line: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            let code = crate::run(&line, &mut Vec::new());
+            assert!(
+                matches!(&code, ExitCode::Error(msg) if msg.contains(".json|.txt")),
+                "{argv:?}: {code:?}"
+            );
+        }
+        // The 2-D bridge does not thread the registry; refuse, don't ignore.
+        let err =
+            conform(&args(&["--twod", "--metrics-out", "m.json"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("1-D mode"), "{err}");
+    }
+
+    /// The tentpole's CLI acceptance criterion: for every instrumented
+    /// subcommand, the deterministic `--metrics-out` artifact (JSON and
+    /// text renderings) is byte-identical for `--workers 1` vs `4`, and
+    /// the JSON names the `fpga-rt-obs/1` schema plus the subcommand's
+    /// signature counters.
+    #[test]
+    fn metrics_artifacts_are_byte_identical_across_workers() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let session = dir.join("metrics-session.jsonl");
+        std::fs::write(
+            &session,
+            concat!(
+                r#"{"op":"admit","task":{"exec":1.0,"deadline":10.0,"period":10.0,"area":3}}"#,
+                "\n",
+                r#"{"op":"admit","task":{"exec":2.0,"deadline":6.0,"period":6.0,"area":4}}"#,
+                "\n",
+                r#"{"op":"query"}"#,
+                "\n",
+                r#"{"op":"stats"}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let input = session.to_string_lossy().into_owned();
+        let cases: [(&str, &[&str], &str); 4] = [
+            (
+                "serve",
+                &[
+                    "serve",
+                    "--columns",
+                    "24",
+                    "--shards",
+                    "2",
+                    "--batch",
+                    "4",
+                    "--deterministic",
+                    "--input",
+                    &input,
+                ],
+                "admission/decisions",
+            ),
+            (
+                "loadgen",
+                &[
+                    "loadgen",
+                    "--profile",
+                    "adversarial",
+                    "--ops",
+                    "120",
+                    "--sessions",
+                    "4",
+                    "--columns",
+                    "16",
+                    "--seed",
+                    "7",
+                    "--deterministic",
+                ],
+                "loadgen/adversarial/ops",
+            ),
+            (
+                "sweep",
+                &[
+                    "sweep",
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "2",
+                    "--per-bin",
+                    "4",
+                    "--seed",
+                    "7",
+                    "--deterministic",
+                ],
+                "sweep/figure/fig3a/samples",
+            ),
+            (
+                "conform",
+                &[
+                    "conform",
+                    "--figure",
+                    "fig3a",
+                    "--bins",
+                    "2",
+                    "--per-bin",
+                    "2",
+                    "--sim-horizon",
+                    "10",
+                    "--seed",
+                    "7",
+                    "--deterministic",
+                ],
+                "conform/figure/fig3a/samples",
+            ),
+        ];
+        for (name, base, signature) in cases {
+            for ext in ["json", "txt"] {
+                let mut artifacts = Vec::new();
+                for workers in ["1", "4"] {
+                    let path = dir.join(format!("metrics-{name}-w{workers}.{ext}"));
+                    let out_path = path.to_string_lossy().into_owned();
+                    let mut argv: Vec<String> = base.iter().map(|s| s.to_string()).collect();
+                    argv.extend(
+                        ["--workers", workers, "--metrics-out", &out_path]
+                            .iter()
+                            .map(|s| s.to_string()),
+                    );
+                    let code = crate::run(&argv, &mut Vec::new());
+                    assert!(matches!(code, ExitCode::Accepted), "{name} w{workers}: {code:?}");
+                    artifacts.push(std::fs::read_to_string(&path).unwrap());
+                }
+                assert_eq!(artifacts[0], artifacts[1], "{name} .{ext} differs across workers");
+                assert!(artifacts[0].contains(signature), "{name} .{ext}: missing {signature}");
+                if ext == "json" {
+                    assert!(artifacts[0].contains(fpga_rt_obs::SCHEMA), "{name}: schema missing");
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,22 +61,27 @@ pub fn usage() -> String {
      \x20 tables    (reproduce the paper's Tables 1-3)\n\
      \x20 sweep     [--figure fig3a|fig3b|fig4a|fig4b] [--bins N] [--per-bin M]\n\
      \x20           [--workers W] [--seed S] [--out FILE.json|FILE.csv]\n\
+     \x20           [--deterministic] [--metrics-out FILE.json|FILE.txt]\n\
      \x20           (parallel DP/GN1/GN2/AnyOf acceptance-ratio curves;\n\
      \x20           output is byte-identical for any --workers)\n\
      \x20 conform   [--figure fig3a|fig3b|fig4a|fig4b|all] [--bins N] [--per-bin M]\n\
      \x20           [--sim-horizon F] [--workers W] [--seed S] [--out FILE.json|FILE.csv]\n\
+     \x20           [--deterministic] [--metrics-out FILE.json|FILE.txt]\n\
      \x20           [--twod [--samples N]]\n\
      \x20           (cross-validate DP/GN1/GN2/AnyOf against the simulator;\n\
      \x20           exit 1 on any SOUNDNESS-VIOLATION; byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
      \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
+     \x20           [--metrics-out FILE.json|FILE.txt]\n\
      \x20           (JSONL admission-control service on stdin/stdout)\n\
      \x20 loadgen   [--profile poisson|bursty|adversarial|all] [--ops N] [--sessions K]\n\
      \x20           [--columns N] [--rounds R] [--workers W] [--seed S] [--soak SECS]\n\
      \x20           [--deterministic] [--out FILE.json|FILE.csv]\n\
+     \x20           [--metrics-out FILE.json|FILE.txt]\n\
      \x20           (traffic-shaped load generator with p50/p99/p999 latency\n\
      \x20           histograms; --deterministic output is byte-identical for\n\
-     \x20           any --workers)"
+     \x20           any --workers; --metrics-out exports the fpga-rt-obs/1\n\
+     \x20           telemetry snapshot, available on sweep/conform/serve too)"
         .to_string()
 }
 

@@ -19,6 +19,7 @@ use fpga_rt_analysis::{BatchAnalyzer, BatchVerdicts, NecessaryTest, SchedTest, S
 use fpga_rt_exp::acceptance::sample_seed;
 use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
 use fpga_rt_model::{Fpga, TaskSet};
+use fpga_rt_obs::Obs;
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use fpga_rt_sim::{simulate_f64, Horizon, SchedulerKind, SimConfig};
 use rand::rngs::StdRng;
@@ -52,6 +53,13 @@ pub struct ConformConfig {
     /// Cap on *serialized* counterexamples (all violations are counted;
     /// only the first `max_counterexamples` carry full evidence).
     pub max_counterexamples: usize,
+    /// Telemetry handle. When enabled, workers record per-unit span
+    /// histograms (`conform/evaluate_ns` for the whole classification,
+    /// `conform/sim_ns` for the targeted simulations) and the aggregation
+    /// adds per-bin/per-figure throughput counters. [`Obs::off`] (the
+    /// [`ConformConfig::new`] default) makes all of it a no-op; the report
+    /// never depends on this handle.
+    pub obs: Obs,
 }
 
 impl ConformConfig {
@@ -69,6 +77,7 @@ impl ConformConfig {
             workers: 0,
             chunk: 1024,
             max_counterexamples: 8,
+            obs: Obs::off(),
         }
     }
 
@@ -221,13 +230,17 @@ impl ConformContext {
         seed: u64,
         scratch: &mut ScratchSpace,
     ) -> UnitReport {
+        let obs = &self.config.obs;
+        let unit_span = obs.span();
         let nec_rejected = !NecessaryTest.is_schedulable(ts, &self.device);
         let mut sim_clean = [false; 2];
+        let sim_span = obs.span();
         for (i, kind) in SIM_SCHEDULERS.iter().enumerate() {
             sim_clean[i] = simulate_f64(ts, &self.device, &self.config.sim_config(kind.clone()))
                 .expect("generated tasksets validate for the workload device")
                 .schedulable();
         }
+        obs.record_ns("conform/sim_ns", sim_span.elapsed_ns());
         let mut classes = Vec::with_capacity(self.evaluators.len());
         let mut counterexamples = Vec::new();
         // Analysis-kind evaluators share one batch-kernel pass: the
@@ -261,6 +274,7 @@ impl ConformContext {
             }
             classes.push(class);
         }
+        obs.record_ns("conform/evaluate_ns", unit_span.elapsed_ns());
         UnitReport {
             classes,
             nec_rejected,
@@ -422,6 +436,23 @@ pub fn run_conform(config: &ConformConfig, evaluators: Vec<ConformEvaluator>) ->
         unit = upper;
     }
 
+    if config.obs.enabled() {
+        // Per-bin/per-figure throughput counters, accumulated on the
+        // driving thread so they are deterministic by construction.
+        let obs = &config.obs;
+        let mut figure_samples = 0u64;
+        for bin in 0..n_bins {
+            // Every evaluator classifies every sample of the bin.
+            let samples = series.first().map(|s| s.bins[bin].samples as u64).unwrap_or(0);
+            obs.add(&format!("conform/bin{bin:02}/samples"), samples);
+            figure_samples += samples;
+        }
+        obs.add(&format!("conform/figure/{}/samples", config.workload.id), figure_samples);
+        obs.add("conform/nec_rejects", nec_rejects as u64);
+        obs.add("conform/violations", total_violations as u64);
+        obs.add("conform/exhausted_units", exhausted_units as u64);
+        obs.add("conform/failed_units", failed_units as u64);
+    }
     ConformOutcome {
         report: ConformReport {
             workload_id: config.workload.id.to_string(),

@@ -60,6 +60,7 @@ use fpga_rt_analysis::{
     AnalysisKernel, AnalysisSeries, BatchAnalyzer, BatchVerdicts, ScratchSpace, TaskSetBatch,
 };
 use fpga_rt_gen::{BinnedGenerator, BinningStrategy, FigureWorkload, UtilizationBins};
+use fpga_rt_obs::Obs;
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,6 +93,13 @@ pub struct PoolSweepConfig {
     /// Work units submitted per pool batch (bounds peak memory; the curves
     /// do not depend on this value).
     pub chunk: usize,
+    /// Telemetry handle. When enabled, workers record per-kernel
+    /// pack/evaluate span histograms (`sweep/batch/pack_ns`,
+    /// `sweep/batch/evaluate_ns`, `sweep/scalar/evaluate_ns`) and the
+    /// tally adds per-bin/per-figure throughput counters. [`Obs::off`]
+    /// (the [`PoolSweepConfig::new`] default) makes all of it a no-op; the
+    /// curves never depend on this handle.
+    pub obs: Obs,
 }
 
 impl PoolSweepConfig {
@@ -106,6 +114,7 @@ impl PoolSweepConfig {
             strategy: workload.strategy,
             workers: 0,
             chunk: 4096,
+            obs: Obs::off(),
         }
     }
 }
@@ -232,12 +241,16 @@ fn run_scalar_sweep(config: &PoolSweepConfig, evaluators: &[Evaluator]) -> PoolS
         {
             let context = Arc::clone(&context);
             let evaluators = Arc::clone(&evaluators_arc);
+            let obs = config.obs.clone();
             move |scratch, _shard, unit| {
                 context.sample(unit).map(|ts| {
-                    evaluators
+                    let span = obs.span();
+                    let verdicts: Vec<bool> = evaluators
                         .iter()
                         .map(|ev| ev.accepts_with(&ts, &context.device, scratch))
-                        .collect()
+                        .collect();
+                    obs.record_ns("sweep/scalar/evaluate_ns", span.elapsed_ns());
+                    verdicts
                 })
             }
         },
@@ -298,10 +311,12 @@ fn run_batched_sweep(
         {
             let context = Arc::clone(&context);
             let series = Arc::clone(&series);
+            let obs = config.obs.clone();
             move |scratch: &mut BlockScratch, _shard, block: usize| {
                 let start = block * BATCH_SAMPLES;
                 let end = (start + BATCH_SAMPLES).min(total_units);
                 let mut out: Vec<SampleMask> = Vec::with_capacity(end - start);
+                let pack_span = obs.span();
                 scratch.batch.clear();
                 for unit in start..end {
                     match context.sample(unit) {
@@ -312,11 +327,14 @@ fn run_batched_sweep(
                         None => out.push(None),
                     }
                 }
+                obs.record_ns("sweep/batch/pack_ns", pack_span.elapsed_ns());
+                let evaluate_span = obs.span();
                 BatchAnalyzer::new().analyze_batch(
                     &scratch.batch,
                     &context.device,
                     &mut scratch.verdicts,
                 );
+                obs.record_ns("sweep/batch/evaluate_ns", evaluate_span.elapsed_ns());
                 let mut packed = scratch.verdicts.iter();
                 for slot in out.iter_mut().filter(|s| s.is_some()) {
                     let verdicts = packed.next().expect("one verdict set per packed taskset");
@@ -413,6 +431,21 @@ impl SweepTally {
         evaluators: &[Evaluator],
         workers: usize,
     ) -> PoolSweepOutcome {
+        if config.obs.enabled() {
+            // Per-bin/per-figure throughput counters, accumulated on the
+            // driving thread so they are deterministic by construction.
+            let obs = &config.obs;
+            let mut figure_samples = 0u64;
+            for (bin, cells) in self.counts.iter().enumerate() {
+                // Every evaluator sees every sample of the bin.
+                let samples = cells.first().map(|c| c.0 as u64).unwrap_or(0);
+                obs.add(&format!("sweep/bin{bin:02}/samples"), samples);
+                figure_samples += samples;
+            }
+            obs.add(&format!("sweep/figure/{}/samples", config.workload.id), figure_samples);
+            obs.add("sweep/exhausted_units", self.exhausted as u64);
+            obs.add("sweep/failed_units", self.failed as u64);
+        }
         let series = evaluators
             .iter()
             .enumerate()

@@ -19,8 +19,9 @@
 //!    [`AdmissionController`](fpga_rt_service::AdmissionController)s, one
 //!    per session, sharded over the workspace's deterministic
 //!    [`ShardedPool`](fpga_rt_pool::ShardedPool). Per-op latencies land in
-//!    a hand-rolled HDR-style [`hist::LatencyHistogram`]; decision and
-//!    tier counts come from each controller's `QueryStats`.
+//!    the workspace's HDR-style [`hist::LatencyHistogram`] (promoted to
+//!    `fpga-rt-obs` and re-exported here); decision and tier counts ride
+//!    the shared `fpga-rt-obs` registry snapshot.
 //! 3. [`report`] — **emit** the artifact: JSON
 //!    (schema `fpga-rt-loadgen-smoke/1`), CSV, and a stdout table, all
 //!    byte-identical across `--workers` under `--deterministic` (zeroed
@@ -46,12 +47,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod hist;
+pub use fpga_rt_obs::hist;
+
 pub mod profile;
 pub mod report;
 pub mod run;
 
-pub use hist::LatencyHistogram;
+pub use fpga_rt_obs::LatencyHistogram;
 pub use profile::{synthesize, ArrivalOp, ArrivalProfile, LoadSpec, OpKind};
 pub use report::{runner_id, Budget, LatencySummary, LoadReport, ProfileReport, SCHEMA};
-pub use run::{run, run_soak, LoadConfig};
+pub use run::{run, run_soak, run_soak_with_obs, run_with_obs, LoadConfig};

@@ -20,24 +20,7 @@ use crate::hist::LatencyHistogram;
 /// Schema tag of the JSON artifact (consumed by `scripts/bench_gate.py`).
 pub const SCHEMA: &str = "fpga-rt-loadgen-smoke/1";
 
-/// The runner class recorded in reports: the `FPGA_RT_RUNNER` environment
-/// override when set, else `{os}-{kernel release}-{arch}` (falling back to
-/// `{os}-{arch}` where the kernel release is unreadable). Latency baselines
-/// are only enforced against the runner class that produced them;
-/// `bench_gate.py` downgrades cross-runner comparisons to report-only.
-pub fn runner_id() -> String {
-    if let Ok(runner) = std::env::var("FPGA_RT_RUNNER") {
-        return runner;
-    }
-    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
-        .ok()
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty());
-    match kernel {
-        Some(k) => format!("{}-{}-{}", std::env::consts::OS, k, std::env::consts::ARCH),
-        None => format!("{}-{}", std::env::consts::OS, std::env::consts::ARCH),
-    }
-}
+pub use fpga_rt_obs::runner_id;
 
 /// The parameters that define a run's synthesized streams. Two reports are
 /// comparable only when their budgets are equal — `bench_gate.py` refuses

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use fpga_rt_model::{Fpga, TaskHandle};
+use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use fpga_rt_service::{AdmissionController, ControllerConfig, QueryStats};
 
@@ -112,15 +113,18 @@ enum Stop {
     Deadline(Instant),
 }
 
-fn build_pool(config: &LoadConfig) -> ShardedPool<Req, Resp> {
+fn build_pool(config: &LoadConfig, obs: &Obs) -> ShardedPool<Req, Resp> {
     let columns = config.columns;
     let deterministic = config.deterministic;
-    ShardedPool::new(
+    let ctl_obs = obs.clone();
+    ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards: config.sessions },
+        obs.clone(),
         move |_shard| Session {
-            controller: AdmissionController::new(
+            controller: AdmissionController::with_obs(
                 Fpga::new(columns).expect("spec validation caught zero columns"),
                 ControllerConfig::default(),
+                ctl_obs.clone(),
             ),
             live: VecDeque::new(),
         },
@@ -173,9 +177,10 @@ fn run_profile(
     profile: ArrivalProfile,
     config: &LoadConfig,
     stop: Stop,
+    obs: &Obs,
 ) -> Result<ProfileReport, String> {
     config.spec(profile, 0).validate()?;
-    let mut pool = build_pool(config);
+    let mut pool = build_pool(config, obs);
     let mut hist = LatencyHistogram::new();
     let (mut ops, mut admits, mut accepted, mut rejected) = (0u64, 0u64, 0u64, 0u64);
     let (mut releases, mut degraded_releases, mut queries) = (0u64, 0u64, 0u64);
@@ -228,17 +233,36 @@ fn run_profile(
         }
         round += 1;
     }
-    // Total the per-shard controller statistics in shard order. These
+    // Total the per-shard controller statistics in shard order, through
+    // the workspace's one cross-shard fold (`QueryStats::fold_into`). These
     // queries are bookkeeping, not stream ops — they stay out of the
     // histogram and the op counts.
-    let mut tiers_total = QueryStats::default();
+    let acc = Registry::new();
     for result in pool.broadcast(|_| Req::Stats).map_err(|e| e.to_string())? {
         match result.map_err(|p| p.to_string())? {
-            Resp::Stats(stats) => tiers_total.accumulate(&stats),
+            Resp::Stats(stats) => stats.fold_into(&acc),
             _ => return Err("expected stats response".to_string()),
         }
     }
+    let tiers_total = QueryStats::from_snapshot(&acc.snapshot());
     debug_assert_eq!(tiers_total.decisions, admits, "stats count exactly the admit decisions");
+    if obs.enabled() {
+        // Per-profile counters plus the run-wide admission totals. Each
+        // profile drains its own fresh pool exactly once, so folding here
+        // never double-counts.
+        let prefix = format!("loadgen/{}", profile.as_str());
+        obs.add(&format!("{prefix}/ops"), ops);
+        obs.add(&format!("{prefix}/admits"), admits);
+        obs.add(&format!("{prefix}/accepted"), accepted);
+        obs.add(&format!("{prefix}/rejected"), rejected);
+        obs.add(&format!("{prefix}/releases"), releases);
+        obs.add(&format!("{prefix}/degraded_releases"), degraded_releases);
+        obs.add(&format!("{prefix}/queries"), queries);
+        obs.add(&format!("{prefix}/rounds"), u64::from(round));
+        if let Some(registry) = obs.registry() {
+            tiers_total.fold_into(registry);
+        }
+    }
     Ok(ProfileReport {
         profile: profile.as_str().to_string(),
         ops,
@@ -256,16 +280,49 @@ fn run_profile(
 /// Run the given profiles for the configured number of rounds each and
 /// assemble the full report.
 pub fn run(profiles: &[ArrivalProfile], config: &LoadConfig) -> Result<LoadReport, String> {
+    run_with_obs(profiles, config, Obs::off()).map(|(report, _)| report)
+}
+
+/// [`run`] with a telemetry handle; additionally returns the run-wide
+/// `fpga-rt-obs/1` snapshot — pool shard counters, cascade-tier latency
+/// histograms (accumulated across profiles), per-profile
+/// `loadgen/<profile>/*` counters, the folded admission totals and the run
+/// configuration as metadata.
+pub fn run_with_obs(
+    profiles: &[ArrivalProfile],
+    config: &LoadConfig,
+    obs: Obs,
+) -> Result<(LoadReport, Snapshot), String> {
     let mut reports = Vec::with_capacity(profiles.len());
     for &profile in profiles {
-        reports.push(run_profile(profile, config, Stop::Rounds(config.rounds.max(1)))?);
+        reports.push(run_profile(profile, config, Stop::Rounds(config.rounds.max(1)), &obs)?);
     }
-    Ok(LoadReport {
+    let report = LoadReport {
         schema: SCHEMA.to_string(),
         runner: runner_id(),
         budget: config.budget(),
         profiles: reports,
-    })
+    };
+    Ok((report, loadgen_snapshot(&obs, config)))
+}
+
+/// The run-wide snapshot: the live registry (or a fresh one under
+/// [`Obs::off`]) stamped with the run configuration. The worker count is
+/// deliberately absent — deterministic snapshots must be byte-identical
+/// across worker counts.
+fn loadgen_snapshot(obs: &Obs, config: &LoadConfig) -> Snapshot {
+    let registry = match obs.registry() {
+        Some(shared) => (**shared).clone(),
+        None => Registry::with_mode(config.deterministic),
+    };
+    registry.set_meta("mode", "loadgen");
+    registry.set_meta("ops", &config.ops.to_string());
+    registry.set_meta("sessions", &config.sessions.to_string());
+    registry.set_meta("columns", &config.columns.to_string());
+    registry.set_meta("rounds", &config.rounds.max(1).to_string());
+    registry.set_meta("seed", &config.seed.to_string());
+    registry.set_meta("deterministic", if config.deterministic { "true" } else { "false" });
+    registry.snapshot()
 }
 
 /// Soak mode: keep replaying rounds of every profile until `secs` seconds
@@ -278,6 +335,17 @@ pub fn run_soak(
     config: &LoadConfig,
     secs: u64,
 ) -> Result<LoadReport, String> {
+    run_soak_with_obs(profiles, config, secs, Obs::off()).map(|(report, _)| report)
+}
+
+/// [`run_soak`] with a telemetry handle; see [`run_with_obs`] for the
+/// snapshot contents.
+pub fn run_soak_with_obs(
+    profiles: &[ArrivalProfile],
+    config: &LoadConfig,
+    secs: u64,
+    obs: Obs,
+) -> Result<(LoadReport, Snapshot), String> {
     if config.deterministic {
         return Err("--soak is wall-clock-bounded and cannot be --deterministic; \
                     use --rounds for long deterministic runs"
@@ -290,14 +358,15 @@ pub fn run_soak(
     let mut reports = Vec::with_capacity(profiles.len());
     for &profile in profiles {
         let deadline = Instant::now() + per_profile;
-        reports.push(run_profile(profile, config, Stop::Deadline(deadline))?);
+        reports.push(run_profile(profile, config, Stop::Deadline(deadline), &obs)?);
     }
-    Ok(LoadReport {
+    let report = LoadReport {
         schema: SCHEMA.to_string(),
         runner: runner_id(),
         budget: config.budget(),
         profiles: reports,
-    })
+    };
+    Ok((report, loadgen_snapshot(&obs, config)))
 }
 
 #[cfg(test)]
@@ -369,6 +438,47 @@ mod tests {
         assert!(latency.p50_ns <= latency.p99_ns);
         assert!(latency.p99_ns <= latency.p999_ns);
         assert!(latency.p999_ns <= latency.max_ns);
+    }
+
+    #[test]
+    fn obs_snapshot_is_invariant_in_workers_and_matches_report_tiers() {
+        let render = |workers: usize| {
+            let (report, snapshot) = run_with_obs(
+                &[ArrivalProfile::Adversarial],
+                &small_config(true, workers),
+                Obs::on(true),
+            )
+            .unwrap();
+            (report.render_json(), snapshot.render_json(), snapshot.render_text())
+        };
+        let reference = render(1);
+        for workers in [2, 4] {
+            assert_eq!(render(workers), reference, "workers={workers}");
+        }
+        let snapshot: Snapshot = serde_json::from_str(&reference.1).unwrap();
+        assert!(snapshot.deterministic);
+        let (report, _) =
+            run_with_obs(&[ArrivalProfile::Adversarial], &small_config(true, 2), Obs::on(true))
+                .unwrap();
+        let p = &report.profiles[0];
+        assert_eq!(snapshot.counter("admission/decisions"), Some(p.admits));
+        assert_eq!(snapshot.counter("loadgen/adversarial/ops"), Some(p.ops));
+        // Every settled tier leaves a per-decision latency histogram whose
+        // count is exactly that tier's decision count (zero-valued samples
+        // in deterministic mode). The adversarial profile is knife-edge
+        // heavy, so the exact tier must be populated.
+        assert!(p.tiers.exact > 0, "adversarial load reaches the exact tier");
+        for (tier, count) in [
+            ("dp-inc", p.tiers.dp_inc),
+            ("gn1", p.tiers.gn1),
+            ("gn2", p.tiers.gn2),
+            ("exact", p.tiers.exact),
+        ] {
+            let hist = snapshot.histogram(&format!("admission/tier/{tier}/decision_ns"));
+            assert_eq!(hist.map(|h| h.count).unwrap_or(0), count, "{tier}");
+        }
+        let depth = snapshot.histogram("admission/cascade_depth").unwrap();
+        assert_eq!(depth.count, p.admits, "every decision records its cascade depth");
     }
 
     #[test]

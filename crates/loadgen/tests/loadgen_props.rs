@@ -98,6 +98,98 @@ proptest! {
         );
     }
 
+    /// Histogram merge is associative and order-insensitive — the property
+    /// the telemetry registry leans on when per-shard histograms are folded
+    /// into one snapshot in whatever order shards drain — and the merged
+    /// population agrees with a sorted-vector oracle on count, max, and
+    /// (within the 1/32 quantization error) the median.
+    #[test]
+    fn histogram_merge_is_associative_against_sorted_oracle(
+        a in collection::vec(0u64..1_000_000, 0..80),
+        b in collection::vec(0u64..1_000_000, 0..80),
+        c in collection::vec(0u64..1_000_000, 0..80),
+    ) {
+        let build = |s: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &v in s {
+                h.record(v);
+            }
+            h
+        };
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let mut left = ha.clone(); // (a ⊕ b) ⊕ c
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone(); // a ⊕ (b ⊕ c)
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        let mut rev = hc.clone(); // c ⊕ b ⊕ a
+        rev.merge(&hb);
+        rev.merge(&ha);
+        prop_assert_eq!(&left, &rev);
+
+        let mut all: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(left.count(), all.len() as u64);
+        if let Some(&exact_max) = all.last() {
+            prop_assert_eq!(left.max(), exact_max);
+            let rank = ((0.5 * all.len() as f64).ceil() as usize).clamp(1, all.len());
+            let exact = all[rank - 1];
+            let reported = left.quantile(0.5).unwrap();
+            prop_assert!(reported <= exact);
+            prop_assert!(
+                (exact - reported) as f64 <= exact as f64 / 32.0 + 1.0,
+                "median {reported} too far below exact {exact}"
+            );
+        }
+    }
+
+    /// Folding per-shard registries into an accumulator yields the same
+    /// snapshot whatever order the shards drain in — the determinism
+    /// contract behind byte-identical `--metrics-out` artifacts across
+    /// `--workers`.
+    #[test]
+    fn registry_snapshot_is_merge_order_invariant(
+        shards in collection::vec(collection::vec((0usize..4, 0u64..1_000_000), 0..24), 1..6),
+        deterministic in (0u32..2).prop_map(|b| b == 1),
+    ) {
+        use fpga_rt_obs::Registry;
+        const NAMES: [&str; 4] = ["t/ops", "t/queue_depth", "t/cascade", "t/wait_ns"];
+        let build = |ops: &[(usize, u64)]| {
+            let r = Registry::with_mode(deterministic);
+            for &(which, v) in ops {
+                match which {
+                    0 => r.add(NAMES[0], v),
+                    1 => r.set_gauge(NAMES[1], v),
+                    2 => r.record(NAMES[2], v),
+                    _ => r.record_ns(NAMES[3], v),
+                }
+            }
+            r
+        };
+        let registries: Vec<Registry> = shards.iter().map(|s| build(s)).collect();
+        let forward = Registry::with_mode(deterministic);
+        for r in &registries {
+            forward.merge_from(r);
+        }
+        let backward = Registry::with_mode(deterministic);
+        for r in registries.iter().rev() {
+            backward.merge_from(r);
+        }
+        let (a, b) = (forward.snapshot(), backward.snapshot());
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.render_json(), b.render_json());
+        prop_assert_eq!(a.render_text(), b.render_text());
+        if deterministic {
+            // Time-valued samples were zeroed at the recording site.
+            if let Some(h) = a.histogram(NAMES[3]) {
+                prop_assert_eq!(h.max, 0);
+            }
+        }
+    }
+
     /// Merging two histograms is equivalent to recording the concatenation.
     #[test]
     fn merge_equals_concatenation(

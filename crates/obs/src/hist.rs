@@ -11,7 +11,7 @@
 //! quantiles are reproducible: a quantile reports the **lower bound** of
 //! the bucket containing the requested rank, so two histograms with the
 //! same counts always report the same quantile — the property the
-//! loadgen determinism contract and the CI latency gate rely on.
+//! workspace determinism contracts and the CI latency gates rely on.
 
 /// Linear sub-buckets per power of two (2^5: ≈3% worst-case quantization).
 pub const SUB_BUCKETS: u64 = 32;

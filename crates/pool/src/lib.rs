@@ -54,6 +54,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fpga_rt_obs::Obs;
 
 /// Sizing of a [`ShardedPool`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +128,22 @@ impl std::error::Error for PoolDisconnected {}
 /// One queued item: global submission sequence, resolved shard, payload.
 type Job<Req> = (u64, u32, Req);
 
+/// One dispatched batch: the dispatch timestamp (present only when
+/// queue-wait timing is on) and the jobs handed to one worker.
+type Dispatch<Req> = (Option<Instant>, Vec<Job<Req>>);
+
+/// Per-shard metric name, zero-padded so snapshot rows sort numerically
+/// for any realistic shard count.
+fn shard_metric(shard: u32, which: &str) -> String {
+    format!("pool/shard{shard:03}/{which}")
+}
+
 /// A sharded worker pool; see the [crate docs](self) for the guarantees.
 ///
 /// Type parameters: `Req` is the submitted item, `Resp` the handler's
 /// response. The per-shard state type is erased at construction.
 pub struct ShardedPool<Req, Resp> {
-    job_txs: Vec<mpsc::Sender<Vec<Job<Req>>>>,
+    job_txs: Vec<mpsc::Sender<Dispatch<Req>>>,
     result_rx: mpsc::Receiver<(u64, ItemResult<Resp>)>,
     handles: Vec<JoinHandle<()>>,
     /// Items staged per worker since the last dispatch.
@@ -140,6 +153,9 @@ pub struct ShardedPool<Req, Resp> {
     next_seq: u64,
     workers: usize,
     shards: u32,
+    /// Whether dispatches carry a queue-wait timestamp (telemetry on and
+    /// not deterministic — deterministic runs never read the clock).
+    stamp_queue: bool,
 }
 
 impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
@@ -155,23 +171,47 @@ impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
         F: Fn(u32) -> S + Send + Sync + 'static,
         H: Fn(&mut S, u32, Req) -> Resp + Send + Sync + 'static,
     {
+        Self::with_obs(config, Obs::off(), factory, handler)
+    }
+
+    /// Spawn the pool with a telemetry handle (see [`ShardedPool::new`]
+    /// for the factory/handler contract).
+    ///
+    /// When `obs` is enabled every worker records, per shard it owns:
+    /// `pool/shard<i>/items` (counter), `pool/shard<i>/queue_wait_ns`
+    /// (dispatch-to-processing wait) and `pool/shard<i>/busy_ns`
+    /// (handler time) — both histograms zeroed in deterministic mode, in
+    /// which case the clock is never read. With [`Obs::off`] (what
+    /// [`ShardedPool::new`] passes) the instrumentation is a no-op.
+    pub fn with_obs<S, F, H>(config: PoolConfig, obs: Obs, factory: F, handler: H) -> Self
+    where
+        S: 'static,
+        F: Fn(u32) -> S + Send + Sync + 'static,
+        H: Fn(&mut S, u32, Req) -> Resp + Send + Sync + 'static,
+    {
         let workers = config.effective_workers();
         let shards = config.shards.max(1);
+        let stamp_queue = obs.registry().map(|r| !r.is_deterministic()).unwrap_or(false);
         let factory = Arc::new(factory);
         let handler = Arc::new(handler);
         let (result_tx, result_rx) = mpsc::channel::<(u64, ItemResult<Resp>)>();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let (tx, rx) = mpsc::channel::<Vec<Job<Req>>>();
+            let (tx, rx) = mpsc::channel::<Dispatch<Req>>();
             job_txs.push(tx);
             let result_tx = result_tx.clone();
             let factory = Arc::clone(&factory);
             let handler = Arc::clone(&handler);
+            let obs = obs.clone();
             handles.push(std::thread::spawn(move || {
                 let mut states: HashMap<u32, S> = HashMap::new();
-                for jobs in rx {
+                for (stamp, jobs) in rx {
                     for (seq, shard, req) in jobs {
+                        let wait_ns = stamp
+                            .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                            .unwrap_or(0);
+                        let span = obs.span();
                         // Contain panics per item: a dead worker's pending
                         // results would deadlock collect() for the whole
                         // batch. A factory panic leaves the shard without
@@ -187,6 +227,11 @@ impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
                                 .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "unknown panic".to_string()),
                         });
+                        if obs.enabled() {
+                            obs.inc(&shard_metric(shard, "items"));
+                            obs.record_ns(&shard_metric(shard, "queue_wait_ns"), wait_ns);
+                            obs.record_ns(&shard_metric(shard, "busy_ns"), span.elapsed_ns());
+                        }
                         if result_tx.send((seq, result)).is_err() {
                             return; // pool dropped mid-batch
                         }
@@ -203,6 +248,7 @@ impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
             next_seq: 0,
             workers,
             shards,
+            stamp_queue,
         }
     }
 
@@ -244,9 +290,12 @@ impl<Req: Send + 'static, Resp: Send + 'static> ShardedPool<Req, Resp> {
     /// Hand all staged items to their workers (processing starts now;
     /// [`ShardedPool::collect`] calls this implicitly).
     pub fn dispatch(&mut self) -> Result<(), PoolDisconnected> {
+        let stamp = if self.stamp_queue { Some(Instant::now()) } else { None };
         for (worker, jobs) in self.staged.iter_mut().enumerate() {
             if !jobs.is_empty() {
-                self.job_txs[worker].send(std::mem::take(jobs)).map_err(|_| PoolDisconnected)?;
+                self.job_txs[worker]
+                    .send((stamp, std::mem::take(jobs)))
+                    .map_err(|_| PoolDisconnected)?;
             }
         }
         Ok(())
@@ -400,6 +449,26 @@ mod tests {
         let out = pool.broadcast(|_| ()).unwrap();
         let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
         assert_eq!(values, vec![1, 11, 23, 31, 42]);
+    }
+
+    #[test]
+    fn obs_records_per_shard_items_and_zeroes_time_when_deterministic() {
+        let obs = Obs::on(true);
+        let mut pool: ShardedPool<u32, u32> = ShardedPool::with_obs(
+            PoolConfig { workers: 2, shards: 3 },
+            obs.clone(),
+            |_| (),
+            |_, _, x| x,
+        );
+        pool.run_batch((0..9).map(|i| (i % 3, i))).unwrap();
+        let snap = obs.registry().unwrap().snapshot();
+        for shard in 0..3 {
+            assert_eq!(snap.counter(&shard_metric(shard, "items")), Some(3), "shard {shard}");
+            let wait = snap.histogram(&shard_metric(shard, "queue_wait_ns")).unwrap();
+            assert_eq!((wait.count, wait.max), (3, 0), "deterministic waits are zeroed");
+            let busy = snap.histogram(&shard_metric(shard, "busy_ns")).unwrap();
+            assert_eq!((busy.count, busy.max), (3, 0), "deterministic busy time is zeroed");
+        }
     }
 
     #[test]

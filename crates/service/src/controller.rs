@@ -19,6 +19,7 @@
 use crate::protocol::{PerTaskMargin, QueryStats};
 use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, IncrementalState, SchedTest, TestReport};
 use fpga_rt_model::{Fpga, LiveTaskSet, Rat64, Task, TaskHandle, TaskSet};
+use fpga_rt_obs::{Obs, SpanTimer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which cascade tier settled a decision.
@@ -42,6 +43,26 @@ impl Tier {
             Tier::Gn1 => "gn1",
             Tier::Gn2 => "gn2",
             Tier::Exact => "exact",
+        }
+    }
+
+    /// Static name of the per-tier decision-latency histogram.
+    pub fn decision_ns_metric(self) -> &'static str {
+        match self {
+            Tier::IncrementalDp => "admission/tier/dp-inc/decision_ns",
+            Tier::Gn1 => "admission/tier/gn1/decision_ns",
+            Tier::Gn2 => "admission/tier/gn2/decision_ns",
+            Tier::Exact => "admission/tier/exact/decision_ns",
+        }
+    }
+
+    /// How deep into the cascade this tier sits (1-based).
+    pub fn cascade_depth(self) -> u64 {
+        match self {
+            Tier::IncrementalDp => 1,
+            Tier::Gn1 => 2,
+            Tier::Gn2 => 3,
+            Tier::Exact => 4,
         }
     }
 }
@@ -114,11 +135,23 @@ pub struct AdmissionController {
     gn2: Gn2Test,
     config: ControllerConfig,
     stats: QueryStats,
+    obs: Obs,
 }
 
 impl AdmissionController {
-    /// A controller with an empty live set.
+    /// A controller with an empty live set and no telemetry.
     pub fn new(device: Fpga, config: ControllerConfig) -> Self {
+        Self::with_obs(device, config, Obs::off())
+    }
+
+    /// A controller recording telemetry into `obs`: per-stage analysis
+    /// spans (`admission/stage/{dp,gn1,gn2,exact}_ns`), whole-decision
+    /// latency per deciding tier (`admission/tier/<tier>/decision_ns`) and
+    /// the cascade depth distribution (`admission/cascade_depth`). With
+    /// [`Obs::off`] every recording is a no-op branch (gated by the
+    /// `obs_overhead` benchmark); with a deterministic registry, time
+    /// values are zeroed but sample counts stay populated.
+    pub fn with_obs(device: Fpga, config: ControllerConfig, obs: Obs) -> Self {
         AdmissionController {
             device,
             live: LiveTaskSet::new(),
@@ -127,6 +160,7 @@ impl AdmissionController {
             gn2: Gn2Test::default(),
             config,
             stats: QueryStats::default(),
+            obs,
         }
     }
 
@@ -160,6 +194,11 @@ impl AdmissionController {
         self.stats
     }
 
+    /// The telemetry handle this controller records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// Read access to the live set (snapshots, handles).
     pub fn live(&self) -> &LiveTaskSet<f64> {
         &self.live
@@ -169,7 +208,7 @@ impl AdmissionController {
         margin.abs() <= self.config.exact_margin * scale.abs().max(1.0)
     }
 
-    fn record(&mut self, tier: Tier, accepted: bool) {
+    fn record(&mut self, tier: Tier, accepted: bool, span: SpanTimer) {
         self.stats.decisions += 1;
         if accepted {
             self.stats.accepted += 1;
@@ -182,6 +221,10 @@ impl AdmissionController {
             Tier::Gn1 => t.gn1 += 1,
             Tier::Gn2 => t.gn2 += 1,
             Tier::Exact => t.exact += 1,
+        }
+        if self.obs.enabled() {
+            self.obs.record_ns(tier.decision_ns_metric(), span.elapsed_ns());
+            self.obs.record("admission/cascade_depth", tier.cascade_depth());
         }
     }
 
@@ -216,6 +259,7 @@ impl AdmissionController {
     ///
     /// Returns the decision and, on acceptance, the new task's handle.
     pub fn admit(&mut self, task: Task<f64>, want_margins: bool) -> (Decision, Option<TaskHandle>) {
+        let decision_span = self.obs.span();
         // Preconditions: cheaper than any bound and independent of Γ.
         //
         // Magnitude cap: serve accepts untrusted input, and the analysis
@@ -224,7 +268,7 @@ impl AdmissionController {
         // such ratio far from i64/Rat64 overflow.
         for (name, value) in [("C", task.exec()), ("D", task.deadline()), ("T", task.period())] {
             if !(MIN_PARAMETER..=MAX_PARAMETER).contains(&value) {
-                self.record(Tier::IncrementalDp, false);
+                self.record(Tier::IncrementalDp, false, decision_span);
                 let reason = format!(
                     "task {name}={value:e} outside the supported range \
                      [{MIN_PARAMETER:e}, {MAX_PARAMETER:e}]"
@@ -233,7 +277,7 @@ impl AdmissionController {
             }
         }
         if task.area() > self.device.columns() {
-            self.record(Tier::IncrementalDp, false);
+            self.record(Tier::IncrementalDp, false, decision_span);
             let reason = format!(
                 "task occupies {} columns but the device only has {}",
                 task.area(),
@@ -242,7 +286,7 @@ impl AdmissionController {
             return (self.precondition_reject(reason), None);
         }
         if task.is_trivially_infeasible() {
-            self.record(Tier::IncrementalDp, false);
+            self.record(Tier::IncrementalDp, false, decision_span);
             let reason = format!(
                 "task has C={} > D={} and can never meet a deadline",
                 task.exec(),
@@ -252,11 +296,13 @@ impl AdmissionController {
         }
 
         let new_us = self.live.system_utilization() + task.system_utilization();
+        let dp_span = self.obs.span();
         let dp_out = self.dp.evaluate_admit(&self.live, &task, &self.device);
+        self.obs.record_ns("admission/stage/dp_ns", dp_span.elapsed_ns());
 
         // Fast path: clear incremental-DP accept, no snapshot needed.
         if dp_out.accepted && !self.knife_edge(dp_out.margin, new_us) {
-            self.record(Tier::IncrementalDp, true);
+            self.record(Tier::IncrementalDp, true, decision_span);
             let handle = self.commit(task);
             let per_task = want_margins.then(|| {
                 let snap = self.live.snapshot().expect("non-empty after commit");
@@ -275,7 +321,7 @@ impl AdmissionController {
         // Slow path: evaluate Γ ∪ {candidate} as a snapshot.
         let snap = self.live.snapshot_with(&task).expect("candidate makes the set non-empty");
         let outcome = self.cascade_decide(&snap, dp_out, new_us);
-        self.record(outcome.tier, outcome.accepted);
+        self.record(outcome.tier, outcome.accepted, decision_span);
         let handle = if outcome.accepted { Some(self.commit(task)) } else { None };
         let per_task = match (&outcome.report, want_margins) {
             (Some(report), true) => Some(self.margin_rows(report, handle)),
@@ -308,10 +354,12 @@ impl AdmissionController {
 
         // Lazy escalation: GN2 (O(N³)) only runs when GN1 did not accept.
         for tier in [Tier::Gn1, Tier::Gn2] {
-            let report = match tier {
-                Tier::Gn1 => self.gn1.check(snap, &self.device),
-                _ => self.gn2.check(snap, &self.device),
+            let stage_span = self.obs.span();
+            let (report, stage) = match tier {
+                Tier::Gn1 => (self.gn1.check(snap, &self.device), "admission/stage/gn1_ns"),
+                _ => (self.gn2.check(snap, &self.device), "admission/stage/gn2_ns"),
             };
+            self.obs.record_ns(stage, stage_span.elapsed_ns());
             let margin = report_margin(&report);
             knife |= self.knife_edge(margin, us);
             best_margin = best_margin.max(margin);
@@ -323,7 +371,10 @@ impl AdmissionController {
 
         // Knife-edge anywhere: settle the verdict in exact arithmetic.
         if knife {
-            match exact_cascade(snap, &self.device, self.config.max_denominator) {
+            let exact_span = self.obs.span();
+            let exact_result = exact_cascade(snap, &self.device, self.config.max_denominator);
+            self.obs.record_ns("admission/stage/exact_ns", exact_span.elapsed_ns());
+            match exact_result {
                 Ok(exact) => {
                     return CascadeOutcome {
                         accepted: exact.accepted,
@@ -406,7 +457,9 @@ impl AdmissionController {
     /// Is the *current* live set schedulable, and by which tier? Does not
     /// count into the admission statistics.
     pub fn query(&mut self, want_margins: bool) -> Decision {
+        let dp_span = self.obs.span();
         let dp_out = self.dp.evaluate_current(&self.live, &self.device);
+        self.obs.record_ns("admission/stage/dp_ns", dp_span.elapsed_ns());
         let us = self.live.system_utilization();
         if self.live.is_empty() || (dp_out.accepted && !self.knife_edge(dp_out.margin, us)) {
             let per_task = (want_margins && !self.live.is_empty()).then(|| {

@@ -62,4 +62,4 @@ pub use protocol::{
     parse_request, render_response, PerTaskMargin, QueryStats, Request, Response, TaskParams,
     TierCounts,
 };
-pub use server::{serve_session, ServeConfig, SessionStats};
+pub use server::{serve_session, serve_session_with_obs, ServeConfig, SessionStats};

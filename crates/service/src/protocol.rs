@@ -13,7 +13,7 @@
 //! {"op":"query","shard":3}
 //! ```
 //!
-//! * `op` — `"admit"`, `"release"` or `"query"` (required).
+//! * `op` — `"admit"`, `"release"`, `"query"` or `"stats"` (required).
 //! * `id` — optional client-chosen correlation id; when absent the service
 //!   assigns the deterministic id `req-<seq>` from the 0-based line number.
 //! * `shard` — optional shard key (default 0); each shard is an independent
@@ -32,7 +32,29 @@
 //! (reported as 0 in deterministic mode so transcripts stay diffable).
 
 use fpga_rt_model::{ModelError, Task};
+use fpga_rt_obs::{Registry, Snapshot};
 use serde::{Deserialize, Serialize};
+
+/// Registry counter names the admission statistics fold onto — the single
+/// cross-shard accumulation path (see [`QueryStats::fold_into`] /
+/// [`QueryStats::from_snapshot`]), shared by the service's `stats` op, the
+/// end-of-session metrics artifact and the load generator.
+pub mod counters {
+    /// Total admit decisions.
+    pub const DECISIONS: &str = "admission/decisions";
+    /// Admissions accepted.
+    pub const ACCEPTED: &str = "admission/accepted";
+    /// Admissions rejected.
+    pub const REJECTED: &str = "admission/rejected";
+    /// Decisions settled by the incremental DP tier.
+    pub const TIER_DP_INC: &str = "admission/tier/dp-inc";
+    /// Decisions settled by GN1.
+    pub const TIER_GN1: &str = "admission/tier/gn1";
+    /// Decisions settled by GN2.
+    pub const TIER_GN2: &str = "admission/tier/gn2";
+    /// Decisions settled by the exact `Rat64` re-check.
+    pub const TIER_EXACT: &str = "admission/tier/exact";
+}
 
 /// Raw task parameters on the wire; validated into a
 /// [`fpga_rt_model::Task`] on receipt (the wire form performs no
@@ -67,7 +89,7 @@ impl From<&Task<f64>> for TaskParams {
 pub struct Request {
     /// Client correlation id; `req-<seq>` is assigned when absent.
     pub id: Option<String>,
-    /// Operation: `"admit"`, `"release"` or `"query"`.
+    /// Operation: `"admit"`, `"release"`, `"query"` or `"stats"`.
     pub op: String,
     /// Shard key (default 0); reduced modulo the configured shard count.
     pub shard: Option<u32>,
@@ -110,15 +132,6 @@ impl TierCounts {
     pub fn total(&self) -> u64 {
         self.dp_inc + self.gn1 + self.gn2 + self.exact
     }
-
-    /// Element-wise accumulation of another counter set (used when summing
-    /// per-shard statistics into a service- or run-wide total).
-    pub fn accumulate(&mut self, other: &TierCounts) {
-        self.dp_inc += other.dp_inc;
-        self.gn1 += other.gn1;
-        self.gn2 += other.gn2;
-        self.exact += other.exact;
-    }
 }
 
 /// Controller statistics reported by `query`.
@@ -135,14 +148,36 @@ pub struct QueryStats {
 }
 
 impl QueryStats {
-    /// Element-wise accumulation of another shard's statistics: totals a
-    /// sharded service (or a load-generator run) across its independent
-    /// per-shard controllers.
-    pub fn accumulate(&mut self, other: &QueryStats) {
-        self.decisions += other.decisions;
-        self.accepted += other.accepted;
-        self.rejected += other.rejected;
-        self.tiers.accumulate(&other.tiers);
+    /// Fold this shard's statistics onto the registry's [`counters`] —
+    /// the one implementation of cross-shard totalling: every consumer
+    /// (the service's `stats` op, its end-of-session summary, the load
+    /// generator's per-profile totals) folds per-shard stats into a
+    /// registry and reads the sum back with
+    /// [`from_snapshot`](QueryStats::from_snapshot).
+    pub fn fold_into(&self, registry: &Registry) {
+        registry.add(counters::DECISIONS, self.decisions);
+        registry.add(counters::ACCEPTED, self.accepted);
+        registry.add(counters::REJECTED, self.rejected);
+        registry.add(counters::TIER_DP_INC, self.tiers.dp_inc);
+        registry.add(counters::TIER_GN1, self.tiers.gn1);
+        registry.add(counters::TIER_GN2, self.tiers.gn2);
+        registry.add(counters::TIER_EXACT, self.tiers.exact);
+    }
+
+    /// Read totals back from a registry snapshot (absent counters are 0).
+    pub fn from_snapshot(snapshot: &Snapshot) -> Self {
+        let c = |name: &str| snapshot.counter(name).unwrap_or(0);
+        QueryStats {
+            decisions: c(counters::DECISIONS),
+            accepted: c(counters::ACCEPTED),
+            rejected: c(counters::REJECTED),
+            tiers: TierCounts {
+                dp_inc: c(counters::TIER_DP_INC),
+                gn1: c(counters::TIER_GN1),
+                gn2: c(counters::TIER_GN2),
+                exact: c(counters::TIER_EXACT),
+            },
+        }
     }
 }
 
@@ -176,8 +211,12 @@ pub struct Response {
     pub margin: Option<f64>,
     /// Per-task margin rows (only when requested via `margins:true`).
     pub margins: Option<Vec<PerTaskMargin>>,
-    /// Controller statistics (only on `query`).
+    /// Controller statistics (shard-local on `query`, service-wide on
+    /// `stats`).
     pub stats: Option<QueryStats>,
+    /// Whole-service telemetry snapshot (only on `stats`): the live
+    /// `fpga-rt-obs/1` registry with every shard's statistics folded in.
+    pub obs: Option<Snapshot>,
     /// Human-readable rejection reason / decision notes.
     pub reason: Option<String>,
     /// Protocol-level error message when `ok` is `false`.
@@ -204,6 +243,7 @@ impl Response {
             margin: None,
             margins: None,
             stats: None,
+            obs: None,
             reason: None,
             error: None,
             latency_us: None,
@@ -262,8 +302,8 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate_element_wise() {
-        let mut total = QueryStats::default();
+    fn stats_total_through_the_registry_fold() {
+        let registry = Registry::new();
         let a = QueryStats {
             decisions: 5,
             accepted: 3,
@@ -276,14 +316,21 @@ mod tests {
             rejected: 0,
             tiers: TierCounts { dp_inc: 4, gn1: 0, gn2: 0, exact: 0 },
         };
-        total.accumulate(&a);
-        total.accumulate(&b);
+        a.fold_into(&registry);
+        b.fold_into(&registry);
+        let total = QueryStats::from_snapshot(&registry.snapshot());
         assert_eq!(total.decisions, 9);
         assert_eq!(total.accepted, 7);
         assert_eq!(total.rejected, 2);
         assert_eq!(total.tiers.total(), 9);
         assert_eq!(total.tiers.dp_inc, 6);
         assert_eq!(total.tiers.exact, 1);
+    }
+
+    #[test]
+    fn stats_from_empty_snapshot_are_zero() {
+        let total = QueryStats::from_snapshot(&Registry::new().snapshot());
+        assert_eq!(total, QueryStats::default());
     }
 
     #[test]

@@ -9,10 +9,24 @@
 //! session deterministic in the worker count, the batch size and
 //! wall-clock timing. A panicking request handler is contained by the pool
 //! as a per-item error and surfaces as a protocol-level error response.
+//!
+//! ## Telemetry
+//!
+//! [`serve_session_with_obs`] threads one shared [`Obs`] handle through the
+//! pool workers and every shard's admission controller, so a single
+//! registry accumulates pool shard counters and cascade-tier latency
+//! histograms for the whole session. The `stats` op (and the end of the
+//! session) *drains* the per-shard [`QueryStats`] through a pool broadcast
+//! and folds them into a **clone** of the registry — repeated `stats` ops
+//! therefore never double-count — producing a self-contained
+//! `fpga-rt-obs/1` [`Snapshot`]. A `stats` line also cuts the current
+//! batch: its totals cover exactly the requests with a smaller sequence
+//! number, at any worker count.
 
 use crate::controller::{AdmissionController, ControllerConfig};
-use crate::protocol::{parse_request, render_response, Request, Response, TierCounts};
+use crate::protocol::{parse_request, render_response, QueryStats, Request, Response, TierCounts};
 use fpga_rt_model::{Fpga, TaskHandle};
+use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use std::io::{BufRead, Write};
 use std::time::Instant;
@@ -34,8 +48,9 @@ pub struct ServeConfig {
     pub exact_margin: f64,
     /// `f64 → Rat64` denominator cap for the exact tier.
     pub max_denominator: u32,
-    /// Report `latency_us` as 0 so transcripts are byte-for-byte
-    /// reproducible (used by the golden-file CI gate).
+    /// Report `latency_us` as 0 and zero every time-valued telemetry
+    /// sample, so transcripts *and* metrics artifacts are byte-for-byte
+    /// reproducible (used by the golden-file and obs-smoke CI gates).
     pub deterministic: bool,
 }
 
@@ -75,6 +90,24 @@ pub struct SessionStats {
     pub tiers: TierCounts,
 }
 
+/// One pool item: a protocol line to serve, or a drain marker asking the
+/// shard's controller for its accumulated statistics.
+enum ServeReq {
+    /// A parsed request with its session sequence number.
+    Line(u64, Request),
+    /// Report the shard controller's [`QueryStats`].
+    Drain,
+}
+
+/// The matching pool response. The response is boxed so the drain variant
+/// does not inflate every line's payload.
+enum ServeResp {
+    /// The served protocol response.
+    Line(Box<Response>),
+    /// One shard's accumulated statistics.
+    Drain(QueryStats),
+}
+
 /// Drive a full session: read JSONL requests from `input` until EOF, write
 /// one JSONL response per request to `output` in request order.
 pub fn serve_session(
@@ -82,6 +115,20 @@ pub fn serve_session(
     output: &mut dyn Write,
     config: &ServeConfig,
 ) -> Result<SessionStats, String> {
+    serve_session_with_obs(input, output, config, Obs::off()).map(|(stats, _)| stats)
+}
+
+/// [`serve_session`] with a telemetry handle; returns the session
+/// statistics **and** the end-of-session `fpga-rt-obs/1` snapshot (pool
+/// shard counters, cascade-tier latency histograms, folded admission
+/// totals, session metadata). With [`Obs::off`] the snapshot still carries
+/// the folded totals and metadata — just no histograms or pool counters.
+pub fn serve_session_with_obs(
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+    config: &ServeConfig,
+    obs: Obs,
+) -> Result<(SessionStats, Snapshot), String> {
     if config.columns == 0 {
         return Err("device must have at least one column".to_string());
     }
@@ -92,19 +139,25 @@ pub fn serve_session(
     let deterministic = config.deterministic;
 
     // One admission controller per shard, owned by the pool worker the
-    // shard is pinned to. Handler panics are contained by the pool.
-    let mut pool: ShardedPool<(u64, Request), Response> = ShardedPool::new(
+    // shard is pinned to; all of them record into the one shared registry.
+    // Handler panics are contained by the pool.
+    let ctl_obs = obs.clone();
+    let mut pool: ShardedPool<ServeReq, ServeResp> = ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards },
-        move |_shard| AdmissionController::new(device, ctl_config),
-        move |controller, shard, (seq, request)| {
-            let start = Instant::now();
-            let mut response = handle_request(controller, seq, shard, request);
-            response.latency_us = Some(if deterministic {
-                0
-            } else {
-                u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
-            });
-            response
+        obs.clone(),
+        move |_shard| AdmissionController::with_obs(device, ctl_config, ctl_obs.clone()),
+        move |controller, shard, req| match req {
+            ServeReq::Drain => ServeResp::Drain(controller.stats()),
+            ServeReq::Line(seq, request) => {
+                let start = Instant::now();
+                let mut response = handle_request(controller, seq, shard, request);
+                response.latency_us = Some(if deterministic {
+                    0
+                } else {
+                    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+                });
+                ServeResp::Line(Box::new(response))
+            }
         },
     );
 
@@ -118,6 +171,10 @@ pub fn serve_session(
         // (seq, id, op, shard) per submitted request, in submission order —
         // enough to synthesize an error response if the handler panicked.
         let mut submitted: Vec<(u64, String, String, u32)> = Vec::new();
+        // A `stats` line cuts the batch: it is answered on the main thread
+        // after everything submitted before it has been collected, so its
+        // totals cover exactly the requests with a smaller seq.
+        let mut pending_stats: Option<(u64, String)> = None;
         let mut read = 0usize;
         while read < batch_size {
             line.clear();
@@ -135,11 +192,16 @@ pub fn serve_session(
             read += 1;
             stats.requests += 1;
             match parse_request(trimmed) {
+                Ok(request) if request.op == "stats" => {
+                    let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
+                    pending_stats = Some((this_seq, id));
+                    break;
+                }
                 Ok(request) => {
                     let shard = request.shard.unwrap_or(0) % shards;
                     let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
                     submitted.push((this_seq, id, request.op.clone(), shard));
-                    pool.submit(shard, (this_seq, request));
+                    pool.submit(shard, ServeReq::Line(this_seq, request));
                 }
                 Err(e) => {
                     immediate.push((
@@ -166,7 +228,10 @@ pub fn serve_session(
         let mut responses = immediate;
         for (result, (this_seq, id, op, shard)) in results.into_iter().zip(submitted) {
             let response = match result {
-                Ok(response) => response,
+                Ok(ServeResp::Line(response)) => *response,
+                Ok(ServeResp::Drain(_)) => {
+                    return Err("pool answered a request line with a drain".to_string())
+                }
                 Err(panic) => {
                     let mut r = Response::protocol_error(
                         id,
@@ -190,29 +255,75 @@ pub fn serve_session(
             account(&mut stats, response);
             writeln!(output, "{}", render_response(response)).map_err(|e| e.to_string())?;
         }
+
+        // Answer a batch-cutting `stats` line: drain every shard and fold.
+        if let Some((stats_seq, id)) = pending_stats {
+            let drained = drain(&mut pool)?;
+            let snapshot = service_snapshot(&obs, config, &drained);
+            let mut response = Response::new(id, stats_seq, "stats".to_string(), 0);
+            response.stats = Some(QueryStats::from_snapshot(&snapshot));
+            response.obs = Some(snapshot);
+            // Assembled on the main thread outside the timed handler;
+            // PROTOCOL.md documents latency_us 0 for `stats`.
+            response.latency_us = Some(0);
+            writeln!(output, "{}", render_response(&response)).map_err(|e| e.to_string())?;
+        }
     }
 
-    Ok(stats)
+    // Final drain: the session totals and the end-of-session snapshot come
+    // from the same fold the `stats` op uses — the one implementation.
+    let drained = drain(&mut pool)?;
+    let snapshot = service_snapshot(&obs, config, &drained);
+    let total = QueryStats::from_snapshot(&snapshot);
+    stats.accepted = total.accepted;
+    stats.rejected = total.rejected;
+    stats.tiers = total.tiers;
+    Ok((stats, snapshot))
 }
 
-/// Fold one response into the session statistics.
+/// Broadcast a drain marker and gather every shard's statistics (index `i`
+/// holds shard `i`'s).
+fn drain(pool: &mut ShardedPool<ServeReq, ServeResp>) -> Result<Vec<QueryStats>, String> {
+    let results = pool.broadcast(|_| ServeReq::Drain).map_err(|e| e.to_string())?;
+    let mut drained = Vec::with_capacity(results.len());
+    for result in results {
+        match result.map_err(|e| e.to_string())? {
+            ServeResp::Drain(stats) => drained.push(stats),
+            ServeResp::Line(_) => return Err("pool answered a drain with a line".to_string()),
+        }
+    }
+    Ok(drained)
+}
+
+/// Build the service-wide snapshot: a **clone** of the live registry (so
+/// repeated `stats` ops never double-count the fold) with every shard's
+/// statistics folded onto the admission counters and the session
+/// configuration recorded as metadata. The worker count is deliberately
+/// not part of the metadata — deterministic snapshots are byte-identical
+/// across worker counts, and the CI obs-smoke gate diffs exactly that.
+fn service_snapshot(obs: &Obs, config: &ServeConfig, drained: &[QueryStats]) -> Snapshot {
+    let registry = match obs.registry() {
+        Some(shared) => (**shared).clone(),
+        None => Registry::with_mode(config.deterministic),
+    };
+    registry.set_meta("mode", "serve");
+    registry.set_meta("columns", &config.columns.to_string());
+    registry.set_meta("shards", &config.shards.max(1).to_string());
+    registry.set_meta("batch", &config.batch.max(1).to_string());
+    registry.set_meta("deterministic", if config.deterministic { "true" } else { "false" });
+    for stats in drained {
+        stats.fold_into(&registry);
+    }
+    registry.snapshot()
+}
+
+/// Fold one response into the session statistics. Only protocol errors are
+/// counted here — the admission totals come from draining the shard
+/// controllers (see [`serve_session_with_obs`]), the same fold the `stats`
+/// op uses.
 fn account(stats: &mut SessionStats, response: &Response) {
     if response.error.is_some() {
         stats.errors += 1;
-    }
-    if response.op == "admit" && response.ok {
-        match response.verdict.as_deref() {
-            Some("accept") => stats.accepted += 1,
-            Some("reject") => stats.rejected += 1,
-            _ => {}
-        }
-        match response.tier.as_deref() {
-            Some("dp-inc") => stats.tiers.dp_inc += 1,
-            Some("gn1") => stats.tiers.gn1 += 1,
-            Some("gn2") => stats.tiers.gn2 += 1,
-            Some("exact") => stats.tiers.exact += 1,
-            _ => {}
-        }
     }
 }
 
@@ -281,7 +392,7 @@ fn handle_request(
         }
         other => {
             response.ok = false;
-            response.error = Some(format!("unknown op {other:?} (admit|release|query)"));
+            response.error = Some(format!("unknown op {other:?} (admit|release|query|stats)"));
         }
     }
     response
@@ -336,6 +447,7 @@ mod tests {
         assert_eq!(stats.requests, 6);
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.errors, 3);
+        assert_eq!(stats.tiers.dp_inc, 1);
     }
 
     #[test]
@@ -406,5 +518,87 @@ mod tests {
     fn zero_columns_is_a_config_error() {
         let mut out = Vec::new();
         assert!(serve_session(&mut "".as_bytes(), &mut out, &ServeConfig::new(0)).is_err());
+    }
+
+    #[test]
+    fn stats_op_totals_cover_exactly_the_preceding_requests() {
+        // 6 admits, a stats line, 2 more admits, a final stats line. The
+        // first stats must count 6 decisions, the second 8 — regardless of
+        // worker count and even though the stats line lands mid-batch.
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&format!(
+                r#"{{"op":"admit","shard":{},"task":{{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}}}"#,
+                i % 3
+            ));
+            input.push('\n');
+        }
+        input.push_str("{\"op\":\"stats\",\"id\":\"mid\"}\n");
+        for _ in 0..2 {
+            input.push_str(
+                r#"{"op":"admit","task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+            );
+            input.push('\n');
+        }
+        input.push_str("{\"op\":\"stats\"}\n");
+        for workers in [1, 2, 4] {
+            let config = ServeConfig { shards: 3, workers, batch: 64, ..deterministic(10) };
+            let (stats, out) = run(&input, &config);
+            let lines: Vec<&str> = out.lines().collect();
+            assert_eq!(lines.len(), 10, "workers={workers}");
+            let mid: Response = serde_json::from_str(lines[6]).unwrap();
+            assert_eq!(mid.id, "mid");
+            assert_eq!(mid.op, "stats");
+            assert_eq!(mid.latency_us, Some(0));
+            assert_eq!(mid.stats.unwrap().decisions, 6, "workers={workers}");
+            let snap = mid.obs.expect("stats carries the obs snapshot");
+            assert_eq!(snap.schema, fpga_rt_obs::SCHEMA);
+            assert_eq!(snap.counter("admission/decisions"), Some(6));
+            let end: Response = serde_json::from_str(lines[9]).unwrap();
+            assert_eq!(end.stats.unwrap().decisions, 8, "workers={workers}");
+            assert_eq!(stats.requests, 10);
+            assert_eq!(stats.tiers.total(), 8);
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_is_invariant_in_workers() {
+        let mut input = String::new();
+        for i in 0..30 {
+            input.push_str(&format!(
+                r#"{{"op":"admit","shard":{},"task":{{"exec":1.0,"deadline":{}.0,"period":{}.0,"area":{}}}}}"#,
+                i % 3,
+                4 + i % 5,
+                4 + i % 5,
+                1 + i % 4
+            ));
+            input.push('\n');
+        }
+        input.push_str("{\"op\":\"stats\"}\n");
+        let run_obs = |workers: usize| {
+            let config = ServeConfig { shards: 3, workers, batch: 7, ..deterministic(10) };
+            let mut out = Vec::new();
+            let (_, snapshot) =
+                serve_session_with_obs(&mut input.as_bytes(), &mut out, &config, Obs::on(true))
+                    .unwrap();
+            (String::from_utf8(out).unwrap(), snapshot.render_json(), snapshot.render_text())
+        };
+        let reference = run_obs(1);
+        // The deterministic registry records per-shard counters and zeroed
+        // histograms only, so both artifact formats are byte-identical.
+        for workers in [2, 3, 4] {
+            assert_eq!(run_obs(workers), reference, "workers={workers}");
+        }
+        let snap: Snapshot = serde_json::from_str(&reference.1).unwrap();
+        assert!(snap.deterministic);
+        // 10 admits routed to shard 0, plus one drain item for the stats
+        // op and one for the end-of-session snapshot.
+        assert_eq!(snap.counter("pool/shard000/items"), Some(10 + 1 + 1));
+        assert_eq!(snap.counter("admission/decisions"), Some(30));
+        let depth = snap.histogram("admission/cascade_depth").unwrap();
+        assert_eq!(depth.count, 30, "every decision records a cascade depth");
+        let dp = snap.histogram("admission/tier/dp-inc/decision_ns").unwrap();
+        assert!(dp.count > 0);
+        assert_eq!(dp.max, 0, "deterministic time samples are zeroed");
     }
 }

@@ -28,6 +28,13 @@ Two subcommands:
         budget object (ops, sessions, rounds, columns, seed,
         deterministic). Loadgen latency gates should pass a lower
         ``--min-ns`` (admission decisions are single-digit µs).
+      * ``fpga-rt-obs/1`` — telemetry snapshots written by
+        ``fpga-rt <serve|loadgen|sweep|conform> --metrics-out``. Rows are
+        the histogram quantiles as ``<histogram>/p50`` and
+        ``<histogram>/p99`` in nanoseconds; budget is the snapshot's
+        ``meta`` block (mode, figure/profile, population sizing, seed,
+        deterministic). Only non-deterministic snapshots carry non-zero
+        times worth gating.
 
       A budget mismatch between baseline and current always fails — the
       numbers are not comparable. A runner-platform mismatch downgrades
@@ -84,6 +91,8 @@ def family(doc: dict) -> str:
         return "loadgen"
     if schema.startswith("fpga-rt-bench-smoke/"):
         return "bench"
+    if schema.startswith("fpga-rt-obs/"):
+        return "obs"
     raise SystemExit(f"bench_gate: unknown schema {schema!r}")
 
 
@@ -96,27 +105,37 @@ def load(path: str) -> dict:
 
 def rows_of(doc: dict) -> dict:
     """Flatten a document into comparable ``name -> nanoseconds`` rows."""
-    if family(doc) == "loadgen":
+    kind = family(doc)
+    if kind == "loadgen":
         rows = {}
         for p in doc["profiles"]:
             rows[f"{p['profile']}/p50"] = int(p["latency"]["p50_ns"])
             rows[f"{p['profile']}/p99"] = int(p["latency"]["p99_ns"])
+        return rows
+    if kind == "obs":
+        rows = {}
+        for h in doc.get("histograms", []):
+            rows[f"{h['name']}/p50"] = int(h["p50"])
+            rows[f"{h['name']}/p99"] = int(h["p99"])
         return rows
     return {b["name"]: b["ns_per_iter"] for b in doc["benchmarks"]}
 
 
 def budget_of(doc: dict):
     """The workload-sizing knobs that must match for deltas to mean anything."""
-    if family(doc) == "loadgen":
+    kind = family(doc)
+    if kind == "loadgen":
         budget = doc.get("budget", {})
         return tuple(sorted((k, str(v)) for k, v in budget.items()))
+    if kind == "obs":
+        return tuple(sorted((m["key"], str(m["value"])) for m in doc.get("meta", [])))
     return (str(doc.get("samples")), str(doc.get("iters")))
 
 
 def budget_text(doc: dict) -> str:
-    if family(doc) == "loadgen":
-        budget = doc.get("budget", {})
-        return ", ".join(f"{k}={budget[k]}" for k in sorted(budget))
+    kind = family(doc)
+    if kind in ("loadgen", "obs"):
+        return ", ".join(f"{k}={v}" for k, v in budget_of(doc))
     return f"samples={doc.get('samples')}, iters={doc.get('iters')}"
 
 
@@ -131,8 +150,8 @@ def compare(args: argparse.Namespace) -> int:
         )
     base_rows = rows_of(baseline)
     cur_rows = rows_of(current)
-    unit = "ns" if family(baseline) == "loadgen" else "ns/iter"
-    kind = "latency" if family(baseline) == "loadgen" else "bench"
+    unit = "ns/iter" if family(baseline) == "bench" else "ns"
+    kind = {"loadgen": "latency", "obs": "telemetry"}.get(family(baseline), "bench")
 
     budget_mismatch = budget_of(baseline) != budget_of(current)
 
@@ -195,7 +214,11 @@ def compare(args: argparse.Namespace) -> int:
     runner_mismatch = str(baseline.get("runner")) != str(current.get("runner"))
     if runner_mismatch and not args.gate_across_runners:
         lines.append("")
-        baseline_name = "BENCH_6.json" if family(baseline) == "loadgen" else "BENCH_5.json"
+        baseline_name = {
+            "loadgen": "BENCH_6.json",
+            "bench": "BENCH_5.json",
+            "obs": "the committed telemetry baseline",
+        }[family(baseline)]
         lines.append(
             f"**Runner mismatch: baseline `{baseline.get('runner')}` vs current "
             f"`{current.get('runner')}` — deltas reported but NOT gated. Re-bless "

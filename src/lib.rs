@@ -32,7 +32,12 @@
 //! * [`loadgen`] — the traffic-shaped load generator: deterministic
 //!   Poisson / bursty / adversarial arrival streams replayed against
 //!   in-process admission controllers, with HDR-style latency histograms
-//!   and the CI-gated latency baselines (`fpga-rt loadgen`).
+//!   and the CI-gated latency baselines (`fpga-rt loadgen`);
+//! * [`obs`] — the hand-rolled telemetry core: counters, gauges,
+//!   log-scale latency histograms and span timers behind a mergeable
+//!   [`obs::Registry`] snapshotting to the versioned `fpga-rt-obs/1`
+//!   artifact (`--metrics-out`, the JSONL `stats` op), no-op when no
+//!   registry is installed and byte-diffable under `--deterministic`.
 //!
 //! ## Quickstart
 //!
@@ -70,6 +75,7 @@ pub use fpga_rt_exp as exp;
 pub use fpga_rt_gen as gen;
 pub use fpga_rt_loadgen as loadgen;
 pub use fpga_rt_model as model;
+pub use fpga_rt_obs as obs;
 pub use fpga_rt_pool as pool;
 pub use fpga_rt_service as service;
 pub use fpga_rt_sim as sim;
@@ -84,6 +90,7 @@ pub mod prelude {
     pub use fpga_rt_model::{
         Fpga, LiveTaskSet, ModelError, Rat64, Task, TaskHandle, TaskId, TaskSet, Time,
     };
+    pub use fpga_rt_obs::{Obs, Registry, Snapshot, SpanTimer};
     pub use fpga_rt_pool::{PoolConfig, ShardedPool};
     pub use fpga_rt_service::{AdmissionController, ControllerConfig, ServeConfig, Tier};
     pub use fpga_rt_sim::{self as sim, SchedulerKind, SimConfig, SimOutcome};
