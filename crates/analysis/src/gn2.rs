@@ -105,6 +105,35 @@ pub struct Gn2Test {
     config: Gn2Config,
 }
 
+/// Sort ascending and deduplicate a list of λ values in place.
+fn sort_dedup<T: Time>(v: &mut Vec<T>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("validated times are ordered"));
+    v.dedup_by(|a, b| a == b);
+}
+
+/// The global λ-candidate pool of a taskset:
+/// `{Ci/Ti} ∪ {Ci/Di : Di > Ti}` over **all** tasks, sorted ascending and
+/// deduplicated.
+///
+/// Every per-task candidate list of [`Gn2Test::lambda_candidates`] is a
+/// contiguous slice of this pool (each task's own `Ck/Tk` is a pool member,
+/// so the `λ ≥ Ck/Tk` filter is a `partition_point`). That slice structure
+/// is what lets an admission controller maintain the pool incrementally
+/// across admit/release churn — one sorted insert/remove per delta instead
+/// of an O(N log N) re-sort per task per check (see `IncrementalState` in
+/// this crate).
+pub fn lambda_pool<T: Time>(taskset: &TaskSet<T>) -> Vec<T> {
+    let mut pool: Vec<T> = Vec::with_capacity(2 * taskset.len());
+    for t in taskset {
+        pool.push(t.time_utilization());
+        if t.deadline() > t.period() {
+            pool.push(t.density());
+        }
+    }
+    sort_dedup(&mut pool);
+    pool
+}
+
 /// One evaluated λ candidate for one task τk — the raw material of the
 /// paper's Section-6 GN2 walkthrough. All fields are reported in `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -190,20 +219,32 @@ impl Gn2Test {
     /// deduplicated: discontinuity points of `βλk` plus grid points when
     /// configured, filtered to `λ ≥ Ck/Tk` and `λk ≤ 1`.
     pub fn lambda_candidates<T: Time>(&self, taskset: &TaskSet<T>, k: usize) -> Vec<T> {
+        self.lambda_candidates_with_pool(taskset, k, &lambda_pool(taskset))
+    }
+
+    /// [`Gn2Test::lambda_candidates`] with the global [`lambda_pool`]
+    /// supplied by the caller (`pool` must equal `lambda_pool(taskset)`).
+    ///
+    /// The paper points are the slice of the pool inside `[Ck/Tk, λmax]`
+    /// (`λmax = 1/max(1, Tk/Dk)`); a sorted+deduped slice of a sorted,
+    /// deduped pool *is* the sorted+deduped filtered candidate multiset, so
+    /// this returns bit-identical results to building the list per task.
+    /// Grid points, which depend on `Ck/Tk`, are still generated per task.
+    pub fn lambda_candidates_with_pool<T: Time>(
+        &self,
+        taskset: &TaskSet<T>,
+        k: usize,
+        pool: &[T],
+    ) -> Vec<T> {
         let tk = taskset.task(k);
         let uk = tk.time_utilization();
         // λk = λ·max(1, Tk/Dk) ≤ 1  ⇔  λ ≤ min(1, Dk/Tk)
         let scale = (tk.period() / tk.deadline()).max_t(T::ONE);
         let lambda_max = T::ONE / scale;
 
-        let mut cands: Vec<T> = Vec::with_capacity(2 * taskset.len() + 2);
-        cands.push(uk);
-        for t in taskset {
-            cands.push(t.time_utilization());
-            if t.deadline() > t.period() {
-                cands.push(t.density());
-            }
-        }
+        let lo = pool.partition_point(|&l| l < uk);
+        let hi = pool.partition_point(|&l| l <= lambda_max);
+        let mut cands: Vec<T> = if hi > lo { pool[lo..hi].to_vec() } else { Vec::new() };
         if let Gn2LambdaSearch::Grid { points } = self.config.lambda_search {
             if points > 0 && lambda_max > uk {
                 let n = T::from_i64(points as i64);
@@ -213,11 +254,10 @@ impl Gn2Test {
                     cands.push(v);
                     v = v + step;
                 }
+                cands.retain(|&l| l >= uk && l <= lambda_max);
+                sort_dedup(&mut cands);
             }
         }
-        cands.retain(|&l| l >= uk && l <= lambda_max);
-        cands.sort_by(|a, b| a.partial_cmp(b).expect("validated times are ordered"));
-        cands.dedup_by(|a, b| a == b);
         cands
     }
 
@@ -275,31 +315,19 @@ impl Gn2Test {
         }
     }
 
-    /// All attempts for task `k`, in candidate order — used by the
-    /// experiment harness to print the paper's worked examples.
-    pub fn attempts_for_task<T: Time>(
+    /// [`SchedTest::check`] with the global [`lambda_pool`] supplied by the
+    /// caller (`pool` must equal `lambda_pool(taskset)`).
+    ///
+    /// This is the *only* evaluation path — the trait `check` builds the
+    /// pool and delegates here — so an admission controller feeding an
+    /// incrementally-maintained pool gets structurally bit-identical
+    /// reports.
+    pub fn check_with_pool<T: Time>(
         &self,
         taskset: &TaskSet<T>,
         device: &Fpga,
-        k: usize,
-    ) -> Vec<Gn2Attempt> {
-        self.lambda_candidates(taskset, k)
-            .into_iter()
-            .map(|l| self.evaluate_lambda(taskset, device, k, l))
-            .collect()
-    }
-}
-
-impl<T: Time> SchedTest<T> for Gn2Test {
-    fn name(&self) -> &str {
-        match (self.config.lambda_search, self.config.condition2_strict) {
-            (Gn2LambdaSearch::Grid { .. }, _) => "GN2-grid",
-            (Gn2LambdaSearch::PaperPoints, true) => "GN2",
-            (Gn2LambdaSearch::PaperPoints, false) => "GN2-nonstrict",
-        }
-    }
-
-    fn check(&self, taskset: &TaskSet<T>, device: &Fpga) -> TestReport {
+        pool: &[T],
+    ) -> TestReport {
         let name = SchedTest::<T>::name(self).to_string();
         if let Some(rep) = precondition_reject(&name, taskset, device) {
             return rep;
@@ -307,7 +335,7 @@ impl<T: Time> SchedTest<T> for Gn2Test {
 
         let mut checks = Vec::with_capacity(taskset.len());
         for k in 0..taskset.len() {
-            let candidates = self.lambda_candidates(taskset, k);
+            let candidates = self.lambda_candidates_with_pool(taskset, k, pool);
             let mut passing: Option<Gn2Attempt> = None;
             let mut best: Option<Gn2Attempt> = None;
             for lambda in candidates {
@@ -359,6 +387,34 @@ impl<T: Time> SchedTest<T> for Gn2Test {
             }
         }
         TestReport { test: name, verdict: Verdict::Accepted, checks }
+    }
+
+    /// All attempts for task `k`, in candidate order — used by the
+    /// experiment harness to print the paper's worked examples.
+    pub fn attempts_for_task<T: Time>(
+        &self,
+        taskset: &TaskSet<T>,
+        device: &Fpga,
+        k: usize,
+    ) -> Vec<Gn2Attempt> {
+        self.lambda_candidates(taskset, k)
+            .into_iter()
+            .map(|l| self.evaluate_lambda(taskset, device, k, l))
+            .collect()
+    }
+}
+
+impl<T: Time> SchedTest<T> for Gn2Test {
+    fn name(&self) -> &str {
+        match (self.config.lambda_search, self.config.condition2_strict) {
+            (Gn2LambdaSearch::Grid { .. }, _) => "GN2-grid",
+            (Gn2LambdaSearch::PaperPoints, true) => "GN2",
+            (Gn2LambdaSearch::PaperPoints, false) => "GN2-nonstrict",
+        }
+    }
+
+    fn check(&self, taskset: &TaskSet<T>, device: &Fpga) -> TestReport {
+        self.check_with_pool(taskset, device, &lambda_pool(taskset))
     }
 }
 

@@ -59,6 +59,23 @@ pub(crate) fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, St
     }
 }
 
+/// Parse `--cache <entries>|off` (serve and loadgen): absent keeps the
+/// default 1024-entry per-shard verdict cache, `off` disables caching, a
+/// positive integer sizes it. `--cache 0` is a usage error rather than a
+/// silent alias — it is ambiguous between "off" and "unbounded" — matching
+/// the [`positive_count`] convention.
+pub(crate) fn cache_entries(args: &Args) -> Result<Option<usize>, String> {
+    match args.flags.get("cache").map(String::as_str) {
+        None => Ok(Some(1024)),
+        Some("off") => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err("--cache must be ≥ 1 entries, or `off` to disable caching".into()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("--cache expects a positive entry count or `off`, got {v:?}")),
+        },
+    }
+}
+
 /// Parse `--kernel batch|scalar` (default batch). The two kernels are
 /// bit-identical by contract — the scalar path exists as an escape hatch
 /// and as the reference the batch kernel is cross-checked against.
@@ -686,6 +703,7 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
         exact_margin,
         max_denominator: 1_000_000,
         deterministic: args.has("deterministic"),
+        cache: cache_entries(args)?,
     };
     let (metrics, obs) = metrics_target(args, config.deterministic)?;
     let start = std::time::Instant::now();
@@ -747,6 +765,7 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
     config.workers = positive_count(args, "workers")?.unwrap_or(0);
     config.seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
     config.deterministic = args.has("deterministic");
+    config.cache = cache_entries(args)?;
 
     let out_target = artifact_target(args, "out", &[ArtifactFormat::Json, ArtifactFormat::Csv])?;
     let (metrics, obs) = metrics_target(args, config.deterministic)?;
@@ -1175,6 +1194,28 @@ mod tests {
         // Omitting the flags keeps the documented defaults working.
         assert!(positive_count(&args(&[]), "workers").unwrap().is_none());
         assert_eq!(parsed_flag(&args(&[]), "seed", 7u64).unwrap(), 7);
+    }
+
+    /// Satellite bugfix: `--cache` goes through the same checked-parse
+    /// discipline on both serve and loadgen — `0` and garbage are usage
+    /// errors (exit code 2), `off` disables, absent means the default.
+    #[test]
+    fn zero_and_garbage_cache_sizes_are_rejected() {
+        for (cmd, base) in [
+            (serve as fn(&Args, &mut dyn Write) -> CmdResult, vec!["--columns", "10"]),
+            (loadgen, vec![]),
+        ] {
+            for (value, expect) in [("0", "must be ≥ 1"), ("lots", "positive entry count")] {
+                let mut line = base.clone();
+                line.extend(["--cache", value]);
+                let err = cmd(&args(&line), &mut Vec::new()).unwrap_err();
+                assert!(err.contains(expect), "--cache {value}: {err}");
+            }
+        }
+        // The documented spellings parse.
+        assert_eq!(cache_entries(&args(&[])).unwrap(), Some(1024));
+        assert_eq!(cache_entries(&args(&["--cache", "off"])).unwrap(), None);
+        assert_eq!(cache_entries(&args(&["--cache", "64"])).unwrap(), Some(64));
     }
 
     /// Satellite bugfix: every seed-consuming subcommand routes `--seed`

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use fpga_rt_model::{Fpga, TaskHandle};
 use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
+use fpga_rt_service::protocol::counters as cache_counters;
 use fpga_rt_service::{AdmissionController, ControllerConfig, QueryStats};
 
 use crate::hist::LatencyHistogram;
@@ -44,6 +45,11 @@ pub struct LoadConfig {
     pub rounds: u32,
     /// Zero all latencies so artifacts are byte-diffable.
     pub deterministic: bool,
+    /// Per-session verdict-cache capacity (`None` disables caching).
+    /// Deliberately **not** part of [`Budget`]: cache on/off runs produce
+    /// byte-identical deterministic artifacts, so the latency gate can
+    /// compare them under one budget.
+    pub cache: Option<usize>,
 }
 
 impl Default for LoadConfig {
@@ -56,6 +62,7 @@ impl Default for LoadConfig {
             workers: 0,
             rounds: 1,
             deterministic: false,
+            cache: Some(1024),
         }
     }
 }
@@ -116,6 +123,7 @@ enum Stop {
 fn build_pool(config: &LoadConfig, obs: &Obs) -> ShardedPool<Req, Resp> {
     let columns = config.columns;
     let deterministic = config.deterministic;
+    let cache = config.cache;
     let ctl_obs = obs.clone();
     ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards: config.sessions },
@@ -125,7 +133,8 @@ fn build_pool(config: &LoadConfig, obs: &Obs) -> ShardedPool<Req, Resp> {
                 Fpga::new(columns).expect("spec validation caught zero columns"),
                 ControllerConfig::default(),
                 ctl_obs.clone(),
-            ),
+            )
+            .with_cache(cache),
             live: VecDeque::new(),
         },
         move |session, _shard, req| {
@@ -322,7 +331,16 @@ fn loadgen_snapshot(obs: &Obs, config: &LoadConfig) -> Snapshot {
     registry.set_meta("rounds", &config.rounds.max(1).to_string());
     registry.set_meta("seed", &config.seed.to_string());
     registry.set_meta("deterministic", if config.deterministic { "true" } else { "false" });
-    registry.snapshot()
+    // Hit-rate gauge from the merged cache counters (gauges merge by sum,
+    // so this must be written exactly once, here).
+    let snap = registry.snapshot();
+    let hits = snap.counter(cache_counters::CACHE_HITS).unwrap_or(0);
+    let misses = snap.counter(cache_counters::CACHE_MISSES).unwrap_or(0);
+    if let Some(rate) = (hits * 1000).checked_div(hits + misses) {
+        registry.set_gauge(cache_counters::CACHE_HIT_RATE_PERMILLE, rate);
+        return registry.snapshot();
+    }
+    snap
 }
 
 /// Soak mode: keep replaying rounds of every profile until `secs` seconds
@@ -382,6 +400,7 @@ mod tests {
             workers,
             rounds: 2,
             deterministic,
+            cache: Some(1024),
         }
     }
 
@@ -395,6 +414,25 @@ mod tests {
             assert_eq!(other.render_csv(), reference.render_csv(), "workers={workers}");
             assert_eq!(other.render_text(), reference.render_text(), "workers={workers}");
         }
+    }
+
+    /// The cache contract at loadgen scale: deterministic artifacts are
+    /// byte-identical with the cache on or off (the CI cache-smoke gate
+    /// diffs exactly this), and the resubmission-heavy streams drive a
+    /// non-trivial hit rate into the obs snapshot.
+    #[test]
+    fn cache_on_off_artifacts_are_byte_identical() {
+        let all = ArrivalProfile::all();
+        let on = run(&all, &small_config(true, 2)).unwrap();
+        let off = run(&all, &LoadConfig { cache: None, ..small_config(true, 2) }).unwrap();
+        assert_eq!(on.render_json(), off.render_json());
+        assert_eq!(on.render_csv(), off.render_csv());
+        assert_eq!(on.render_text(), off.render_text());
+
+        let (_, snap) = run_with_obs(&all, &small_config(true, 2), Obs::on(true)).unwrap();
+        let hits = snap.counter(cache_counters::CACHE_HITS).unwrap_or(0);
+        assert!(hits > 0, "adversarial resubmission cycles must hit the cache");
+        assert_eq!(snap.gauge(cache_counters::CACHE_HIT_RATE_PERMILLE).map(|p| p > 0), Some(true));
     }
 
     #[test]

@@ -9,10 +9,22 @@
 //! admission decision does not start with an O(N) re-summation.
 //!
 //! [`LiveTaskSet`] provides exactly that: an insert/remove taskset with
-//! stable [`TaskHandle`] identities and O(1) aggregate maintenance on
-//! admission (`O(log A)` for the area multiset). Removal is O(N) — it keeps
-//! insertion order and re-folds the utilization sums so floating-point
-//! aggregates never drift from their recomputed values.
+//! stable [`TaskHandle`] identities and incrementally-maintained
+//! aggregates.
+//!
+//! ## Canonical order
+//!
+//! The tasks are stored sorted by [`Task::canonical_cmp`] — lexicographic
+//! on `(Ck, Dk, Tk, Ak)` — **not** in admission order. Both admission and
+//! removal re-fold the utilization sums over that canonical order, so every
+//! observable of a live set (snapshots, aggregate folds and therefore every
+//! floating-point analysis verdict derived from them) is a pure function of
+//! the current task *multiset*: two histories that arrive at the same
+//! multiset of tasks produce bit-identical snapshots and aggregates. This
+//! purity is what lets a fingerprint-keyed verdict cache replay decisions
+//! across sessions without ever observing a divergent bit. Mutations are
+//! O(N) (`O(log A)` for the area multiset); the admission tests they feed
+//! are Ω(N) anyway.
 
 use crate::error::ModelError;
 use crate::task::Task;
@@ -42,11 +54,19 @@ impl core::fmt::Display for TaskHandle {
 /// produced by [`LiveTaskSet::snapshot`] / [`LiveTaskSet::snapshot_with`].
 #[derive(Debug, Clone)]
 pub struct LiveTaskSet<T: Time> {
-    /// `(handle, task)` pairs in admission order.
+    /// `(handle, task)` pairs in canonical [`Task::canonical_cmp`] order.
     tasks: Vec<(TaskHandle, Task<T>)>,
     next_handle: u64,
     ut_total: T,
     us_total: T,
+    /// `tasks[i].1.time_utilization()` memoized in the same order, so the
+    /// per-mutation re-folds are pure adds instead of a division per
+    /// element.
+    ut_values: Vec<T>,
+    /// `tasks[i].1.system_utilization()` memoized in the same order, for
+    /// the same re-folds plus the union fold
+    /// ([`LiveTaskSet::system_utilization_with`]).
+    us_values: Vec<T>,
     /// Multiset of task areas (`area → count`), for O(log A) `Amax`/`Amin`.
     areas: BTreeMap<u32, usize>,
 }
@@ -65,6 +85,8 @@ impl<T: Time> LiveTaskSet<T> {
             next_handle: 0,
             ut_total: T::ZERO,
             us_total: T::ZERO,
+            ut_values: Vec::new(),
+            us_values: Vec::new(),
             areas: BTreeMap::new(),
         }
     }
@@ -81,23 +103,41 @@ impl<T: Time> LiveTaskSet<T> {
         self.tasks.is_empty()
     }
 
-    /// Admit a (pre-validated) task, returning its stable handle.
+    /// The canonical position a task occupies (or would occupy) in this
+    /// set: after every stored task that compares ≤ to it under
+    /// [`Task::canonical_cmp`] (insert-after-equals). Both [`admit`] and
+    /// [`snapshot_with`] place tasks at exactly this index, so positional
+    /// diagnostics computed on a candidate snapshot remain valid after the
+    /// candidate is committed.
     ///
-    /// Aggregates are updated in O(1)/O(log A); schedulability is *not*
-    /// checked here — that is the admission controller's job.
+    /// [`admit`]: LiveTaskSet::admit
+    /// [`snapshot_with`]: LiveTaskSet::snapshot_with
+    pub fn canonical_position(&self, task: &Task<T>) -> usize {
+        self.tasks.partition_point(|(_, t)| t.canonical_cmp(task) != core::cmp::Ordering::Greater)
+    }
+
+    /// Admit a (pre-validated) task at its canonical position, returning
+    /// its stable handle.
+    ///
+    /// O(N): inserts in [`Task::canonical_cmp`] order and re-folds the
+    /// utilization sums over that order, so the aggregates stay a pure
+    /// function of the task multiset. Schedulability is *not* checked here
+    /// — that is the admission controller's job.
     pub fn admit(&mut self, task: Task<T>) -> TaskHandle {
         let handle = TaskHandle(self.next_handle);
         self.next_handle += 1;
-        self.ut_total = self.ut_total + task.time_utilization();
-        self.us_total = self.us_total + task.system_utilization();
         *self.areas.entry(task.area()).or_insert(0) += 1;
-        self.tasks.push((handle, task));
+        let pos = self.canonical_position(&task);
+        self.tasks.insert(pos, (handle, task));
+        self.ut_values.insert(pos, task.time_utilization());
+        self.us_values.insert(pos, task.system_utilization());
+        self.refold_totals();
         handle
     }
 
     /// Release the task with the given handle, returning it.
     ///
-    /// O(N): preserves admission order and re-folds the utilization sums so
+    /// O(N): preserves canonical order and re-folds the utilization sums so
     /// the floating-point aggregates match a from-scratch recomputation.
     pub fn remove(&mut self, handle: TaskHandle) -> Result<Task<T>, ModelError> {
         let idx = self
@@ -106,13 +146,15 @@ impl<T: Time> LiveTaskSet<T> {
             .position(|(h, _)| *h == handle)
             .ok_or(ModelError::UnknownTaskHandle { handle: handle.0 })?;
         let (_, task) = self.tasks.remove(idx);
+        self.ut_values.remove(idx);
+        self.us_values.remove(idx);
         match self.areas.get_mut(&task.area()) {
             Some(count) if *count > 1 => *count -= 1,
             _ => {
                 self.areas.remove(&task.area());
             }
         }
-        self.recompute_aggregates();
+        self.refold_totals();
         Ok(task)
     }
 
@@ -121,7 +163,7 @@ impl<T: Time> LiveTaskSet<T> {
         self.tasks.iter().find(|(h, _)| *h == handle).map(|(_, t)| t)
     }
 
-    /// Iterate over `(handle, &task)` pairs in admission order.
+    /// Iterate over `(handle, &task)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (TaskHandle, &Task<T>)> + '_ {
         self.tasks.iter().map(|(h, t)| (*h, t))
     }
@@ -138,6 +180,23 @@ impl<T: Time> LiveTaskSet<T> {
         self.us_total
     }
 
+    /// Total system utilization `US(Γ ∪ {candidate})`, folded in canonical
+    /// order with the candidate spliced at its canonical position.
+    ///
+    /// Bit-identical to what [`LiveTaskSet::system_utilization`] returns
+    /// after `admit(candidate)` — and therefore a pure function of the
+    /// union multiset, no matter which member plays "candidate". Appending
+    /// the candidate's utilization last (`US(Γ) + US(τ)`) would round
+    /// differently for different (live, candidate) splits of the same
+    /// union, which is exactly the drift a verdict cache keyed on the
+    /// union multiset cannot tolerate.
+    pub fn system_utilization_with(&self, candidate: &Task<T>) -> T {
+        let pos = self.canonical_position(candidate);
+        let acc = self.us_values[..pos].iter().fold(T::ZERO, |acc, &us| acc + us);
+        let acc = acc + candidate.system_utilization();
+        self.us_values[pos..].iter().fold(acc, |acc, &us| acc + us)
+    }
+
     /// Largest task area `Amax` (0 when empty).
     #[inline]
     pub fn amax(&self) -> u32 {
@@ -150,36 +209,78 @@ impl<T: Time> LiveTaskSet<T> {
         self.areas.keys().next().copied().unwrap_or(0)
     }
 
-    /// Re-fold the utilization sums from the task list.
+    /// Rebuild the memoized per-task utilization vectors and re-fold the
+    /// sums from scratch.
     ///
-    /// Admissions accumulate left-to-right, so after this call (and after
-    /// every [`LiveTaskSet::remove`], which calls it) the cached sums are
-    /// *exactly* the fold a fresh [`crate::TaskSet`] would compute —
-    /// admission-heavy sessions never accumulate removal drift.
+    /// Mutations do not need this — [`admit`](LiveTaskSet::admit) and
+    /// [`remove`](LiveTaskSet::remove) splice the memo vectors directly and
+    /// call [`refold_totals`](LiveTaskSet::refold_totals), which yields the
+    /// same bits because each memoized value is a position-independent
+    /// function of one task. It remains public as the from-scratch
+    /// reference the identity is checked against in tests.
     pub fn recompute_aggregates(&mut self) {
-        self.ut_total = self.tasks.iter().fold(T::ZERO, |acc, (_, t)| acc + t.time_utilization());
-        self.us_total = self.tasks.iter().fold(T::ZERO, |acc, (_, t)| acc + t.system_utilization());
+        self.ut_values.clear();
+        self.ut_values.extend(self.tasks.iter().map(|(_, t)| t.time_utilization()));
+        self.us_values.clear();
+        self.us_values.extend(self.tasks.iter().map(|(_, t)| t.system_utilization()));
+        self.refold_totals();
     }
 
-    /// Freeze the current tasks (admission order) into an immutable
+    /// Re-fold the cached totals from the memoized per-task values in
+    /// canonical order — pure adds, no divisions.
+    ///
+    /// Every mutation calls this, so the cached sums are *exactly* the fold
+    /// a fresh [`crate::TaskSet`] built from [`LiveTaskSet::snapshot`]
+    /// would compute — no history-dependent accumulation drift, ever.
+    fn refold_totals(&mut self) {
+        // One pass, two independent accumulation chains: each total is the
+        // same left fold as a per-vector pass, but the adds interleave so
+        // the FP dependency chains overlap instead of running back-to-back.
+        let (mut ut, mut us) = (T::ZERO, T::ZERO);
+        for (&u, &s) in self.ut_values.iter().zip(self.us_values.iter()) {
+            ut = ut + u;
+            us = us + s;
+        }
+        self.ut_total = ut;
+        self.us_total = us;
+    }
+
+    /// Freeze the current tasks (canonical order) into an immutable
     /// [`crate::TaskSet`]. Fails with [`ModelError::EmptyTaskSet`] when empty.
     pub fn snapshot(&self) -> Result<TaskSet<T>, ModelError> {
         TaskSet::new(self.tasks.iter().map(|(_, t)| *t).collect())
     }
 
-    /// Freeze the current tasks **plus** `candidate` (appended last) into an
-    /// immutable [`crate::TaskSet`] — the set an admission test evaluates
-    /// when deciding `Γ ∪ {candidate}` without mutating the live set.
+    /// Freeze the current tasks **plus** `candidate` (inserted at its
+    /// canonical position) into an immutable [`crate::TaskSet`] — the set
+    /// an admission test evaluates when deciding `Γ ∪ {candidate}` without
+    /// mutating the live set.
     ///
-    /// Positional [`crate::TaskId`]s in the resulting set map back to live
-    /// tasks in admission order; index `self.len()` is the candidate.
+    /// The result is exactly the snapshot the live set would produce after
+    /// `admit(candidate)`, so a verdict computed on it stays valid once the
+    /// candidate commits. Use [`LiveTaskSet::snapshot_with_pos`] to also
+    /// learn where the candidate landed.
     pub fn snapshot_with(&self, candidate: &Task<T>) -> Result<TaskSet<T>, ModelError> {
-        let mut tasks: Vec<Task<T>> = self.tasks.iter().map(|(_, t)| *t).collect();
-        tasks.push(*candidate);
-        TaskSet::new(tasks)
+        self.snapshot_with_pos(candidate).map(|(ts, _)| ts)
     }
 
-    /// The handle at admission-order position `k` (for mapping positional
+    /// [`LiveTaskSet::snapshot_with`], also returning the candidate's
+    /// positional index in the produced set. Indices `< pos` map to
+    /// [`LiveTaskSet::handle_at`]`(i)`, index `pos` is the candidate, and
+    /// indices `> pos` map to [`LiveTaskSet::handle_at`]`(i − 1)`.
+    pub fn snapshot_with_pos(
+        &self,
+        candidate: &Task<T>,
+    ) -> Result<(TaskSet<T>, usize), ModelError> {
+        let pos = self.canonical_position(candidate);
+        let mut tasks: Vec<Task<T>> = Vec::with_capacity(self.tasks.len() + 1);
+        tasks.extend(self.tasks[..pos].iter().map(|(_, t)| *t));
+        tasks.push(*candidate);
+        tasks.extend(self.tasks[pos..].iter().map(|(_, t)| *t));
+        TaskSet::new(tasks).map(|ts| (ts, pos))
+    }
+
+    /// The handle at canonical position `k` (for mapping positional
     /// snapshot diagnostics back to live identities).
     pub fn handle_at(&self, k: usize) -> Option<TaskHandle> {
         self.tasks.get(k).map(|(h, _)| *h)
@@ -259,20 +360,55 @@ mod tests {
         assert_eq!(live.system_utilization(), snap.system_utilization());
         assert_eq!(live.amax(), snap.amax());
         assert_eq!(live.amin(), snap.amin());
+        // The spliced memo vectors are bit-identical to a from-scratch
+        // rebuild — the identity that licenses the incremental maintenance.
+        let (ut, us) = (live.time_utilization(), live.system_utilization());
+        live.recompute_aggregates();
+        assert_eq!(live.time_utilization(), ut);
+        assert_eq!(live.system_utilization(), us);
     }
 
     #[test]
-    fn snapshot_with_appends_candidate_last() {
+    fn snapshot_with_places_candidate_canonically() {
         let mut live = LiveTaskSet::new();
-        let h = live.admit(t(1.0, 4.0, 3));
-        let cand = t(2.0, 8.0, 7);
-        let snap = live.snapshot_with(&cand).unwrap();
+        let h = live.admit(t(2.0, 8.0, 3));
+        // Candidate sorts before the stored task (smaller exec).
+        let cand = t(1.0, 4.0, 7);
+        let (snap, pos) = live.snapshot_with_pos(&cand).unwrap();
+        assert_eq!(pos, 0);
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap.task(1).area(), 7);
+        assert_eq!(snap.task(0).area(), 7);
         assert_eq!(live.handle_at(0), Some(h));
         assert_eq!(live.handle_at(1), None);
         // The live set itself is untouched.
         assert_eq!(live.len(), 1);
+        // Committing the candidate yields the same snapshot at the same
+        // position — the purity contract the verdict cache relies on.
+        live.admit(cand);
+        assert_eq!(live.snapshot().unwrap().tasks(), snap.tasks());
+        assert_eq!(live.canonical_position(&cand), 1, "after-equals insertion point");
+    }
+
+    #[test]
+    fn canonical_order_is_history_independent() {
+        let a = t(1.0, 4.0, 3);
+        let b = t(2.0, 8.0, 5);
+        let c = t(0.5, 2.0, 1);
+        let mut fwd = LiveTaskSet::new();
+        for task in [a, b, c] {
+            fwd.admit(task);
+        }
+        let mut rev = LiveTaskSet::new();
+        let rev_handles: Vec<_> = [c, b, a].iter().map(|task| rev.admit(*task)).collect();
+        assert_eq!(fwd.snapshot().unwrap().tasks(), rev.snapshot().unwrap().tasks());
+        assert_eq!(fwd.time_utilization(), rev.time_utilization());
+        assert_eq!(fwd.system_utilization(), rev.system_utilization());
+        // Churn that returns to the same multiset restores identical bits:
+        // remove b, re-admit it — order must not depend on arrival time.
+        rev.remove(rev_handles[1]).unwrap();
+        rev.admit(b);
+        assert_eq!(fwd.snapshot().unwrap().tasks(), rev.snapshot().unwrap().tasks());
+        assert_eq!(fwd.system_utilization(), rev.system_utilization());
     }
 
     #[test]

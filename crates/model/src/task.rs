@@ -144,6 +144,25 @@ impl<T: Time> Task<T> {
     pub fn map_time<U: Time>(&self, mut f: impl FnMut(T) -> U) -> Result<Task<U>, ModelError> {
         Task::new(f(self.exec), f(self.deadline), f(self.period), self.area)
     }
+
+    /// Canonical total order over tasks: lexicographic on
+    /// `(Ck, Dk, Tk, Ak)`.
+    ///
+    /// Validated timing fields are positive and finite ([`Task::new`]
+    /// rejects NaN and non-positive values), so `partial_cmp` is total here
+    /// and this never panics. [`crate::LiveTaskSet`] keeps its tasks sorted
+    /// by this order, which makes every derived quantity — snapshots,
+    /// aggregate folds, analysis verdicts — a pure function of the task
+    /// *multiset* rather than of the admission history. Tasks that compare
+    /// `Equal` are indistinguishable field-for-field, so any tie order
+    /// yields identical downstream results.
+    pub fn canonical_cmp(&self, other: &Self) -> core::cmp::Ordering {
+        let ord = |a: T, b: T| a.partial_cmp(&b).expect("validated times are ordered");
+        ord(self.exec, other.exec)
+            .then_with(|| ord(self.deadline, other.deadline))
+            .then_with(|| ord(self.period, other.period))
+            .then_with(|| self.area.cmp(&other.area))
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +245,20 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Task<f64> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn canonical_cmp_is_lexicographic() {
+        use core::cmp::Ordering;
+        let base = Task::new(1.0, 4.0, 5.0, 3).unwrap();
+        assert_eq!(base.canonical_cmp(&base), Ordering::Equal);
+        // exec dominates.
+        assert_eq!(base.canonical_cmp(&Task::new(2.0, 1.0, 1.0, 1).unwrap()), Ordering::Less);
+        // deadline breaks exec ties.
+        assert_eq!(base.canonical_cmp(&Task::new(1.0, 3.0, 9.0, 9).unwrap()), Ordering::Greater);
+        // period breaks (exec, deadline) ties.
+        assert_eq!(base.canonical_cmp(&Task::new(1.0, 4.0, 6.0, 1).unwrap()), Ordering::Less);
+        // area breaks full timing ties.
+        assert_eq!(base.canonical_cmp(&Task::new(1.0, 4.0, 5.0, 4).unwrap()), Ordering::Less);
     }
 }

@@ -15,8 +15,22 @@
 //!
 //! Accepting commits the candidate to the live set; rejecting leaves state
 //! untouched. Every decision records which tier settled it.
+//!
+//! Two memoization layers sit in front of the cascade, both invisible in
+//! the controller's output by construction:
+//!
+//! * a **verdict cache** (see [`crate::cache`], enabled via
+//!   [`AdmissionController::with_cache`]): a bounded LRU keyed by the
+//!   order-independent fingerprint of the evaluated task multiset, replaying
+//!   whole decisions — verdict, tier, margin, reason, per-task rows — on
+//!   resubmission without running any analysis;
+//! * **warm GN1/GN2 paths** ([`fpga_rt_analysis::IncrementalState`]): cached
+//!   per-task GN1 aggregates and a persistent sorted λ-candidate pool,
+//!   updated incrementally on admit/release, feeding the exact same
+//!   evaluation code the scratch tests use.
 
-use crate::protocol::{PerTaskMargin, QueryStats};
+use crate::cache::{stages, CacheOp, CachedVerdict, TasksetFingerprint, VerdictCache};
+use crate::protocol::{counters, PerTaskMargin, QueryStats};
 use fpga_rt_analysis::{DpTest, Gn1Test, Gn2Test, IncrementalState, SchedTest, TestReport};
 use fpga_rt_model::{Fpga, LiveTaskSet, Rat64, Task, TaskHandle, TaskSet};
 use fpga_rt_obs::{Obs, SpanTimer};
@@ -136,6 +150,11 @@ pub struct AdmissionController {
     config: ControllerConfig,
     stats: QueryStats,
     obs: Obs,
+    /// Optional verdict cache; `fp` is the running fingerprint of the live
+    /// multiset, maintained on every commit/release (cheap even when the
+    /// cache is off).
+    cache: Option<VerdictCache>,
+    fp: TasksetFingerprint,
 }
 
 impl AdmissionController {
@@ -161,7 +180,24 @@ impl AdmissionController {
             config,
             stats: QueryStats::default(),
             obs,
+            cache: None,
+            fp: TasksetFingerprint::empty(),
         }
+    }
+
+    /// Enable a bounded verdict cache of `entries` entries (`None` keeps
+    /// caching off). Replayed decisions are byte-identical to recomputed
+    /// ones by construction — the live set is canonically ordered, so every
+    /// decision is a pure function of the cache key (see [`crate::cache`]).
+    /// The only observable difference is the `admission/cache/*` telemetry.
+    pub fn with_cache(mut self, entries: Option<usize>) -> Self {
+        self.cache = entries.map(VerdictCache::new);
+        self
+    }
+
+    /// The verdict cache, when enabled (for its hit/miss/eviction counters).
+    pub fn cache(&self) -> Option<&VerdictCache> {
+        self.cache.as_ref()
     }
 
     /// The device this controller admits onto.
@@ -231,28 +267,90 @@ impl AdmissionController {
     fn commit(&mut self, task: Task<f64>) -> TaskHandle {
         let handle = self.live.admit(task);
         self.dp.on_admitted(&self.live, &task, &self.device);
+        self.fp.add(&task);
         handle
     }
 
-    /// Per-task margin rows from a report over a snapshot whose positional
-    /// ids map back to the live set (candidate last, when present).
+    /// Handle of the task at canonical snapshot position `index`. With
+    /// `rejected_candidate_pos = Some(p)` the snapshot was `Γ ∪ {candidate}`
+    /// for a *rejected* candidate sitting at position `p`: that row has no
+    /// handle, and rows past it shift down by one in the live set. Accepted
+    /// candidates are committed before row mapping, so every index resolves
+    /// directly.
+    fn resolve_handle(&self, index: usize, rejected_candidate_pos: Option<usize>) -> Option<u64> {
+        match rejected_candidate_pos {
+            Some(p) if index == p => None,
+            Some(p) if index > p => self.live.handle_at(index - 1).map(|h| h.0),
+            _ => self.live.handle_at(index).map(|h| h.0),
+        }
+    }
+
+    /// Per-task margin rows from a report over a canonical-order snapshot.
     fn margin_rows(
         &self,
         report: &TestReport,
-        candidate_handle: Option<TaskHandle>,
+        rejected_candidate_pos: Option<usize>,
     ) -> Vec<PerTaskMargin> {
         report
             .checks
             .iter()
             .map(|c| {
                 let index = c.task.0;
-                let handle = match self.live.handle_at(index) {
-                    Some(h) => Some(h.0),
-                    None => candidate_handle.map(|h| h.0),
-                };
-                PerTaskMargin { index, handle, margin: c.rhs - c.lhs }
+                PerTaskMargin {
+                    index,
+                    handle: self.resolve_handle(index, rejected_candidate_pos),
+                    margin: c.rhs - c.lhs,
+                }
             })
             .collect()
+    }
+
+    /// Rebuild margin rows from cached `(canonical index, margin)` pairs,
+    /// re-deriving handles from the current live set.
+    fn replay_rows(
+        &self,
+        rows: &[(usize, f64)],
+        rejected_candidate_pos: Option<usize>,
+    ) -> Vec<PerTaskMargin> {
+        rows.iter()
+            .map(|&(index, margin)| PerTaskMargin {
+                index,
+                handle: self.resolve_handle(index, rejected_candidate_pos),
+                margin,
+            })
+            .collect()
+    }
+
+    /// Replay the stage-span samples of a cached decision so
+    /// deterministic-mode histograms match a cache-off run sample-for-sample
+    /// (deterministic registries zero time values but keep counts). In
+    /// non-deterministic mode nothing is replayed — fabricated zeros would
+    /// corrupt real latency data, and wall-clock artifacts are not
+    /// byte-compared.
+    fn replay_stage_samples(&self, mask: u8) {
+        if !self.obs.registry().is_some_and(|r| r.is_deterministic()) {
+            return;
+        }
+        for (bit, stage) in [
+            (stages::DP, "admission/stage/dp_ns"),
+            (stages::GN1, "admission/stage/gn1_ns"),
+            (stages::GN2, "admission/stage/gn2_ns"),
+            (stages::EXACT, "admission/stage/exact_ns"),
+        ] {
+            if mask & bit != 0 {
+                self.obs.record_ns(stage, 0);
+            }
+        }
+    }
+
+    /// Store a decision in the cache (no-op when caching is off), counting
+    /// capacity evictions.
+    fn memoize(&mut self, op: CacheOp, key: TasksetFingerprint, verdict: CachedVerdict) {
+        let Some(cache) = self.cache.as_mut() else { return };
+        let evicted = cache.insert(op, key, verdict);
+        if evicted {
+            self.obs.inc(counters::CACHE_EVICTIONS);
+        }
     }
 
     /// Decide admission of `task`; accepted candidates are committed.
@@ -295,10 +393,40 @@ impl AdmissionController {
             return (self.precondition_reject(reason), None);
         }
 
-        let new_us = self.live.system_utilization() + task.system_utilization();
+        // Verdict cache: the decision is a pure function of Γ ∪ {candidate}
+        // (canonical order), so a fingerprint hit replays it verbatim.
+        let key = self.fp.with(&task);
+        if let Some(v) =
+            self.cache.as_mut().and_then(|c| c.lookup(CacheOp::Admit, key, want_margins)).cloned()
+        {
+            self.obs.inc(counters::CACHE_HITS);
+            self.replay_stage_samples(v.stages);
+            self.record(v.tier, v.accepted, decision_span);
+            let rejected_pos = (!v.accepted).then(|| self.live.canonical_position(&task));
+            let handle = v.accepted.then(|| self.commit(task));
+            let per_task = want_margins.then(|| {
+                let rows = v.rows.as_deref().expect("lookup honors need_rows");
+                self.replay_rows(rows, rejected_pos)
+            });
+            let decision = Decision {
+                accepted: v.accepted,
+                tier: v.tier,
+                margin: v.margin,
+                reason: v.reason,
+                per_task,
+            };
+            return (decision, handle);
+        }
+        if self.cache.is_some() {
+            self.obs.inc(counters::CACHE_MISSES);
+        }
+
         let dp_span = self.obs.span();
         let dp_out = self.dp.evaluate_admit(&self.live, &task, &self.device);
         self.obs.record_ns("admission/stage/dp_ns", dp_span.elapsed_ns());
+        // The knife-edge scale: evaluate_admit's canonical-order union fold,
+        // a pure function of Γ ∪ {candidate}.
+        let new_us = dp_out.us;
 
         // Fast path: clear incremental-DP accept, no snapshot needed.
         if dp_out.accepted && !self.knife_edge(dp_out.margin, new_us) {
@@ -306,8 +434,20 @@ impl AdmissionController {
             let handle = self.commit(task);
             let per_task = want_margins.then(|| {
                 let snap = self.live.snapshot().expect("non-empty after commit");
-                self.margin_rows(&DpTest::default().check(&snap, &self.device), Some(handle))
+                self.margin_rows(&DpTest::default().check(&snap, &self.device), None)
             });
+            self.memoize(
+                CacheOp::Admit,
+                key,
+                CachedVerdict {
+                    accepted: true,
+                    tier: Tier::IncrementalDp,
+                    margin: finite(dp_out.margin),
+                    reason: None,
+                    stages: stages::DP,
+                    rows: per_task.as_deref().map(rows_of),
+                },
+            );
             let decision = Decision {
                 accepted: true,
                 tier: Tier::IncrementalDp,
@@ -319,14 +459,28 @@ impl AdmissionController {
         }
 
         // Slow path: evaluate Γ ∪ {candidate} as a snapshot.
-        let snap = self.live.snapshot_with(&task).expect("candidate makes the set non-empty");
-        let outcome = self.cascade_decide(&snap, dp_out, new_us);
+        let (snap, pos) =
+            self.live.snapshot_with_pos(&task).expect("candidate makes the set non-empty");
+        let outcome = self.cascade_decide(&snap, dp_out, new_us, Some((pos, &task)));
         self.record(outcome.tier, outcome.accepted, decision_span);
         let handle = if outcome.accepted { Some(self.commit(task)) } else { None };
+        let rejected_pos = (!outcome.accepted).then_some(pos);
         let per_task = match (&outcome.report, want_margins) {
-            (Some(report), true) => Some(self.margin_rows(report, handle)),
+            (Some(report), true) => Some(self.margin_rows(report, rejected_pos)),
             _ => None,
         };
+        self.memoize(
+            CacheOp::Admit,
+            key,
+            CachedVerdict {
+                accepted: outcome.accepted,
+                tier: outcome.tier,
+                margin: outcome.margin,
+                reason: outcome.reason.clone(),
+                stages: outcome.stages,
+                rows: per_task.as_deref().map(rows_of),
+            },
+        );
         let decision = Decision {
             accepted: outcome.accepted,
             tier: outcome.tier,
@@ -342,24 +496,40 @@ impl AdmissionController {
     /// the snapshot, escalate to the exact tier when any *computed* margin
     /// is knife-edge, and fall back to the f64 verdict when exact
     /// arithmetic is unavailable for this set.
+    ///
+    /// `candidate` is the admission candidate and its canonical position in
+    /// `snap` (None for queries); GN1/GN2 run through the warm paths of
+    /// [`IncrementalState`], splicing the candidate into the maintained
+    /// aggregates — bit-identical to scratch evaluation of `snap`.
     fn cascade_decide(
-        &self,
+        &mut self,
         snap: &TaskSet<f64>,
         dp_out: fpga_rt_analysis::IncrementalOutcome<f64>,
         us: f64,
+        candidate: Option<(usize, &Task<f64>)>,
     ) -> CascadeOutcome {
         let mut knife = self.knife_edge(dp_out.margin, us);
         let mut best_margin = dp_out.margin;
         let mut decided: Option<(Tier, f64, TestReport)> = None;
+        let mut mask = stages::DP;
 
         // Lazy escalation: GN2 (O(N³)) only runs when GN1 did not accept.
         for tier in [Tier::Gn1, Tier::Gn2] {
             let stage_span = self.obs.span();
-            let (report, stage) = match tier {
-                Tier::Gn1 => (self.gn1.check(snap, &self.device), "admission/stage/gn1_ns"),
-                _ => (self.gn2.check(snap, &self.device), "admission/stage/gn2_ns"),
+            let (report, stage, bit) = match tier {
+                Tier::Gn1 => (
+                    self.dp.warm_gn1_check(&self.gn1, &self.live, snap, candidate, &self.device),
+                    "admission/stage/gn1_ns",
+                    stages::GN1,
+                ),
+                _ => (
+                    self.dp.warm_gn2_check(&self.gn2, &self.live, snap, candidate, &self.device),
+                    "admission/stage/gn2_ns",
+                    stages::GN2,
+                ),
             };
             self.obs.record_ns(stage, stage_span.elapsed_ns());
+            mask |= bit;
             let margin = report_margin(&report);
             knife |= self.knife_edge(margin, us);
             best_margin = best_margin.max(margin);
@@ -371,6 +541,7 @@ impl AdmissionController {
 
         // Knife-edge anywhere: settle the verdict in exact arithmetic.
         if knife {
+            mask |= stages::EXACT;
             let exact_span = self.obs.span();
             let exact_result = exact_cascade(snap, &self.device, self.config.max_denominator);
             self.obs.record_ns("admission/stage/exact_ns", exact_span.elapsed_ns());
@@ -382,6 +553,7 @@ impl AdmissionController {
                         margin: finite(exact.margin),
                         reason: Some(exact.reason),
                         report: Some(exact.report),
+                        stages: mask,
                     };
                 }
                 Err(overflow) => {
@@ -395,6 +567,7 @@ impl AdmissionController {
                             margin: finite(margin),
                             reason: Some(note),
                             report: Some(report),
+                            stages: mask,
                         },
                         None if dp_out.accepted => CascadeOutcome {
                             accepted: true,
@@ -402,6 +575,7 @@ impl AdmissionController {
                             margin: finite(dp_out.margin),
                             reason: Some(note),
                             report: None,
+                            stages: mask,
                         },
                         None => CascadeOutcome {
                             accepted: false,
@@ -409,6 +583,7 @@ impl AdmissionController {
                             margin: finite(best_margin),
                             reason: Some(format!("rejected by DP, GN1 and GN2; {note}")),
                             report: None,
+                            stages: mask,
                         },
                     };
                 }
@@ -422,6 +597,7 @@ impl AdmissionController {
                 margin: finite(margin),
                 reason: None,
                 report: Some(report),
+                stages: mask,
             },
             None => CascadeOutcome {
                 accepted: false,
@@ -429,6 +605,7 @@ impl AdmissionController {
                 margin: finite(best_margin),
                 reason: Some("rejected by DP, GN1 and GN2".to_string()),
                 report: None,
+                stages: mask,
             },
         }
     }
@@ -447,6 +624,7 @@ impl AdmissionController {
     pub fn release(&mut self, handle: TaskHandle) -> Result<ReleaseOutcome, String> {
         let removed = self.live.remove(handle).map_err(|e| e.to_string())?;
         self.dp.on_removed(&self.live, &removed, &self.device);
+        self.fp.remove(&removed);
         Ok(ReleaseOutcome {
             tasks: self.live.len(),
             ut: self.live.time_utilization(),
@@ -457,6 +635,30 @@ impl AdmissionController {
     /// Is the *current* live set schedulable, and by which tier? Does not
     /// count into the admission statistics.
     pub fn query(&mut self, want_margins: bool) -> Decision {
+        // Queries key on the live fingerprint itself. They never record
+        // into the admission statistics, cached or not.
+        let key = self.fp;
+        if let Some(v) =
+            self.cache.as_mut().and_then(|c| c.lookup(CacheOp::Query, key, want_margins)).cloned()
+        {
+            self.obs.inc(counters::CACHE_HITS);
+            self.replay_stage_samples(v.stages);
+            let per_task = want_margins.then(|| {
+                let rows = v.rows.as_deref().expect("lookup honors need_rows");
+                self.replay_rows(rows, None)
+            });
+            return Decision {
+                accepted: v.accepted,
+                tier: v.tier,
+                margin: v.margin,
+                reason: v.reason,
+                per_task,
+            };
+        }
+        if self.cache.is_some() {
+            self.obs.inc(counters::CACHE_MISSES);
+        }
+
         let dp_span = self.obs.span();
         let dp_out = self.dp.evaluate_current(&self.live, &self.device);
         self.obs.record_ns("admission/stage/dp_ns", dp_span.elapsed_ns());
@@ -466,6 +668,18 @@ impl AdmissionController {
                 let snap = self.live.snapshot().expect("checked non-empty");
                 self.margin_rows(&DpTest::default().check(&snap, &self.device), None)
             });
+            self.memoize(
+                CacheOp::Query,
+                key,
+                CachedVerdict {
+                    accepted: true,
+                    tier: Tier::IncrementalDp,
+                    margin: finite(dp_out.margin),
+                    reason: None,
+                    stages: stages::DP,
+                    rows: per_task.as_deref().map(rows_of),
+                },
+            );
             return Decision {
                 accepted: true,
                 tier: Tier::IncrementalDp,
@@ -475,11 +689,23 @@ impl AdmissionController {
             };
         }
         let snap = self.live.snapshot().expect("non-empty");
-        let outcome = self.cascade_decide(&snap, dp_out, us);
+        let outcome = self.cascade_decide(&snap, dp_out, us, None);
         let per_task = match (&outcome.report, want_margins) {
             (Some(report), true) => Some(self.margin_rows(report, None)),
             _ => None,
         };
+        self.memoize(
+            CacheOp::Query,
+            key,
+            CachedVerdict {
+                accepted: outcome.accepted,
+                tier: outcome.tier,
+                margin: outcome.margin,
+                reason: outcome.reason.clone(),
+                stages: outcome.stages,
+                rows: per_task.as_deref().map(rows_of),
+            },
+        );
         Decision {
             accepted: outcome.accepted,
             tier: outcome.tier,
@@ -498,11 +724,18 @@ struct CascadeOutcome {
     reason: Option<String>,
     /// The deciding test's report, when one exists (for margin rows).
     report: Option<TestReport>,
+    /// [`stages`] bitmask of the analysis stages that ran (for the cache).
+    stages: u8,
 }
 
 /// `Some(m)` for finite margins, `None` otherwise (never serialize NaN/∞).
 fn finite(m: f64) -> Option<f64> {
     m.is_finite().then_some(m)
+}
+
+/// Cacheable `(canonical index, margin)` pairs of computed margin rows.
+fn rows_of(rows: &[PerTaskMargin]) -> Vec<(usize, f64)> {
+    rows.iter().map(|r| (r.index, r.margin)).collect()
 }
 
 /// Signed slack of a report's deciding comparison: the minimum `rhs − lhs`
@@ -736,5 +969,68 @@ mod tests {
         let rows = dec.per_task.unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].handle, Some(h.unwrap().0));
+    }
+
+    /// Cache-on and cache-off controllers agree decision-for-decision —
+    /// including per-task margin rows and handles — across repeated
+    /// admit/query/release rounds, and the later rounds actually replay
+    /// from the cache.
+    #[test]
+    fn cache_hits_replay_admissions_and_queries_identically() {
+        let mut cached = controller().with_cache(Some(16));
+        let mut plain = controller();
+        let a = t(4.50, 8.0, 8.0, 3); // Table 2: second admission lands on GN1
+        let b = t(8.00, 9.0, 9.0, 5);
+        for round in 0..3 {
+            let (dec_c, h_c) = cached.admit(a, true);
+            let (dec_p, h_p) = plain.admit(a, true);
+            assert_eq!(dec_c, dec_p, "admit a, round {round}");
+            let (dec_c2, h_c2) = cached.admit(b, true);
+            let (dec_p2, h_p2) = plain.admit(b, true);
+            assert_eq!(dec_c2, dec_p2, "admit b, round {round}");
+            assert_eq!(cached.query(true), plain.query(true), "query, round {round}");
+            cached.release(h_c2.unwrap()).unwrap();
+            plain.release(h_p2.unwrap()).unwrap();
+            cached.release(h_c.unwrap()).unwrap();
+            plain.release(h_p.unwrap()).unwrap();
+        }
+        let cache = cached.cache().unwrap();
+        assert!(cache.hits() >= 6, "rounds 2–3 replay from cache, got {} hits", cache.hits());
+        assert_eq!(format!("{:?}", cached.stats()), format!("{:?}", plain.stats()));
+    }
+
+    /// A knife-edge (exact-tier) verdict replays from the cache with the
+    /// same tier, margin and exact-re-check reason.
+    #[test]
+    fn cache_replays_the_exact_tier() {
+        let mut ctl = controller().with_cache(Some(8));
+        assert!(ctl.admit(t(1.26, 7.0, 7.0, 9), false).0.accepted);
+        let (first, h) = ctl.admit(t(0.95, 5.0, 5.0, 6), false);
+        assert_eq!(first.tier, Tier::Exact);
+        ctl.release(h.unwrap()).unwrap();
+        let (second, h2) = ctl.admit(t(0.95, 5.0, 5.0, 6), false);
+        assert_eq!(first, second);
+        assert!(h2.is_some());
+        assert_eq!(ctl.cache().unwrap().hits(), 1);
+    }
+
+    /// An entry cached without margin rows is a miss for a margin-bearing
+    /// request; the recomputation upgrades the entry so the next one hits.
+    #[test]
+    fn margin_requests_upgrade_rowless_entries() {
+        let mut cached = controller().with_cache(Some(8));
+        let mut plain = controller();
+        let task = t(1.0, 10.0, 10.0, 3);
+        for (round, want_margins) in [false, true, true].into_iter().enumerate() {
+            let (dec_c, h_c) = cached.admit(task, want_margins);
+            let (dec_p, h_p) = plain.admit(task, want_margins);
+            assert_eq!(dec_c, dec_p, "round {round}");
+            cached.release(h_c.unwrap()).unwrap();
+            plain.release(h_p.unwrap()).unwrap();
+        }
+        // Round 0 cached the entry without rows, so the margin-bearing
+        // round 1 is a miss that upgrades it; round 2 hits with rows.
+        let cache = cached.cache().unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
     }
 }

@@ -14,7 +14,10 @@
 //!   DP bound ([`fpga_rt_analysis::IncrementalState`], O(1) against cached
 //!   aggregates) → GN1 → GN2 → an **exact** [`fpga_rt_model::Rat64`]
 //!   re-check when the deciding margin is knife-edge. Every
-//!   [`Decision`] records which [`Tier`] settled it.
+//!   [`Decision`] records which [`Tier`] settled it. An optional bounded
+//!   [`VerdictCache`] (see [`cache`]) memoizes decisions keyed by an
+//!   order-independent taskset fingerprint — byte-identical output with the
+//!   cache on or off, by construction.
 //! * [`protocol`] — the line-delimited JSON request/response wire format:
 //!   scriptable, replayable, diffable (the CI pipeline replays a recorded
 //!   session against a golden transcript).
@@ -53,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod controller;
 pub mod protocol;
 pub mod server;
 
+pub use cache::{task_fingerprint, CacheOp, CachedVerdict, TasksetFingerprint, VerdictCache};
 pub use controller::{AdmissionController, ControllerConfig, Decision, ReleaseOutcome, Tier};
 pub use protocol::{
     parse_request, render_response, PerTaskMargin, QueryStats, Request, Response, TaskParams,

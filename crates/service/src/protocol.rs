@@ -54,6 +54,15 @@ pub mod counters {
     pub const TIER_GN2: &str = "admission/tier/gn2";
     /// Decisions settled by the exact `Rat64` re-check.
     pub const TIER_EXACT: &str = "admission/tier/exact";
+    /// Verdict-cache hits (decision replayed without running the cascade).
+    pub const CACHE_HITS: &str = "admission/cache/hits";
+    /// Verdict-cache misses (decision computed, then memoized).
+    pub const CACHE_MISSES: &str = "admission/cache/misses";
+    /// Verdict-cache capacity evictions (LRU).
+    pub const CACHE_EVICTIONS: &str = "admission/cache/evictions";
+    /// Cache hit rate in permille, `hits·1000/(hits+misses)` — a gauge
+    /// computed at snapshot-assembly time from the merged counters.
+    pub const CACHE_HIT_RATE_PERMILLE: &str = "admission/cache/hit_rate_permille";
 }
 
 /// Raw task parameters on the wire; validated into a
@@ -105,8 +114,9 @@ pub struct Request {
 /// task of the evaluated set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerTaskMargin {
-    /// Position within the evaluated snapshot (admission order; the
-    /// candidate, when present, is the last row).
+    /// Position within the evaluated snapshot (canonical
+    /// `(C, D, T, A)`-sorted order; an admission candidate sits at its
+    /// canonical position, identified by `handle: null` on rejections).
     pub index: usize,
     /// Live handle of the task; `None` for a rejected candidate.
     pub handle: Option<u64>,

@@ -24,7 +24,9 @@
 //! number, at any worker count.
 
 use crate::controller::{AdmissionController, ControllerConfig};
-use crate::protocol::{parse_request, render_response, QueryStats, Request, Response, TierCounts};
+use crate::protocol::{
+    counters, parse_request, render_response, QueryStats, Request, Response, TierCounts,
+};
 use fpga_rt_model::{Fpga, TaskHandle};
 use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
@@ -52,6 +54,10 @@ pub struct ServeConfig {
     /// sample, so transcripts *and* metrics artifacts are byte-for-byte
     /// reproducible (used by the golden-file and obs-smoke CI gates).
     pub deterministic: bool,
+    /// Per-shard verdict-cache capacity in entries; `None` disables
+    /// caching. Cache state never changes any response byte — only the
+    /// `admission/cache/*` telemetry reveals it.
+    pub cache: Option<usize>,
 }
 
 impl ServeConfig {
@@ -65,6 +71,7 @@ impl ServeConfig {
             exact_margin: 1e-9,
             max_denominator: 1_000_000,
             deterministic: false,
+            cache: Some(1024),
         }
     }
 
@@ -142,10 +149,13 @@ pub fn serve_session_with_obs(
     // shard is pinned to; all of them record into the one shared registry.
     // Handler panics are contained by the pool.
     let ctl_obs = obs.clone();
+    let cache = config.cache;
     let mut pool: ShardedPool<ServeReq, ServeResp> = ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards },
         obs.clone(),
-        move |_shard| AdmissionController::with_obs(device, ctl_config, ctl_obs.clone()),
+        move |_shard| {
+            AdmissionController::with_obs(device, ctl_config, ctl_obs.clone()).with_cache(cache)
+        },
         move |controller, shard, req| match req {
             ServeReq::Drain => ServeResp::Drain(controller.stats()),
             ServeReq::Line(seq, request) => {
@@ -314,7 +324,17 @@ fn service_snapshot(obs: &Obs, config: &ServeConfig, drained: &[QueryStats]) -> 
     for stats in drained {
         stats.fold_into(&registry);
     }
-    registry.snapshot()
+    // The hit-rate gauge is derived once here from the merged counters:
+    // gauges merge by sum across shards, so per-shard writes would corrupt
+    // the ratio.
+    let snap = registry.snapshot();
+    let hits = snap.counter(counters::CACHE_HITS).unwrap_or(0);
+    let misses = snap.counter(counters::CACHE_MISSES).unwrap_or(0);
+    if let Some(rate) = (hits * 1000).checked_div(hits + misses) {
+        registry.set_gauge(counters::CACHE_HIT_RATE_PERMILLE, rate);
+        return registry.snapshot();
+    }
+    snap
 }
 
 /// Fold one response into the session statistics. Only protocol errors are
@@ -492,6 +512,95 @@ mod tests {
             let (_, out) = run(&input, &config);
             assert_eq!(out, reference, "workers={workers} batch={batch}");
         }
+    }
+
+    /// Resubmission-heavy session driving real cache hits: round `r` admits
+    /// the Table-2 pair (handles `2r` and `2r+1`), queries with margins,
+    /// asks for stats, then releases both — so every round after the first
+    /// replays all three decisions from the cache.
+    fn resubmission_session(rounds: u64) -> String {
+        let mut input = String::new();
+        for r in 0..rounds {
+            input.push_str(
+                r#"{"op":"admit","margins":true,"task":{"exec":4.5,"deadline":8.0,"period":8.0,"area":3}}"#,
+            );
+            input.push('\n');
+            input.push_str(
+                r#"{"op":"admit","margins":true,"task":{"exec":8.0,"deadline":9.0,"period":9.0,"area":5}}"#,
+            );
+            input.push('\n');
+            input.push_str("{\"op\":\"query\",\"margins\":true}\n");
+            input.push_str("{\"op\":\"stats\"}\n");
+            input.push_str(&format!("{{\"op\":\"release\",\"handle\":{}}}\n", 2 * r + 1));
+            input.push_str(&format!("{{\"op\":\"release\",\"handle\":{}}}\n", 2 * r));
+        }
+        input
+    }
+
+    /// The headline cache contract: cache-on and cache-off sessions produce
+    /// byte-identical transcripts (margin rows, stats ops and all).
+    #[test]
+    fn cache_never_changes_a_response_byte() {
+        let input = resubmission_session(4);
+        let base = deterministic(10);
+        let (stats_on, on) = run(&input, &base);
+        let (stats_off, off) = run(&input, &ServeConfig { cache: None, ..base });
+        assert_eq!(on, off);
+        assert_eq!(stats_on, stats_off);
+        assert!(on.lines().nth(1).unwrap().contains("\"tier\":\"gn1\""));
+    }
+
+    /// With telemetry enabled, the cache reveals itself *only* through the
+    /// `admission/cache/*` rows — admission counters and the transcript
+    /// stay identical, and the hit-rate gauge appears.
+    #[test]
+    fn cache_telemetry_counts_hits_without_perturbing_admissions() {
+        // No stats ops here: with obs enabled those embed the snapshot
+        // (cache rows included) into the response body.
+        let input = resubmission_session(4).lines().filter(|l| !l.contains("stats")).fold(
+            String::new(),
+            |mut acc, l| {
+                acc.push_str(l);
+                acc.push('\n');
+                acc
+            },
+        );
+        let base = deterministic(10);
+        let run_with = |config: &ServeConfig| {
+            let mut out = Vec::new();
+            let (_, snap) =
+                serve_session_with_obs(&mut input.as_bytes(), &mut out, config, Obs::on(true))
+                    .unwrap();
+            (String::from_utf8(out).unwrap(), snap)
+        };
+        let (out_on, snap_on) = run_with(&base);
+        let (out_off, snap_off) = run_with(&ServeConfig { cache: None, ..base });
+        assert_eq!(out_on, out_off);
+        let hits = snap_on.counter(counters::CACHE_HITS).unwrap();
+        let misses = snap_on.counter(counters::CACHE_MISSES).unwrap();
+        assert!(hits >= 9, "three rounds of three decisions replay: {hits}");
+        assert_eq!(snap_off.counter(counters::CACHE_HITS), None);
+        assert_eq!(snap_on.counter("admission/decisions"), snap_off.counter("admission/decisions"));
+        assert_eq!(
+            snap_on.gauge(counters::CACHE_HIT_RATE_PERMILLE),
+            Some(hits * 1000 / (hits + misses))
+        );
+        // Cache hits replay their stage samples, so deterministic stage
+        // histograms match a cache-off run sample-for-sample; the rendered
+        // artifacts differ only in `admission/cache/*` rows.
+        for stage in ["admission/stage/dp_ns", "admission/stage/gn1_ns", "admission/stage/gn2_ns"] {
+            assert_eq!(snap_on.histogram(stage), snap_off.histogram(stage), "{stage}");
+        }
+        let mask = |s: &Snapshot| {
+            s.render_text()
+                .lines()
+                // Drop the cache rows and the `gauges:` header (present only
+                // because the hit-rate gauge exists at all).
+                .filter(|l| !l.contains("admission/cache/") && l.trim() != "gauges:")
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(mask(&snap_on), mask(&snap_off));
     }
 
     #[test]

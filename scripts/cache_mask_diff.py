@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Diff two ``fpga-rt-obs/1`` JSON snapshots modulo the verdict cache.
+
+The verdict cache's byte-identity contract (docs/PROTOCOL.md, "The
+verdict cache") allows a cache-on and a cache-off run to differ in
+exactly one place: the ``admission/cache/*`` counter and gauge rows.
+Everything else — meta, every other counter, every histogram (stage
+sample *counts* included: hits replay them as zero-valued recordings)
+— must match row for row. This script drops the cache rows from both
+snapshots and fails listing every remaining difference.
+
+Usage: cache_mask_diff.py <cache-on.json> <cache-off.json>
+"""
+
+import json
+import sys
+
+CACHE_PREFIX = "admission/cache/"
+
+
+def masked(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("counters", "gauges"):
+        doc[section] = [
+            row for row in doc.get(section, []) if not row["name"].startswith(CACHE_PREFIX)
+        ]
+    return doc
+
+
+def rows(doc):
+    out = {}
+    for section in ("meta", "counters", "gauges", "histograms"):
+        for row in doc.get(section, []):
+            key = row.get("name") or row.get("key")
+            out[f"{section}/{key}"] = row
+    for scalar in ("schema", "runner", "deterministic"):
+        out[scalar] = doc.get(scalar)
+    return out
+
+
+def main(argv):
+    if len(argv) != 3:
+        sys.exit(__doc__.strip())
+    a, b = rows(masked(argv[1])), rows(masked(argv[2]))
+    diffs = []
+    for key in sorted(set(a) | set(b)):
+        if a.get(key) != b.get(key):
+            diffs.append(f"  {key}:\n    {argv[1]}: {a.get(key)}\n    {argv[2]}: {b.get(key)}")
+    if diffs:
+        print("masked snapshots differ outside admission/cache/*:", file=sys.stderr)
+        print("\n".join(diffs), file=sys.stderr)
+        return 1
+    print(f"masked snapshots identical: {argv[1]} == {argv[2]} (mod {CACHE_PREFIX}*)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
