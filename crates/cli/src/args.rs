@@ -1,0 +1,236 @@
+//! Shared, checked flag parsers — the single implementation of the CLI's
+//! usage-error discipline.
+//!
+//! Every subcommand resolves its numeric/enum/path flags through this
+//! module instead of `Args::get` (which silently falls back to the default
+//! on a parse failure — fine for study binaries, wrong for CI-gating
+//! subcommands where a typo like `--per-bin 25O` must not quietly gate a
+//! different population). All parsers return `Err(String)`, which the
+//! dispatcher maps to process exit code 2, so every rejected form produces
+//! a uniform usage error. The rejected forms are regression-tested once,
+//! centrally, in `commands.rs`.
+
+use fpga_rt_analysis::AnalysisKernel;
+use fpga_rt_exp::cli::Args;
+use fpga_rt_obs::{Obs, Snapshot};
+
+/// Parse `--key` as a count that must be ≥ 1 when given. Returns `None`
+/// when the flag is absent (the caller's default applies — e.g. "all
+/// cores" for worker counts). An explicit `0` or an unparseable value is
+/// a usage error: `Args::get` would silently fall back to the default,
+/// which for `--workers 0` / `--shards 0` used to leak the internal
+/// "auto" sentinel into, or silently correct, downstream sizing.
+pub(crate) fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, String> {
+    match args.flags.get(key) {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err(format!("--{key} must be ≥ 1 (omit the flag for the default)")),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("--{key} expects a positive integer, got {v:?}")),
+        },
+    }
+}
+
+/// Parse `--cache <entries>|off` (serve and loadgen): absent keeps the
+/// default 1024-entry per-session verdict cache, `off` disables caching, a
+/// positive integer sizes it. `--cache 0` is a usage error rather than a
+/// silent alias — it is ambiguous between "off" and "unbounded" — matching
+/// the [`positive_count`] convention.
+pub(crate) fn cache_entries(args: &Args) -> Result<Option<usize>, String> {
+    match args.flags.get("cache").map(String::as_str) {
+        None => Ok(Some(1024)),
+        Some("off") => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) => Err("--cache must be ≥ 1 entries, or `off` to disable caching".into()),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(format!("--cache expects a positive entry count or `off`, got {v:?}")),
+        },
+    }
+}
+
+/// Parse `--exact-margin` (serve): the knife-edge threshold below which
+/// the admission cascade re-checks a decision in exact arithmetic. Must be
+/// finite and non-negative; the default is the service's 1e-9.
+pub(crate) fn exact_margin(args: &Args) -> Result<f64, String> {
+    let margin = parsed_flag(args, "exact-margin", 1e-9f64)?;
+    if !(margin.is_finite() && margin >= 0.0) {
+        return Err(format!("--exact-margin must be a finite non-negative value, got {margin}"));
+    }
+    Ok(margin)
+}
+
+/// Parse `--seed` through the shared checked helper (usage error on
+/// garbage, the documented default when absent).
+pub(crate) fn seed(args: &Args, default: u64) -> Result<u64, String> {
+    args.seed(default)
+}
+
+/// Parse `--kernel batch|scalar` (default batch). The two kernels are
+/// bit-identical by contract — the scalar path exists as an escape hatch
+/// and as the reference the batch kernel is cross-checked against.
+pub(crate) fn kernel_flag(args: &Args) -> Result<AnalysisKernel, String> {
+    match args.flags.get("kernel") {
+        None => Ok(AnalysisKernel::default()),
+        Some(v) => AnalysisKernel::parse(v)
+            .ok_or_else(|| format!("--kernel expects batch|scalar, got {v:?}")),
+    }
+}
+
+/// An artifact encoding, dispatched on the output file's extension.
+///
+/// Every file-writing flag (`--out`, `--metrics-out`) resolves its path
+/// through [`artifact_target`] against the subcommand's supported set.
+/// Unrecognized extensions are usage errors (process exit code 2) naming
+/// the accepted extensions — previously each subcommand had its own
+/// fallback ("anything that isn't `.csv` is JSON"), so a typo like
+/// `--out curves.cvs` silently wrote the wrong format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ArtifactFormat {
+    /// Pretty-printed JSON (`.json`).
+    Json,
+    /// Comma-separated values (`.csv`).
+    Csv,
+    /// Aligned plain text (`.txt`).
+    Text,
+}
+
+impl ArtifactFormat {
+    const fn extension(self) -> &'static str {
+        match self {
+            ArtifactFormat::Json => ".json",
+            ArtifactFormat::Csv => ".csv",
+            ArtifactFormat::Text => ".txt",
+        }
+    }
+}
+
+/// Resolve `--key FILE` against the formats the subcommand supports:
+/// `Ok(None)` when the flag is absent (or empty), the path/format pair
+/// when the extension matches, and a usage error listing the supported
+/// extensions otherwise. Called before the expensive run so a typo fails
+/// in milliseconds, not after the population has been evaluated.
+pub(crate) fn artifact_target(
+    args: &Args,
+    key: &str,
+    supported: &[ArtifactFormat],
+) -> Result<Option<(String, ArtifactFormat)>, String> {
+    let Some(path) = args.flags.get(key).filter(|p| !p.is_empty()) else {
+        return Ok(None);
+    };
+    match supported.iter().copied().find(|f| path.ends_with(f.extension())) {
+        Some(format) => Ok(Some((path.clone(), format))),
+        None => {
+            let accepted: Vec<&str> = supported.iter().map(|f| f.extension()).collect();
+            Err(format!(
+                "--{key} {path:?}: unsupported file extension (expected one of {})",
+                accepted.join("|")
+            ))
+        }
+    }
+}
+
+/// Parse `--metrics-out FILE.json|FILE.txt`, returning the resolved
+/// target plus the [`Obs`] handle the subcommand should instrument with:
+/// a live registry (deterministic when asked, so time-valued fields zero
+/// and the artifact byte-diffs across `--workers`) when the flag is
+/// given, and the no-op [`Obs::off`] otherwise — telemetry must cost
+/// nothing unless requested.
+pub(crate) fn metrics_target(
+    args: &Args,
+    deterministic: bool,
+) -> Result<(Option<(String, ArtifactFormat)>, Obs), String> {
+    let target =
+        artifact_target(args, "metrics-out", &[ArtifactFormat::Json, ArtifactFormat::Text])?;
+    let obs = if target.is_some() { Obs::on(deterministic) } else { Obs::off() };
+    Ok((target, obs))
+}
+
+/// Render and write the metrics snapshot to the resolved `--metrics-out`
+/// target (no-op when the flag was absent).
+pub(crate) fn write_metrics(
+    target: &Option<(String, ArtifactFormat)>,
+    snapshot: &Snapshot,
+) -> Result<(), String> {
+    let Some((path, format)) = target else { return Ok(()) };
+    let rendered = match format {
+        ArtifactFormat::Json => snapshot.render_json(),
+        ArtifactFormat::Text => snapshot.render_text(),
+        // `metrics_target` only offers .json|.txt.
+        ArtifactFormat::Csv => unreachable!("metrics artifacts are .json|.txt"),
+    };
+    std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Parse `--key` as a typed value, erroring on unparseable input instead
+/// of silently using the default (`Args::get` does the latter — fine for
+/// study binaries, wrong for CI-gating subcommands where a typo like
+/// `--per-bin 25O` must not quietly gate a different population).
+pub(crate) fn parsed_flag<T: std::str::FromStr>(
+    args: &Args,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match args.flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse::<T>().map_err(|_| format!("--{key}: cannot parse {v:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &[&str]) -> Args {
+        Args::from_args(line.iter().map(|s| s.to_string()))
+    }
+
+    /// Satellite regression: the four shared parsers reject each bad form
+    /// once, centrally — subcommand tests only need to check the wiring.
+    #[test]
+    fn each_rejected_form_is_a_usage_error() {
+        // --workers / --shards / any count flag.
+        assert!(positive_count(&args(&["--workers", "0"]), "workers")
+            .unwrap_err()
+            .contains("must be ≥ 1"));
+        assert!(positive_count(&args(&["--shards", "abc"]), "shards")
+            .unwrap_err()
+            .contains("positive integer"));
+        assert_eq!(positive_count(&args(&[]), "workers").unwrap(), None);
+        assert_eq!(positive_count(&args(&["--workers", "3"]), "workers").unwrap(), Some(3));
+        // --cache.
+        assert!(cache_entries(&args(&["--cache", "0"])).unwrap_err().contains("must be ≥ 1"));
+        assert!(cache_entries(&args(&["--cache", "lots"]))
+            .unwrap_err()
+            .contains("positive entry count"));
+        assert_eq!(cache_entries(&args(&[])).unwrap(), Some(1024));
+        assert_eq!(cache_entries(&args(&["--cache", "off"])).unwrap(), None);
+        // --seed.
+        assert!(seed(&args(&["--seed", "12e3"]), 7).unwrap_err().contains("unsigned 64-bit"));
+        assert_eq!(seed(&args(&[]), 7).unwrap(), 7);
+        // --exact-margin.
+        assert!(exact_margin(&args(&["--exact-margin", "-1"]))
+            .unwrap_err()
+            .contains("finite non-negative"));
+        assert!(exact_margin(&args(&["--exact-margin", "inf"]))
+            .unwrap_err()
+            .contains("finite non-negative"));
+        assert!(exact_margin(&args(&["--exact-margin", "wide"]))
+            .unwrap_err()
+            .contains("cannot parse"));
+        assert_eq!(exact_margin(&args(&[])).unwrap(), 1e-9);
+        assert_eq!(exact_margin(&args(&["--exact-margin", "0"])).unwrap(), 0.0);
+        // --kernel.
+        assert!(kernel_flag(&args(&["--kernel", "simd"])).unwrap_err().contains("batch|scalar"));
+        // --out / --metrics-out extensions.
+        assert!(artifact_target(&args(&["--out", "x.yaml"]), "out", &[ArtifactFormat::Json])
+            .unwrap_err()
+            .contains(".json"));
+        assert!(metrics_target(&args(&["--metrics-out", "m.csv"]), true)
+            .unwrap_err()
+            .contains(".json|.txt"));
+        // Typed flags.
+        assert!(parsed_flag::<usize>(&args(&["--per-bin", "25O"]), "per-bin", 1)
+            .unwrap_err()
+            .contains("cannot parse"));
+    }
+}

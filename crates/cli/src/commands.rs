@@ -1,15 +1,16 @@
 //! Subcommand implementations.
 
+use crate::args::{
+    artifact_target, cache_entries, exact_margin, kernel_flag, metrics_target, parsed_flag,
+    positive_count, write_metrics, ArtifactFormat,
+};
 use crate::io::{device_from, taskset_from};
 use crate::ExitCode;
-use fpga_rt_analysis::{
-    AnalysisKernel, AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport,
-};
+use fpga_rt_analysis::{AnyOfTest, DpTest, Gn1Test, Gn2Test, NecessaryTest, SchedTest, TestReport};
 use fpga_rt_exp::cli::Args;
 use fpga_rt_exp::sweep::{analysis_evaluators_for, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, TasksetSpec, UtilizationBins};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
-use fpga_rt_obs::{Obs, Snapshot};
 use fpga_rt_service::{serve_session_with_obs, ServeConfig};
 use fpga_rt_sim::{
     simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind, SimConfig,
@@ -39,151 +40,6 @@ pub(crate) fn catch_rat64_overflow<R>(f: impl FnOnce() -> R) -> Result<R, String
                 std::panic::resume_unwind(payload)
             }
         }
-    }
-}
-
-/// Parse `--key` as a count that must be ≥ 1 when given. Returns `None`
-/// when the flag is absent (the caller's default applies — e.g. "all
-/// cores" for worker counts). An explicit `0` or an unparseable value is
-/// a usage error: `Args::get` would silently fall back to the default,
-/// which for `--workers 0` / `--shards 0` used to leak the internal
-/// "auto" sentinel into, or silently correct, downstream sizing.
-pub(crate) fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, String> {
-    match args.flags.get(key) {
-        None => Ok(None),
-        Some(v) => match v.parse::<usize>() {
-            Ok(0) => Err(format!("--{key} must be ≥ 1 (omit the flag for the default)")),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!("--{key} expects a positive integer, got {v:?}")),
-        },
-    }
-}
-
-/// Parse `--cache <entries>|off` (serve and loadgen): absent keeps the
-/// default 1024-entry per-shard verdict cache, `off` disables caching, a
-/// positive integer sizes it. `--cache 0` is a usage error rather than a
-/// silent alias — it is ambiguous between "off" and "unbounded" — matching
-/// the [`positive_count`] convention.
-pub(crate) fn cache_entries(args: &Args) -> Result<Option<usize>, String> {
-    match args.flags.get("cache").map(String::as_str) {
-        None => Ok(Some(1024)),
-        Some("off") => Ok(None),
-        Some(v) => match v.parse::<usize>() {
-            Ok(0) => Err("--cache must be ≥ 1 entries, or `off` to disable caching".into()),
-            Ok(n) => Ok(Some(n)),
-            Err(_) => Err(format!("--cache expects a positive entry count or `off`, got {v:?}")),
-        },
-    }
-}
-
-/// Parse `--kernel batch|scalar` (default batch). The two kernels are
-/// bit-identical by contract — the scalar path exists as an escape hatch
-/// and as the reference the batch kernel is cross-checked against.
-pub(crate) fn kernel_flag(args: &Args) -> Result<AnalysisKernel, String> {
-    match args.flags.get("kernel") {
-        None => Ok(AnalysisKernel::default()),
-        Some(v) => AnalysisKernel::parse(v)
-            .ok_or_else(|| format!("--kernel expects batch|scalar, got {v:?}")),
-    }
-}
-
-/// An artifact encoding, dispatched on the output file's extension.
-///
-/// Every file-writing flag (`--out`, `--metrics-out`) resolves its path
-/// through [`artifact_target`] against the subcommand's supported set.
-/// Unrecognized extensions are usage errors (process exit code 2) naming
-/// the accepted extensions — previously each subcommand had its own
-/// fallback ("anything that isn't `.csv` is JSON"), so a typo like
-/// `--out curves.cvs` silently wrote the wrong format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ArtifactFormat {
-    /// Pretty-printed JSON (`.json`).
-    Json,
-    /// Comma-separated values (`.csv`).
-    Csv,
-    /// Aligned plain text (`.txt`).
-    Text,
-}
-
-impl ArtifactFormat {
-    const fn extension(self) -> &'static str {
-        match self {
-            ArtifactFormat::Json => ".json",
-            ArtifactFormat::Csv => ".csv",
-            ArtifactFormat::Text => ".txt",
-        }
-    }
-}
-
-/// Resolve `--key FILE` against the formats the subcommand supports:
-/// `Ok(None)` when the flag is absent (or empty), the path/format pair
-/// when the extension matches, and a usage error listing the supported
-/// extensions otherwise. Called before the expensive run so a typo fails
-/// in milliseconds, not after the population has been evaluated.
-pub(crate) fn artifact_target(
-    args: &Args,
-    key: &str,
-    supported: &[ArtifactFormat],
-) -> Result<Option<(String, ArtifactFormat)>, String> {
-    let Some(path) = args.flags.get(key).filter(|p| !p.is_empty()) else {
-        return Ok(None);
-    };
-    match supported.iter().copied().find(|f| path.ends_with(f.extension())) {
-        Some(format) => Ok(Some((path.clone(), format))),
-        None => {
-            let accepted: Vec<&str> = supported.iter().map(|f| f.extension()).collect();
-            Err(format!(
-                "--{key} {path:?}: unsupported file extension (expected one of {})",
-                accepted.join("|")
-            ))
-        }
-    }
-}
-
-/// Parse `--metrics-out FILE.json|FILE.txt`, returning the resolved
-/// target plus the [`Obs`] handle the subcommand should instrument with:
-/// a live registry (deterministic when asked, so time-valued fields zero
-/// and the artifact byte-diffs across `--workers`) when the flag is
-/// given, and the no-op [`Obs::off`] otherwise — telemetry must cost
-/// nothing unless requested.
-pub(crate) fn metrics_target(
-    args: &Args,
-    deterministic: bool,
-) -> Result<(Option<(String, ArtifactFormat)>, Obs), String> {
-    let target =
-        artifact_target(args, "metrics-out", &[ArtifactFormat::Json, ArtifactFormat::Text])?;
-    let obs = if target.is_some() { Obs::on(deterministic) } else { Obs::off() };
-    Ok((target, obs))
-}
-
-/// Render and write the metrics snapshot to the resolved `--metrics-out`
-/// target (no-op when the flag was absent).
-pub(crate) fn write_metrics(
-    target: &Option<(String, ArtifactFormat)>,
-    snapshot: &Snapshot,
-) -> Result<(), String> {
-    let Some((path, format)) = target else { return Ok(()) };
-    let rendered = match format {
-        ArtifactFormat::Json => snapshot.render_json(),
-        ArtifactFormat::Text => snapshot.render_text(),
-        // `metrics_target` only offers .json|.txt.
-        ArtifactFormat::Csv => unreachable!("metrics artifacts are .json|.txt"),
-    };
-    std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))
-}
-
-/// Parse `--key` as a typed value, erroring on unparseable input instead
-/// of silently using the default (`Args::get` does the latter — fine for
-/// study binaries, wrong for CI-gating subcommands where a typo like
-/// `--per-bin 25O` must not quietly gate a different population).
-pub(crate) fn parsed_flag<T: std::str::FromStr>(
-    args: &Args,
-    key: &str,
-    default: T,
-) -> Result<T, String> {
-    match args.flags.get(key) {
-        None => Ok(default),
-        Some(v) => v.parse::<T>().map_err(|_| format!("--{key}: cannot parse {v:?}")),
     }
 }
 
@@ -410,7 +266,7 @@ pub fn size(args: &Args, out: &mut dyn Write) -> CmdResult {
 pub fn generate(args: &Args, out: &mut dyn Write) -> CmdResult {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let seed = args.seed(42)?;
+    let seed = crate::args::seed(args, 42)?;
     let spec = match args.flags.get("figure") {
         Some(id) => FigureWorkload::by_id(id).ok_or_else(|| format!("unknown figure {id:?}"))?.spec,
         None => TasksetSpec::unconstrained(args.get("n", 10usize)),
@@ -460,7 +316,7 @@ pub fn sweep(args: &Args, out: &mut dyn Write) -> CmdResult {
         return Err("--bins must be ≥ 1".into());
     }
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(200);
-    let seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
+    let seed = crate::args::seed(args, fpga_rt_exp::cli::DEFAULT_SEED)?;
     let kernel = kernel_flag(args)?;
     let deterministic = args.has("deterministic");
     let out_target = artifact_target(args, "out", &[ArtifactFormat::Json, ArtifactFormat::Csv])?;
@@ -536,7 +392,7 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
         return Err("--bins must be ≥ 1".into());
     }
     let per_bin = positive_count(args, "per-bin")?.unwrap_or(100);
-    let seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
+    let seed = crate::args::seed(args, fpga_rt_exp::cli::DEFAULT_SEED)?;
     let workers = positive_count(args, "workers")?.unwrap_or(0);
     let kernel = kernel_flag(args)?;
     let sim_horizon = parsed_flag(args, "sim-horizon", 50.0f64)?;
@@ -689,21 +545,16 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
 /// a human summary on stderr.
 pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
     let columns = positive_count(args, "columns")?.ok_or("--columns N (≥1) is required")? as u32;
-    let exact_margin = parsed_flag(args, "exact-margin", 1e-9f64)?;
-    if !(exact_margin.is_finite() && exact_margin >= 0.0) {
-        return Err(format!(
-            "--exact-margin must be a finite non-negative value, got {exact_margin}"
-        ));
-    }
     let config = ServeConfig {
         columns,
         shards: positive_count(args, "shards")?.unwrap_or(1).min(u32::MAX as usize) as u32,
         workers: positive_count(args, "workers")?.unwrap_or(0),
         batch: positive_count(args, "batch")?.unwrap_or(64),
-        exact_margin,
+        exact_margin: exact_margin(args)?,
         max_denominator: 1_000_000,
         deterministic: args.has("deterministic"),
         cache: cache_entries(args)?,
+        sessions: positive_count(args, "sessions")?,
     };
     let (metrics, obs) = metrics_target(args, config.deterministic)?;
     let start = std::time::Instant::now();
@@ -763,7 +614,7 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
         .unwrap_or(config.rounds as usize)
         .min(u32::MAX as usize) as u32;
     config.workers = positive_count(args, "workers")?.unwrap_or(0);
-    config.seed = args.seed(fpga_rt_exp::cli::DEFAULT_SEED)?;
+    config.seed = crate::args::seed(args, fpga_rt_exp::cli::DEFAULT_SEED)?;
     config.deterministic = args.has("deterministic");
     config.cache = cache_entries(args)?;
 
@@ -1180,6 +1031,15 @@ mod tests {
         let err =
             serve(&args(&["--columns", "10", "--workers", "0"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--workers must be ≥ 1"), "{err}");
+        let err =
+            serve(&args(&["--columns", "10", "--sessions", "0"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--sessions must be ≥ 1"), "{err}");
+        let err =
+            serve(&args(&["--columns", "10", "--sessions", "many"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let err = serve(&args(&["--columns", "10", "--exact-margin", "-0.5"]), &mut Vec::new())
+            .unwrap_err();
+        assert!(err.contains("finite non-negative"), "{err}");
         let err = conform(&args(&["--workers", "0"]), &mut Vec::new()).unwrap_err();
         assert!(err.contains("--workers must be ≥ 1"), "{err}");
         // Gate-relevant numeric flags reject garbage instead of silently

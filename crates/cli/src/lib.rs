@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod args;
 pub mod commands;
 pub mod io;
 
@@ -71,9 +72,13 @@ pub fn usage() -> String {
      \x20           (cross-validate DP/GN1/GN2/AnyOf against the simulator;\n\
      \x20           exit 1 on any SOUNDNESS-VIOLATION; byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
-     \x20           [--exact-margin EPS] [--input FILE] [--deterministic]\n\
+     \x20           [--sessions MAX] [--cache ENTRIES|off] [--exact-margin EPS]\n\
+     \x20           [--input FILE] [--deterministic]\n\
      \x20           [--metrics-out FILE.json|FILE.txt]\n\
-     \x20           (JSONL admission-control service on stdin/stdout)\n\
+     \x20           (multi-tenant JSONL admission-control service on\n\
+     \x20           stdin/stdout; v2 requests carry a `session` id with\n\
+     \x20           create/pause/resume/snapshot/restore/destroy lifecycle\n\
+     \x20           ops, v1 sessionless requests hit the `default` session)\n\
      \x20 loadgen   [--profile poisson|bursty|adversarial|all] [--ops N] [--sessions K]\n\
      \x20           [--columns N] [--rounds R] [--workers W] [--seed S] [--soak SECS]\n\
      \x20           [--deterministic] [--out FILE.json|FILE.csv]\n\

@@ -9,8 +9,8 @@
 //! fpga-rt size     --taskset set.json [--max 1000] [--exact]
 //! fpga-rt generate --n 10 --seed 42 [--figure fig3b] [--pretty]
 //! fpga-rt tables
-//! fpga-rt serve    --columns 100 [--shards 4] [--batch 64] [--cache 1024|off]
-//!                  [--deterministic]
+//! fpga-rt serve    --columns 100 [--shards 4] [--batch 64] [--sessions 4096]
+//!                  [--cache 1024|off] [--deterministic]
 //! ```
 //!
 //! Tasksets are JSON arrays of `{"exec": C, "deadline": D, "period": T,

@@ -17,8 +17,12 @@
 //!    every second admission).
 //! 2. [`run()`] — **replay** the stream against in-process
 //!    [`AdmissionController`](fpga_rt_service::AdmissionController)s, one
-//!    per session, sharded over the workspace's deterministic
-//!    [`ShardedPool`](fpga_rt_pool::ShardedPool). Per-op latencies land in
+//!    per **named protocol session** (`s0`, `s1`, …), placed onto the
+//!    workspace's deterministic
+//!    [`ShardedPool`](fpga_rt_pool::ShardedPool) by the same
+//!    [`session_shard`](fpga_rt_service::session_shard) FNV-1a hash the
+//!    multi-tenant server routes v2 `session` ids with. Per-op latencies
+//!    land in
 //!    the workspace's HDR-style [`hist::LatencyHistogram`] (promoted to
 //!    `fpga-rt-obs` and re-exported here); decision and tier counts ride
 //!    the shared `fpga-rt-obs` registry snapshot.

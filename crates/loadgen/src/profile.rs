@@ -91,7 +91,8 @@ pub enum OpKind {
 pub struct ArrivalOp {
     /// Arrival time in nanoseconds from stream start (non-decreasing).
     pub at_ns: u64,
-    /// Logical session (maps to a pool shard / independent controller).
+    /// Logical session index (becomes the named protocol session `s{k}`,
+    /// an independent controller on whatever shard its name hashes to).
     pub session: u32,
     /// The operation.
     pub kind: OpKind,

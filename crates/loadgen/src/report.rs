@@ -30,7 +30,7 @@ pub use fpga_rt_obs::runner_id;
 pub struct Budget {
     /// Operations per profile per round.
     pub ops: usize,
-    /// Logical sessions (pool shards).
+    /// Named protocol sessions the streams multiplex over.
     pub sessions: u32,
     /// Stream replays per profile (seed advances per round).
     pub rounds: u32,
@@ -91,8 +91,8 @@ pub struct ProfileReport {
     pub degraded_releases: u64,
     /// Query ops in the stream.
     pub queries: u64,
-    /// Which cascade tier settled each admit decision, summed over all
-    /// sessions' `QueryStats` in shard order.
+    /// Which cascade tier settled each admit decision, summed
+    /// (commutatively) over every session's `QueryStats`.
     pub tiers: TierCounts,
     /// Per-op decision latency.
     pub latency: LatencySummary,

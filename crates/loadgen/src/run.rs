@@ -1,26 +1,31 @@
 //! Replaying synthesized streams against the in-process admission pipeline.
 //!
-//! Each logical session maps to one [`ShardedPool`] shard holding an
-//! independent [`AdmissionController`] plus that session's live handles.
-//! Because the pool pins a shard to exactly one worker and processes its
-//! items sequentially, replay outcomes (decisions, tier counts, degraded
-//! releases) are **invariant in the worker count** — only the measured
-//! latencies differ between runs, and `--deterministic` zeroes those, which
-//! is what makes the emitted artifacts byte-diffable in CI.
+//! Each logical session is a **named protocol session** (`s0`, `s1`, …)
+//! exactly as the multi-tenant server sees them: its name is routed to a
+//! [`ShardedPool`] shard by [`fpga_rt_service::session_shard`] — the same
+//! FNV-1a placement the server uses for protocol-v2 `session` ids — and
+//! the shard's worker owns a map of per-session states (an independent
+//! [`AdmissionController`] plus the session's live handles), materialized
+//! on first use. Because the pool pins a shard to exactly one worker and
+//! processes its items sequentially, and sessions never span shards,
+//! replay outcomes (decisions, tier counts, degraded releases) are
+//! **invariant in the worker count** — only the measured latencies differ
+//! between runs, and `--deterministic` zeroes those, which is what makes
+//! the emitted artifacts byte-diffable in CI.
 //!
 //! A `Release` op releases the session's **oldest** live handle (FIFO); a
 //! release arriving at a session with no live task degrades to a query so
 //! the op stream can be fixed up-front without tracking accept/reject
 //! outcomes during synthesis.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use fpga_rt_model::{Fpga, TaskHandle};
 use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
 use fpga_rt_service::protocol::counters as cache_counters;
-use fpga_rt_service::{AdmissionController, ControllerConfig, QueryStats};
+use fpga_rt_service::{session_shard, AdmissionController, ControllerConfig, QueryStats};
 
 use crate::hist::LatencyHistogram;
 use crate::profile::{synthesize, ArrivalProfile, LoadSpec, OpKind};
@@ -31,7 +36,8 @@ use crate::report::{runner_id, Budget, LatencySummary, LoadReport, ProfileReport
 pub struct LoadConfig {
     /// Operations per profile per round.
     pub ops: usize,
-    /// Logical sessions (pool shards).
+    /// Named protocol sessions (`s0`…) the streams multiplex over; also
+    /// the pool shard count their names are FNV-placed onto.
     pub sessions: u32,
     /// Device columns of every session's controller.
     pub columns: u32,
@@ -92,24 +98,56 @@ impl LoadConfig {
     }
 }
 
-/// One shard's replay state: its controller and live handles (FIFO).
+/// One named session's replay state: its controller and live handles
+/// (FIFO).
 struct Session {
     controller: AdmissionController,
     live: VecDeque<TaskHandle>,
 }
 
-/// Pool request: apply one stream op, or report the shard's statistics.
+/// One shard's replay state: the named sessions the FNV-1a placement
+/// routed here, materialized on first use — the same shape as the
+/// multi-tenant server's per-shard session map.
+struct Tenants {
+    sessions: HashMap<String, Session>,
+    fresh: Box<dyn Fn() -> Session + Send>,
+}
+
+impl Tenants {
+    fn session_mut(&mut self, name: &str) -> &mut Session {
+        self.sessions.entry(name.to_string()).or_insert_with(&self.fresh)
+    }
+}
+
+/// The wire name of logical session `k` — the id a protocol-v2 client
+/// would put in the `session` field.
+fn session_name(k: u32) -> String {
+    format!("s{k}")
+}
+
+/// Pool request: apply one stream op to a named session, or report the
+/// shard's per-session statistics.
 enum Req {
-    Apply(OpKind),
+    Apply(String, OpKind),
     Stats,
 }
 
 /// What one op did, for aggregation on the driving thread.
 enum Resp {
-    Admitted { accepted: bool, latency_ns: u64 },
-    Released { degraded: bool, latency_ns: u64 },
-    Queried { latency_ns: u64 },
-    Stats(QueryStats),
+    Admitted {
+        accepted: bool,
+        latency_ns: u64,
+    },
+    Released {
+        degraded: bool,
+        latency_ns: u64,
+    },
+    Queried {
+        latency_ns: u64,
+    },
+    /// One entry per session alive on the shard (order is immaterial:
+    /// the driver folds them commutatively).
+    Stats(Vec<QueryStats>),
 }
 
 /// How long a profile keeps replaying rounds.
@@ -128,20 +166,31 @@ fn build_pool(config: &LoadConfig, obs: &Obs) -> ShardedPool<Req, Resp> {
     ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards: config.sessions },
         obs.clone(),
-        move |_shard| Session {
-            controller: AdmissionController::with_obs(
-                Fpga::new(columns).expect("spec validation caught zero columns"),
-                ControllerConfig::default(),
-                ctl_obs.clone(),
-            )
-            .with_cache(cache),
-            live: VecDeque::new(),
+        move |_shard| {
+            let ctl_obs = ctl_obs.clone();
+            Tenants {
+                sessions: HashMap::new(),
+                fresh: Box::new(move || Session {
+                    controller: AdmissionController::with_obs(
+                        Fpga::new(columns).expect("spec validation caught zero columns"),
+                        ControllerConfig::default(),
+                        ctl_obs.clone(),
+                    )
+                    .with_cache(cache),
+                    live: VecDeque::new(),
+                }),
+            }
         },
-        move |session, _shard, req| {
-            let kind = match req {
-                Req::Stats => return Resp::Stats(session.controller.stats()),
-                Req::Apply(kind) => kind,
+        move |tenants, _shard, req| {
+            let (name, kind) = match req {
+                Req::Stats => {
+                    return Resp::Stats(
+                        tenants.sessions.values().map(|s| s.controller.stats()).collect(),
+                    )
+                }
+                Req::Apply(name, kind) => (name, kind),
             };
+            let session = tenants.session_mut(&name);
             let start = Instant::now();
             let mut resp = match kind {
                 OpKind::Admit(params) => {
@@ -209,7 +258,11 @@ fn run_profile(
         }
         let stream = synthesize(&config.spec(profile, round))?;
         let results = pool
-            .run_batch(stream.into_iter().map(|op| (op.session, Req::Apply(op.kind))))
+            .run_batch(stream.into_iter().map(|op| {
+                let name = session_name(op.session);
+                let shard = session_shard(&name, config.sessions);
+                (shard, Req::Apply(name, op.kind))
+            }))
             .map_err(|e| e.to_string())?;
         for result in results {
             let resp = result.map_err(|p| p.to_string())?;
@@ -242,14 +295,20 @@ fn run_profile(
         }
         round += 1;
     }
-    // Total the per-shard controller statistics in shard order, through
-    // the workspace's one cross-shard fold (`QueryStats::fold_into`). These
-    // queries are bookkeeping, not stream ops — they stay out of the
-    // histogram and the op counts.
+    // Total the per-session controller statistics across every shard,
+    // through the workspace's one cross-shard fold
+    // (`QueryStats::fold_into`) — the fold is commutative sums, so the
+    // session iteration order within a shard is immaterial. These queries
+    // are bookkeeping, not stream ops — they stay out of the histogram and
+    // the op counts.
     let acc = Registry::new();
     for result in pool.broadcast(|_| Req::Stats).map_err(|e| e.to_string())? {
         match result.map_err(|p| p.to_string())? {
-            Resp::Stats(stats) => stats.fold_into(&acc),
+            Resp::Stats(per_session) => {
+                for stats in per_session {
+                    stats.fold_into(&acc);
+                }
+            }
             _ => return Err("expected stats response".to_string()),
         }
     }

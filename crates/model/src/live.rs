@@ -285,6 +285,44 @@ impl<T: Time> LiveTaskSet<T> {
     pub fn handle_at(&self, k: usize) -> Option<TaskHandle> {
         self.tasks.get(k).map(|(h, _)| *h)
     }
+
+    /// The next handle value a future [`LiveTaskSet::admit`] would assign.
+    /// Captured by snapshots so a restored set keeps the never-reuse
+    /// guarantee across the snapshot boundary.
+    #[inline]
+    pub fn next_handle(&self) -> u64 {
+        self.next_handle
+    }
+
+    /// Rebuild a live set from snapshotted `(handle, task)` pairs plus the
+    /// handle counter captured alongside them.
+    ///
+    /// Tasks may arrive in any order — they are re-sorted into canonical
+    /// [`Task::canonical_cmp`] order and the aggregates are recomputed from
+    /// scratch, which (by the purity contract documented on this type)
+    /// yields bits identical to any admit/remove history that reaches the
+    /// same multiset. Fails when a handle is duplicated or not strictly
+    /// below `next_handle` (either would break the never-reuse guarantee).
+    pub fn restore(
+        pairs: Vec<(TaskHandle, Task<T>)>,
+        next_handle: u64,
+    ) -> Result<Self, ModelError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (handle, _) in &pairs {
+            if handle.0 >= next_handle || !seen.insert(handle.0) {
+                return Err(ModelError::UnknownTaskHandle { handle: handle.0 });
+            }
+        }
+        let mut live = LiveTaskSet::new();
+        live.tasks = pairs;
+        live.tasks.sort_by(|(ha, ta), (hb, tb)| ta.canonical_cmp(tb).then(ha.cmp(hb)));
+        live.next_handle = next_handle;
+        for (_, task) in &live.tasks {
+            *live.areas.entry(task.area()).or_insert(0) += 1;
+        }
+        live.recompute_aggregates();
+        Ok(live)
+    }
 }
 
 #[cfg(test)]

@@ -240,6 +240,52 @@ impl AdmissionController {
         &self.live
     }
 
+    /// Export the controller's durable state for a session snapshot: the
+    /// live `(handle, task)` pairs in canonical order, the handle counter
+    /// and the accumulated decision statistics. Everything else — the
+    /// incremental DP state, the GN warm paths, the taskset fingerprint —
+    /// is derivable from the live multiset and is rebuilt on restore.
+    pub fn export_state(&self) -> (Vec<(TaskHandle, Task<f64>)>, u64, QueryStats) {
+        let pairs = self.live.iter().map(|(h, t)| (h, *t)).collect();
+        (pairs, self.live.next_handle(), self.stats)
+    }
+
+    /// Rebuild the controller from exported state.
+    ///
+    /// The live set is restored in canonical order and its aggregates are
+    /// recomputed from scratch, which yields bits identical to any
+    /// admit/release history reaching the same multiset (the purity
+    /// contract of [`LiveTaskSet`]). The incremental DP state and the GN
+    /// warm paths reset to their defaults — they re-warm lazily and
+    /// bit-identically from the live set — and the fingerprint is refolded
+    /// from the tasks. The verdict cache restarts empty at the same
+    /// capacity: cache state never changes a response byte, so this is a
+    /// telemetry-only difference. All subsequent verdicts are therefore
+    /// identical to a never-snapshotted twin (property-tested in
+    /// `tests/session_equiv.rs`).
+    pub fn restore_state(
+        &mut self,
+        pairs: Vec<(TaskHandle, Task<f64>)>,
+        next_handle: u64,
+        stats: QueryStats,
+    ) -> Result<(), String> {
+        let live = LiveTaskSet::restore(pairs, next_handle).map_err(|e| e.to_string())?;
+        let mut fp = TasksetFingerprint::empty();
+        for (_, task) in live.iter() {
+            fp.add(task);
+        }
+        self.live = live;
+        self.fp = fp;
+        self.dp = IncrementalState::default();
+        self.gn1 = Gn1Test::default();
+        self.gn2 = Gn2Test::default();
+        self.stats = stats;
+        if let Some(cache) = &self.cache {
+            self.cache = Some(VerdictCache::new(cache.capacity()));
+        }
+        Ok(())
+    }
+
     fn knife_edge(&self, margin: f64, scale: f64) -> bool {
         margin.abs() <= self.config.exact_margin * scale.abs().max(1.0)
     }

@@ -19,14 +19,24 @@
 //!   order-independent taskset fingerprint — byte-identical output with the
 //!   cache on or off, by construction.
 //! * [`protocol`] — the line-delimited JSON request/response wire format:
-//!   scriptable, replayable, diffable (the CI pipeline replays a recorded
-//!   session against a golden transcript).
+//!   scriptable, replayable, diffable (the CI pipeline replays recorded
+//!   sessions against golden transcripts). Protocol **v2** frames every
+//!   request with a `session` id and lowers to the tagged [`Op`] enum —
+//!   the server's only internal representation — while v1 (sessionless)
+//!   lines are lowered by a parse-time compatibility shim against the
+//!   implicit `default` session.
+//! * [`session`] — the explicit session lifecycle (`create`, `pause`,
+//!   `resume`, `snapshot`, `restore`, `destroy`): [`SessionManager`] is
+//!   the main-thread mirror that gates every transition in request order,
+//!   and [`SessionSnapshot`] is the serde-backed durable state a session
+//!   round-trips through `snapshot`/`restore`.
 //! * [`serve_session`] — the batched session loop: requests are read in
 //!   batches and sharded across the workspace's deterministic worker pool
-//!   ([`fpga_rt_pool::ShardedPool`]); each shard is an independent
-//!   controller pinned to one worker, so responses are deterministic in the
-//!   worker count, batch size and timing, and a panicking handler surfaces
-//!   as a per-request error instead of killing the session.
+//!   ([`fpga_rt_pool::ShardedPool`]); each shard owns a map of independent
+//!   per-session controllers pinned to one worker, so responses are
+//!   deterministic in the worker count, batch size and timing, and a
+//!   panicking handler surfaces as a per-request error instead of killing
+//!   the session.
 //!
 //! The wire format is specified normatively in `docs/PROTOCOL.md` at the
 //! workspace root.
@@ -60,11 +70,14 @@ pub mod cache;
 pub mod controller;
 pub mod protocol;
 pub mod server;
+pub mod session;
 
 pub use cache::{task_fingerprint, CacheOp, CachedVerdict, TasksetFingerprint, VerdictCache};
 pub use controller::{AdmissionController, ControllerConfig, Decision, ReleaseOutcome, Tier};
 pub use protocol::{
-    parse_request, render_response, PerTaskMargin, QueryStats, Request, Response, TaskParams,
-    TierCounts,
+    parse_request, render_response, session_shard, Op, PerTaskMargin, QueryStats, Request,
+    RequestError, Response, ResponseBuilder, Route, SessionSnapshot, SnapshotTask, TaskParams,
+    TierCounts, DEFAULT_SESSION,
 };
 pub use server::{serve_session, serve_session_with_obs, ServeConfig, SessionStats};
+pub use session::{LifecycleState, SessionManager};

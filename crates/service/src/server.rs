@@ -1,46 +1,67 @@
 //! Session loop: batched JSONL I/O over the shared sharded worker pool.
 //!
 //! The main thread reads requests in batches, routes each request to a
-//! [`fpga_rt_pool::ShardedPool`] worker by its shard key, and writes the
+//! [`fpga_rt_pool::ShardedPool`] worker by its shard key (v1: the explicit
+//! `shard` key; v2: [`session_shard`] of the session name), and writes the
 //! collected responses back in request order before reading the next batch.
-//! Each pool worker *owns* the [`AdmissionController`]s of the shards
-//! routed to it (the pool's per-shard state), so a shard's requests are
-//! always processed sequentially by one thread — which makes the whole
-//! session deterministic in the worker count, the batch size and
-//! wall-clock timing. A panicking request handler is contained by the pool
-//! as a per-item error and surfaces as a protocol-level error response.
+//! Each pool worker *owns* the sessions of the shards routed to it — a
+//! per-shard map of session name to [`AdmissionController`] — so a
+//! session's requests are always processed sequentially by one thread,
+//! which makes the whole session deterministic in the worker count, the
+//! batch size and wall-clock timing. A panicking request handler is
+//! contained by the pool as a per-item error and surfaces as a
+//! protocol-level error response.
+//!
+//! ## Session lifecycle
+//!
+//! Lifecycle authority lives on the main thread in a
+//! [`SessionManager`] mirror, consulted in request order as lines are
+//! read: `pause`/`resume` (and every lifecycle *error*) are answered
+//! immediately there with `latency_us` 0, while `create`, `snapshot`,
+//! `restore` and `destroy` are committed to the mirror and then applied by
+//! the owning worker in shard-FIFO order. Because routing is by session,
+//! anything sequenced after a lifecycle op observes its effect, at every
+//! worker count. Destroying a session removes its decisions from the
+//! service-wide totals; `snapshot`/`restore` carries them with the
+//! session.
 //!
 //! ## Telemetry
 //!
 //! [`serve_session_with_obs`] threads one shared [`Obs`] handle through the
-//! pool workers and every shard's admission controller, so a single
+//! pool workers and every session's admission controller, so a single
 //! registry accumulates pool shard counters and cascade-tier latency
 //! histograms for the whole session. The `stats` op (and the end of the
-//! session) *drains* the per-shard [`QueryStats`] through a pool broadcast
-//! and folds them into a **clone** of the registry — repeated `stats` ops
-//! therefore never double-count — producing a self-contained
+//! session) *drains* the per-session [`QueryStats`] through a pool
+//! broadcast and folds them into a **clone** of the registry — repeated
+//! `stats` ops therefore never double-count — producing a self-contained
 //! `fpga-rt-obs/1` [`Snapshot`]. A `stats` line also cuts the current
 //! batch: its totals cover exactly the requests with a smaller sequence
-//! number, at any worker count.
+//! number, at any worker count. Lifecycle transitions tick the
+//! `session/lifecycle/*` counters and the snapshot carries
+//! `session/{live,active,paused}` gauges (only when telemetry is enabled,
+//! so v1 transcripts are unchanged with it off).
 
 use crate::controller::{AdmissionController, ControllerConfig};
 use crate::protocol::{
-    counters, parse_request, render_response, QueryStats, Request, Response, TierCounts,
+    counters, parse_request, render_response, session_shard, Op, QueryStats, Request, RequestError,
+    Response, ResponseBuilder, Route, SessionSnapshot, SnapshotTask, TaskParams, TierCounts,
 };
+use crate::session::{LifecycleState, SessionManager};
 use fpga_rt_model::{Fpga, TaskHandle};
 use fpga_rt_obs::{Obs, Registry, Snapshot};
 use fpga_rt_pool::{PoolConfig, ShardedPool};
+use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::time::Instant;
 
 /// Configuration of one serve session.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServeConfig {
-    /// Device size in columns (each shard admits onto its own device of
+    /// Device size in columns (each session admits onto its own device of
     /// this size).
     pub columns: u32,
-    /// Number of independent shards (admission controllers). Request shard
-    /// keys are reduced modulo this count.
+    /// Number of independent shards. v1 request shard keys are reduced
+    /// modulo this count; v2 sessions hash onto it.
     pub shards: u32,
     /// Worker threads; 0 picks `min(shards, available parallelism)`.
     pub workers: usize,
@@ -54,14 +75,18 @@ pub struct ServeConfig {
     /// sample, so transcripts *and* metrics artifacts are byte-for-byte
     /// reproducible (used by the golden-file and obs-smoke CI gates).
     pub deterministic: bool,
-    /// Per-shard verdict-cache capacity in entries; `None` disables
+    /// Per-session verdict-cache capacity in entries; `None` disables
     /// caching. Cache state never changes any response byte — only the
     /// `admission/cache/*` telemetry reveals it.
     pub cache: Option<usize>,
+    /// Cap on concurrently live sessions (`None` = unlimited). The
+    /// implicit v1 `default` sessions count toward it.
+    pub sessions: Option<usize>,
 }
 
 impl ServeConfig {
-    /// Defaults for a device: one shard, auto workers, batches of 64.
+    /// Defaults for a device: one shard, auto workers, batches of 64,
+    /// unlimited sessions.
     pub fn new(columns: u32) -> Self {
         ServeConfig {
             columns,
@@ -72,6 +97,7 @@ impl ServeConfig {
             max_denominator: 1_000_000,
             deterministic: false,
             cache: Some(1024),
+            sessions: None,
         }
     }
 
@@ -91,18 +117,67 @@ pub struct SessionStats {
     pub accepted: u64,
     /// Admissions rejected.
     pub rejected: u64,
-    /// Protocol-level errors (malformed line, bad op, stale handle, ...).
+    /// Protocol-level errors (malformed line, bad op, stale handle,
+    /// lifecycle violation, ...).
     pub errors: u64,
     /// Which cascade tier settled each admit decision.
     pub tiers: TierCounts,
 }
 
+/// Per-shard worker state: the sessions the shard owns, plus everything
+/// needed to materialize a new controller.
+struct ShardState {
+    device: Fpga,
+    config: ControllerConfig,
+    obs: Obs,
+    cache: Option<usize>,
+    sessions: HashMap<String, AdmissionController>,
+}
+
+impl ShardState {
+    fn fresh_controller(&self) -> AdmissionController {
+        AdmissionController::with_obs(self.device, self.config, self.obs.clone())
+            .with_cache(self.cache)
+    }
+
+    /// The session's controller, materialized on first use. The main
+    /// thread only routes data ops for sessions the mirror knows, so lazy
+    /// materialization here is reached exactly once per session: by the
+    /// auto-created default session's first data op.
+    fn session_mut(&mut self, name: &str) -> &mut AdmissionController {
+        if !self.sessions.contains_key(name) {
+            let controller = self.fresh_controller();
+            self.sessions.insert(name.to_string(), controller);
+        }
+        self.sessions.get_mut(name).expect("just inserted")
+    }
+
+    /// Sum of every live session's statistics (commutative, so map
+    /// iteration order cannot leak into the totals).
+    fn stats(&self) -> QueryStats {
+        let mut total = QueryStats::default();
+        for controller in self.sessions.values() {
+            let s = controller.stats();
+            total.decisions += s.decisions;
+            total.accepted += s.accepted;
+            total.rejected += s.rejected;
+            total.tiers.dp_inc += s.tiers.dp_inc;
+            total.tiers.gn1 += s.tiers.gn1;
+            total.tiers.gn2 += s.tiers.gn2;
+            total.tiers.exact += s.tiers.exact;
+        }
+        total
+    }
+}
+
 /// One pool item: a protocol line to serve, or a drain marker asking the
-/// shard's controller for its accumulated statistics.
+/// shard for its accumulated statistics.
 enum ServeReq {
-    /// A parsed request with its session sequence number.
-    Line(u64, Request),
-    /// Report the shard controller's [`QueryStats`].
+    /// A parsed request with its session sequence number, resolved id and
+    /// — for `snapshot` ops — the lifecycle state the mirror recorded at
+    /// submission time.
+    Line { seq: u64, id: String, snapshot_state: Option<LifecycleState>, request: Request },
+    /// Report the shard's summed [`QueryStats`].
     Drain,
 }
 
@@ -128,8 +203,9 @@ pub fn serve_session(
 /// [`serve_session`] with a telemetry handle; returns the session
 /// statistics **and** the end-of-session `fpga-rt-obs/1` snapshot (pool
 /// shard counters, cascade-tier latency histograms, folded admission
-/// totals, session metadata). With [`Obs::off`] the snapshot still carries
-/// the folded totals and metadata — just no histograms or pool counters.
+/// totals, session gauges, session metadata). With [`Obs::off`] the
+/// snapshot still carries the folded totals and metadata — just no
+/// histograms, pool counters or session gauges.
 pub fn serve_session_with_obs(
     input: &mut dyn BufRead,
     output: &mut dyn Write,
@@ -142,25 +218,29 @@ pub fn serve_session_with_obs(
     let shards = config.shards.max(1);
     let batch_size = config.batch.max(1);
     let device = Fpga::new(config.columns).map_err(|e| e.to_string())?;
-    let ctl_config = config.controller_config();
     let deterministic = config.deterministic;
 
-    // One admission controller per shard, owned by the pool worker the
-    // shard is pinned to; all of them record into the one shared registry.
+    // One session map per shard, owned by the pool worker the shard is
+    // pinned to; every controller records into the one shared registry.
     // Handler panics are contained by the pool.
     let ctl_obs = obs.clone();
+    let ctl_config = config.controller_config();
     let cache = config.cache;
     let mut pool: ShardedPool<ServeReq, ServeResp> = ShardedPool::with_obs(
         PoolConfig { workers: config.workers, shards },
         obs.clone(),
-        move |_shard| {
-            AdmissionController::with_obs(device, ctl_config, ctl_obs.clone()).with_cache(cache)
+        move |_shard| ShardState {
+            device,
+            config: ctl_config,
+            obs: ctl_obs.clone(),
+            cache,
+            sessions: HashMap::new(),
         },
-        move |controller, shard, req| match req {
-            ServeReq::Drain => ServeResp::Drain(controller.stats()),
-            ServeReq::Line(seq, request) => {
+        move |state, shard, req| match req {
+            ServeReq::Drain => ServeResp::Drain(state.stats()),
+            ServeReq::Line { seq, id, snapshot_state, request } => {
                 let start = Instant::now();
-                let mut response = handle_request(controller, seq, shard, request);
+                let mut response = handle_request(state, seq, shard, id, snapshot_state, request);
                 response.latency_us = Some(if deterministic {
                     0
                 } else {
@@ -171,20 +251,26 @@ pub fn serve_session_with_obs(
         },
     );
 
+    let mut manager = SessionManager::new(config.sessions);
     let mut stats = SessionStats::default();
     let mut seq: u64 = 0;
     let mut line = String::new();
     let mut eof = false;
     while !eof {
-        // Read one batch of lines.
+        // Read one batch of lines. Parse failures and lifecycle decisions
+        // are answered immediately on the main thread (in request order,
+        // which is what keeps the session limit and pause gating
+        // deterministic in the worker count); everything else is submitted
+        // to the owning shard.
         let mut immediate: Vec<(u64, Response)> = Vec::new();
-        // (seq, id, op, shard) per submitted request, in submission order —
-        // enough to synthesize an error response if the handler panicked.
-        let mut submitted: Vec<(u64, String, String, u32)> = Vec::new();
+        // (seq, id, op, shard, session echo) per submitted request, in
+        // submission order — enough to synthesize an error response if the
+        // handler panicked.
+        let mut submitted: Vec<(u64, String, String, u32, Option<String>)> = Vec::new();
         // A `stats` line cuts the batch: it is answered on the main thread
         // after everything submitted before it has been collected, so its
         // totals cover exactly the requests with a smaller seq.
-        let mut pending_stats: Option<(u64, String)> = None;
+        let mut pending_stats: Option<(u64, String, Option<String>)> = None;
         let mut read = 0usize;
         while read < batch_size {
             line.clear();
@@ -201,29 +287,153 @@ pub fn serve_session_with_obs(
             seq += 1;
             read += 1;
             stats.requests += 1;
-            match parse_request(trimmed) {
-                Ok(request) if request.op == "stats" => {
-                    let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
-                    pending_stats = Some((this_seq, id));
-                    break;
-                }
-                Ok(request) => {
-                    let shard = request.shard.unwrap_or(0) % shards;
-                    let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
-                    submitted.push((this_seq, id, request.op.clone(), shard));
-                    pool.submit(shard, ServeReq::Line(this_seq, request));
-                }
-                Err(e) => {
+            let request = match parse_request(trimmed) {
+                Ok(request) => request,
+                Err(RequestError::Malformed(e)) => {
+                    // Nothing could be recovered from the line; latency_us
+                    // stays null (the request never reached a handler).
                     immediate.push((
                         this_seq,
-                        Response::protocol_error(
-                            format!("req-{this_seq}"),
-                            this_seq,
-                            String::new(),
-                            0,
-                            format!("malformed request: {e}"),
-                        ),
+                        Response::fail("", this_seq, format!("malformed request: {e}"))
+                            .id(format!("req-{this_seq}"))
+                            .build(),
                     ));
+                    continue;
+                }
+                Err(RequestError::Invalid(inv)) => {
+                    let (shard, echo) = match (inv.shard, &inv.session) {
+                        (Some(k), _) => (k % shards, None),
+                        (None, Some(name)) => (session_shard(name, shards), inv.session.clone()),
+                        (None, None) => (0, None),
+                    };
+                    let id = inv.id.unwrap_or_else(|| format!("req-{this_seq}"));
+                    immediate.push((
+                        this_seq,
+                        Response::fail(inv.op, this_seq, inv.message)
+                            .id(id)
+                            .shard(shard)
+                            .session_opt(echo)
+                            .latency_us(0)
+                            .build(),
+                    ));
+                    continue;
+                }
+            };
+            let (shard, echo) = match request.route {
+                Route::Shard(key) => (key % shards, None),
+                Route::Session => (
+                    session_shard(request.op.session(), shards),
+                    Some(request.op.session().to_string()),
+                ),
+            };
+            let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
+            // The mirror gates (and commits) every lifecycle transition in
+            // request order; `fail` answers a violation immediately.
+            let fail = |error: String| {
+                Box::new(
+                    Response::fail(request.op.name(), this_seq, error)
+                        .id(id.clone())
+                        .shard(shard)
+                        .session_opt(echo.clone())
+                        .latency_us(0),
+                )
+            };
+            let verdict = match &request.op {
+                Op::Stats(_) => {
+                    pending_stats = Some((this_seq, id.clone(), echo.clone()));
+                    break;
+                }
+                Op::Admit(_) | Op::Release(_) | Op::Query(_) => {
+                    match manager.gate_data_op(shard, request.op.session()) {
+                        Ok(created) => {
+                            if created {
+                                obs.inc(counters::SESSION_CREATED);
+                            }
+                            Verdict::Submit(None)
+                        }
+                        Err(e) => Verdict::Immediate(fail(e)),
+                    }
+                }
+                Op::Create(p) => match manager.create(shard, &p.session) {
+                    Ok(()) => {
+                        obs.inc(counters::SESSION_CREATED);
+                        Verdict::Submit(None)
+                    }
+                    Err(e) => Verdict::Immediate(fail(e)),
+                },
+                Op::Destroy(p) => match manager.destroy(shard, &p.session) {
+                    Ok(()) => {
+                        obs.inc(counters::SESSION_DESTROYED);
+                        Verdict::Submit(None)
+                    }
+                    Err(e) => Verdict::Immediate(fail(e)),
+                },
+                Op::Snapshot(p) => match manager.gate_snapshot(shard, &p.session) {
+                    Ok(state) => {
+                        obs.inc(counters::SESSION_SNAPSHOTTED);
+                        Verdict::Submit(Some(state))
+                    }
+                    Err(e) => Verdict::Immediate(fail(e)),
+                },
+                Op::Restore(p) => {
+                    let state = if p.snapshot.lifecycle == "paused" {
+                        LifecycleState::Paused
+                    } else {
+                        LifecycleState::Active
+                    };
+                    match manager.restore(shard, &p.session, state) {
+                        Ok(()) => {
+                            obs.inc(counters::SESSION_RESTORED);
+                            Verdict::Submit(None)
+                        }
+                        Err(e) => Verdict::Immediate(fail(e)),
+                    }
+                }
+                // pause/resume mutate only lifecycle state, which lives in
+                // the mirror — answered entirely on the main thread.
+                Op::Pause(p) => match manager.pause(shard, &p.session) {
+                    Ok(()) => {
+                        obs.inc(counters::SESSION_PAUSED);
+                        Verdict::Immediate(Box::new(
+                            Response::ok("pause", this_seq)
+                                .id(id.clone())
+                                .shard(shard)
+                                .session_opt(echo.clone())
+                                .lifecycle("paused")
+                                .latency_us(0),
+                        ))
+                    }
+                    Err(e) => Verdict::Immediate(fail(e)),
+                },
+                Op::Resume(p) => match manager.resume(shard, &p.session) {
+                    Ok(()) => {
+                        obs.inc(counters::SESSION_RESUMED);
+                        Verdict::Immediate(Box::new(
+                            Response::ok("resume", this_seq)
+                                .id(id.clone())
+                                .shard(shard)
+                                .session_opt(echo.clone())
+                                .lifecycle("active")
+                                .latency_us(0),
+                        ))
+                    }
+                    Err(e) => Verdict::Immediate(fail(e)),
+                },
+            };
+            match verdict {
+                Verdict::Immediate(builder) => immediate.push((this_seq, builder.build())),
+                Verdict::Submit(snapshot_state) => {
+                    submitted.push((
+                        this_seq,
+                        id.clone(),
+                        request.op.name().to_string(),
+                        shard,
+                        echo,
+                    ));
+                    pool.submit(
+                        shard,
+                        ServeReq::Line { seq: this_seq, id, snapshot_state, request },
+                    );
                 }
             }
         }
@@ -236,24 +446,21 @@ pub fn serve_session_with_obs(
         // zip with the recorded request metadata.
         let results = pool.collect().map_err(|e| e.to_string())?;
         let mut responses = immediate;
-        for (result, (this_seq, id, op, shard)) in results.into_iter().zip(submitted) {
+        for (result, (this_seq, id, op, shard, echo)) in results.into_iter().zip(submitted) {
             let response = match result {
                 Ok(ServeResp::Line(response)) => *response,
                 Ok(ServeResp::Drain(_)) => {
                     return Err("pool answered a request line with a drain".to_string())
                 }
                 Err(panic) => {
-                    let mut r = Response::protocol_error(
-                        id,
-                        this_seq,
-                        op,
-                        shard,
-                        format!("internal error: {}", panic.message),
-                    );
                     // The in-handler measurement did not survive the panic;
                     // PROTOCOL.md documents 0 for synthesized errors.
-                    r.latency_us = Some(0);
-                    r
+                    Response::fail(op, this_seq, format!("internal error: {}", panic.message))
+                        .id(id)
+                        .shard(shard)
+                        .session_opt(echo)
+                        .latency_us(0)
+                        .build()
                 }
             };
             responses.push((this_seq, response));
@@ -267,15 +474,18 @@ pub fn serve_session_with_obs(
         }
 
         // Answer a batch-cutting `stats` line: drain every shard and fold.
-        if let Some((stats_seq, id)) = pending_stats {
+        if let Some((stats_seq, id, echo)) = pending_stats {
             let drained = drain(&mut pool)?;
-            let snapshot = service_snapshot(&obs, config, &drained);
-            let mut response = Response::new(id, stats_seq, "stats".to_string(), 0);
-            response.stats = Some(QueryStats::from_snapshot(&snapshot));
-            response.obs = Some(snapshot);
-            // Assembled on the main thread outside the timed handler;
-            // PROTOCOL.md documents latency_us 0 for `stats`.
-            response.latency_us = Some(0);
+            let snapshot = service_snapshot(&obs, config, &drained, &manager);
+            let response = Response::ok("stats", stats_seq)
+                .id(id)
+                .stats(QueryStats::from_snapshot(&snapshot))
+                .obs(snapshot)
+                .session_opt(echo)
+                // Assembled on the main thread outside the timed handler;
+                // PROTOCOL.md documents latency_us 0 for `stats`.
+                .latency_us(0)
+                .build();
             writeln!(output, "{}", render_response(&response)).map_err(|e| e.to_string())?;
         }
     }
@@ -283,12 +493,19 @@ pub fn serve_session_with_obs(
     // Final drain: the session totals and the end-of-session snapshot come
     // from the same fold the `stats` op uses — the one implementation.
     let drained = drain(&mut pool)?;
-    let snapshot = service_snapshot(&obs, config, &drained);
+    let snapshot = service_snapshot(&obs, config, &drained, &manager);
     let total = QueryStats::from_snapshot(&snapshot);
     stats.accepted = total.accepted;
     stats.rejected = total.rejected;
     stats.tiers = total.tiers;
     Ok((stats, snapshot))
+}
+
+/// Whether a request was answered on the main thread or submitted to its
+/// shard (carrying the snapshot-time lifecycle state for `snapshot` ops).
+enum Verdict {
+    Immediate(Box<ResponseBuilder>),
+    Submit(Option<LifecycleState>),
 }
 
 /// Broadcast a drain marker and gather every shard's statistics (index `i`
@@ -307,11 +524,17 @@ fn drain(pool: &mut ShardedPool<ServeReq, ServeResp>) -> Result<Vec<QueryStats>,
 
 /// Build the service-wide snapshot: a **clone** of the live registry (so
 /// repeated `stats` ops never double-count the fold) with every shard's
-/// statistics folded onto the admission counters and the session
-/// configuration recorded as metadata. The worker count is deliberately
-/// not part of the metadata — deterministic snapshots are byte-identical
-/// across worker counts, and the CI obs-smoke gate diffs exactly that.
-fn service_snapshot(obs: &Obs, config: &ServeConfig, drained: &[QueryStats]) -> Snapshot {
+/// statistics folded onto the admission counters, the session gauges set
+/// from the lifecycle mirror, and the session configuration recorded as
+/// metadata. The worker count is deliberately not part of the metadata —
+/// deterministic snapshots are byte-identical across worker counts, and
+/// the CI obs-smoke gate diffs exactly that.
+fn service_snapshot(
+    obs: &Obs,
+    config: &ServeConfig,
+    drained: &[QueryStats],
+    manager: &SessionManager,
+) -> Snapshot {
     let registry = match obs.registry() {
         Some(shared) => (**shared).clone(),
         None => Registry::with_mode(config.deterministic),
@@ -323,6 +546,15 @@ fn service_snapshot(obs: &Obs, config: &ServeConfig, drained: &[QueryStats]) -> 
     registry.set_meta("deterministic", if config.deterministic { "true" } else { "false" });
     for stats in drained {
         stats.fold_into(&registry);
+    }
+    // Session gauges only when telemetry is enabled: with Obs::off the
+    // snapshot is embedded into v1 `stats` responses, whose bytes predate
+    // sessions. The mirror counts are main-thread state, so the gauges are
+    // deterministic in the worker count like everything else here.
+    if obs.registry().is_some() {
+        registry.set_gauge(counters::SESSIONS_LIVE, manager.live() as u64);
+        registry.set_gauge(counters::SESSIONS_ACTIVE, manager.active() as u64);
+        registry.set_gauge(counters::SESSIONS_PAUSED, manager.paused() as u64);
     }
     // The hit-rate gauge is derived once here from the merged counters:
     // gauges merge by sum across shards, so per-shard writes would corrupt
@@ -347,81 +579,124 @@ fn account(stats: &mut SessionStats, response: &Response) {
     }
 }
 
-/// Serve one parsed request against its shard's controller.
+/// Serve one routed request against its shard's session map. The lifecycle
+/// mirror has already gated the request, so session existence and state
+/// are preconditions here, not checks.
 fn handle_request(
-    controller: &mut AdmissionController,
+    state: &mut ShardState,
     seq: u64,
     shard: u32,
+    id: String,
+    snapshot_state: Option<LifecycleState>,
     request: Request,
 ) -> Response {
-    let id = request.id.clone().unwrap_or_else(|| format!("req-{seq}"));
-    let mut response = Response::new(id, seq, request.op.clone(), shard);
-    let want_margins = request.margins.unwrap_or(false);
-    match request.op.as_str() {
-        "admit" => {
-            let Some(params) = request.task else {
-                response.ok = false;
-                response.error = Some("admit requires a `task` object".to_string());
-                return response;
-            };
-            match params.to_task() {
-                Ok(task) => {
-                    let (decision, handle) = controller.admit(task, want_margins);
-                    response.verdict =
-                        Some(if decision.accepted { "accept" } else { "reject" }.to_string());
-                    response.tier = Some(decision.tier.as_str().to_string());
-                    response.margin = decision.margin;
-                    response.margins = decision.per_task;
-                    response.reason = decision.reason;
-                    response.handle = handle.map(|h| h.0);
-                    fill_aggregates(&mut response, controller);
-                }
-                Err(e) => {
-                    response.ok = false;
-                    response.error = Some(format!("invalid task: {e}"));
-                }
+    // v1 requests (shard-routed) never echo the session; v2 always do.
+    let echo = match request.route {
+        Route::Shard(_) => None,
+        Route::Session => Some(request.op.session().to_string()),
+    };
+    let base =
+        |op: &str| Response::ok(op, seq).id(id.clone()).shard(shard).session_opt(echo.clone());
+    match &request.op {
+        Op::Admit(p) => match p.task.to_task() {
+            Ok(task) => {
+                let controller = state.session_mut(&p.session);
+                let (decision, handle) = controller.admit(task, p.margins);
+                with_aggregates(base("admit"), controller)
+                    .verdict(decision.accepted)
+                    .tier(decision.tier.as_str())
+                    .margin(decision.margin)
+                    .margins(decision.per_task)
+                    .reason(decision.reason)
+                    .handle(handle.map(|h| h.0))
+                    .build()
             }
-        }
-        "release" => {
-            let Some(handle) = request.handle else {
-                response.ok = false;
-                response.error = Some("release requires a `handle`".to_string());
-                return response;
-            };
-            match controller.release(TaskHandle(handle)) {
+            Err(e) => base("admit").error(format!("invalid task: {e}")).build(),
+        },
+        Op::Release(p) => {
+            let controller = state.session_mut(&p.session);
+            match controller.release(TaskHandle(p.handle)) {
                 Ok(_) => {
-                    response.handle = Some(handle);
-                    fill_aggregates(&mut response, controller);
+                    with_aggregates(base("release"), controller).handle(Some(p.handle)).build()
                 }
-                Err(e) => {
-                    response.ok = false;
-                    response.error = Some(e);
-                }
+                Err(e) => base("release").error(e).build(),
             }
         }
-        "query" => {
-            let decision = controller.query(want_margins);
-            response.verdict =
-                Some(if decision.accepted { "accept" } else { "reject" }.to_string());
-            response.tier = Some(decision.tier.as_str().to_string());
-            response.margin = decision.margin;
-            response.margins = decision.per_task;
-            response.reason = decision.reason;
-            response.stats = Some(controller.stats());
-            fill_aggregates(&mut response, controller);
+        Op::Query(p) => {
+            let controller = state.session_mut(&p.session);
+            let decision = controller.query(p.margins);
+            with_aggregates(base("query"), controller)
+                .verdict(decision.accepted)
+                .tier(decision.tier.as_str())
+                .margin(decision.margin)
+                .margins(decision.per_task)
+                .reason(decision.reason)
+                .stats(controller.stats())
+                .build()
         }
-        other => {
-            response.ok = false;
-            response.error = Some(format!("unknown op {other:?} (admit|release|query|stats)"));
+        Op::Create(p) => {
+            let controller = state.fresh_controller();
+            let response = with_aggregates(base("create"), &controller).lifecycle("active").build();
+            state.sessions.insert(p.session.clone(), controller);
+            response
         }
+        Op::Destroy(p) => {
+            state.sessions.remove(&p.session);
+            base("destroy").lifecycle("destroyed").build()
+        }
+        Op::Snapshot(p) => {
+            let lifecycle = snapshot_state.unwrap_or(LifecycleState::Active).as_str().to_string();
+            let controller = state.session_mut(&p.session);
+            let (pairs, next_handle, stats) = controller.export_state();
+            let snapshot = SessionSnapshot {
+                lifecycle: lifecycle.clone(),
+                next_handle,
+                tasks: pairs
+                    .iter()
+                    .map(|(h, t)| SnapshotTask { handle: h.0, task: TaskParams::from(t) })
+                    .collect(),
+                stats,
+            };
+            with_aggregates(base("snapshot"), controller)
+                .lifecycle(lifecycle)
+                .snapshot(snapshot)
+                .build()
+        }
+        Op::Restore(p) => {
+            let mut controller = state.fresh_controller();
+            let pairs = p
+                .snapshot
+                .tasks
+                .iter()
+                .map(|st| (TaskHandle(st.handle), st.task.to_task().expect("validated at parse")))
+                .collect();
+            match controller.restore_state(pairs, p.snapshot.next_handle, p.snapshot.stats) {
+                Ok(()) => {
+                    let response = with_aggregates(base("restore"), &controller)
+                        .lifecycle(p.snapshot.lifecycle.clone())
+                        .build();
+                    state.sessions.insert(p.session.clone(), controller);
+                    response
+                }
+                // Unreachable by parse-time validation, but never panic a
+                // worker over a protocol payload.
+                Err(e) => base("restore").error(format!("invalid snapshot: {e}")).build(),
+            }
+        }
+        // stats/pause/resume are answered on the main thread; routing one
+        // here is a server bug, reported as a response rather than a panic.
+        Op::Stats(_) | Op::Pause(_) | Op::Resume(_) => base(request.op.name())
+            .error(format!("internal error: {} routed to a worker", request.op.name()))
+            .build(),
     }
-    response
 }
 
-fn fill_aggregates(response: &mut Response, controller: &AdmissionController) {
-    response.tasks = Some(controller.len());
-    response.ut = Some(controller.time_utilization());
-    response.us = Some(controller.system_utilization());
+fn with_aggregates(builder: ResponseBuilder, controller: &AdmissionController) -> ResponseBuilder {
+    builder.aggregates(
+        controller.len(),
+        controller.time_utilization(),
+        controller.system_utilization(),
+    )
 }
 
 #[cfg(test)]
@@ -468,6 +743,15 @@ mod tests {
         assert_eq!(stats.accepted, 1);
         assert_eq!(stats.errors, 3);
         assert_eq!(stats.tiers.dp_inc, 1);
+    }
+
+    #[test]
+    fn v1_responses_never_leak_session_framing() {
+        let (_, out) = run(SESSION, &deterministic(10));
+        for line in out.lines() {
+            assert!(!line.contains("\"session\""), "{line}");
+            assert!(!line.contains("\"lifecycle\""), "{line}");
+        }
     }
 
     #[test]
@@ -708,6 +992,131 @@ mod tests {
         assert_eq!(depth.count, 30, "every decision records a cascade depth");
         let dp = snap.histogram("admission/tier/dp-inc/decision_ns").unwrap();
         assert!(dp.count > 0);
+        // The implicit default sessions (one per used shard) are gauged.
+        assert_eq!(snap.gauge(counters::SESSIONS_LIVE), Some(3));
+        assert_eq!(snap.gauge(counters::SESSIONS_ACTIVE), Some(3));
+        assert_eq!(snap.gauge(counters::SESSIONS_PAUSED), Some(0));
+        assert_eq!(snap.counter(counters::SESSION_CREATED), Some(3));
         assert_eq!(dp.max, 0, "deterministic time samples are zeroed");
+    }
+
+    #[test]
+    fn lifecycle_flow_pause_gates_data_ops() {
+        let input = concat!(
+            r#"{"session":"a","op":"create"}"#,
+            "\n",
+            r#"{"session":"a","op":"admit","task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+            "\n",
+            r#"{"session":"a","op":"pause"}"#,
+            "\n",
+            r#"{"session":"a","op":"admit","task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+            "\n",
+            r#"{"session":"a","op":"resume"}"#,
+            "\n",
+            r#"{"session":"a","op":"query"}"#,
+            "\n",
+        );
+        let (stats, out) = run(input, &ServeConfig { shards: 4, ..deterministic(10) });
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("\"lifecycle\":\"active\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"session\":\"a\""));
+        assert!(lines[1].contains("\"verdict\":\"accept\""));
+        assert!(lines[2].contains("\"lifecycle\":\"paused\""));
+        assert!(lines[3].contains("session \\\"a\\\" is paused"), "{}", lines[3]);
+        assert!(lines[4].contains("\"lifecycle\":\"active\""));
+        assert!(lines[5].contains("\"tasks\":1"), "pause lost no state: {}", lines[5]);
+        assert_eq!(stats.errors, 1);
+    }
+
+    #[test]
+    fn snapshot_destroy_restore_round_trip_preserves_state_and_handles() {
+        let admit = r#"{"session":"a","op":"admit","task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#;
+        let input = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            r#"{"session":"a","op":"create"}"#,
+            admit,
+            r#"{"session":"a","op":"snapshot","id":"snap"}"#,
+            r#"{"session":"a","op":"destroy"}"#,
+            r#"{"session":"a","op":"query"}"#,
+        );
+        let config = ServeConfig { shards: 4, ..deterministic(10) };
+        let (_, out) = run(&input, &config);
+        let lines: Vec<&str> = out.lines().collect();
+        let snap_resp: Response = serde_json::from_str(lines[2]).unwrap();
+        let snapshot = snap_resp.snapshot.expect("snapshot op carries the payload");
+        assert_eq!(snapshot.next_handle, 1);
+        assert_eq!(snapshot.tasks.len(), 1);
+        assert_eq!(snapshot.stats.decisions, 1);
+        assert!(lines[3].contains("\"lifecycle\":\"destroyed\""));
+        assert!(lines[4].contains("unknown session"), "destroyed: {}", lines[4]);
+
+        // Restore under a different name: state, stats and the handle
+        // space all survive (handle 0 is taken, handle counter continues).
+        let restore_line = format!(
+            r#"{{"session":"b","op":"restore","snapshot":{}}}"#,
+            serde_json::to_string(&snapshot).unwrap()
+        );
+        let input2 = format!(
+            "{restore_line}\n{}\n{}\n{}\n",
+            r#"{"session":"b","op":"query"}"#,
+            r#"{"session":"b","op":"release","handle":0}"#,
+            r#"{"session":"b","op":"admit","task":{"exec":1.0,"deadline":8.0,"period":8.0,"area":2}}"#,
+        );
+        let (_, out2) = run(&input2, &config);
+        let lines2: Vec<&str> = out2.lines().collect();
+        assert!(lines2[0].contains("\"lifecycle\":\"active\""), "{}", lines2[0]);
+        assert!(lines2[0].contains("\"tasks\":1"));
+        let query: Response = serde_json::from_str(lines2[1]).unwrap();
+        assert_eq!(query.stats.unwrap().decisions, 1, "stats restored");
+        assert!(lines2[2].contains("\"ok\":true"), "restored handle releasable: {}", lines2[2]);
+        let readmit: Response = serde_json::from_str(lines2[3]).unwrap();
+        assert_eq!(readmit.handle, Some(1), "handle counter survived the round trip");
+    }
+
+    #[test]
+    fn the_session_limit_is_enforced_deterministically() {
+        let input = concat!(
+            r#"{"session":"a","op":"create"}"#,
+            "\n",
+            r#"{"session":"b","op":"create"}"#,
+            "\n",
+            r#"{"session":"c","op":"create"}"#,
+            "\n",
+            r#"{"op":"query"}"#,
+            "\n",
+            r#"{"session":"a","op":"destroy"}"#,
+            "\n",
+            r#"{"session":"c","op":"create"}"#,
+            "\n",
+        );
+        let base = ServeConfig { shards: 4, sessions: Some(2), workers: 1, ..deterministic(10) };
+        let (_, reference) = run(input, &base);
+        let lines: Vec<&str> = reference.lines().collect();
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"ok\":true"));
+        assert!(lines[2].contains("session limit reached (2 sessions)"), "{}", lines[2]);
+        assert!(lines[3].contains("session limit reached"), "default auto-create counts");
+        assert!(lines[4].contains("\"lifecycle\":\"destroyed\""));
+        assert!(lines[5].contains("\"ok\":true"), "destroy freed a slot: {}", lines[5]);
+        for workers in [2, 4] {
+            let (_, out) = run(input, &ServeConfig { workers, ..base });
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn v2_unknown_keys_are_protocol_errors_naming_the_key() {
+        let input = concat!(
+            r#"{"session":"a","op":"create","extra":1}"#,
+            "\n",
+            r#"{"op":"query","extra":1}"#,
+            "\n",
+        );
+        let (stats, out) = run(input, &deterministic(10));
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("unknown key `extra` in create request"), "{}", lines[0]);
+        assert!(lines[0].contains("\"session\":\"a\""), "v2 errors echo the session");
+        assert!(lines[1].contains("\"ok\":true"), "v1 stays lenient: {}", lines[1]);
+        assert_eq!(stats.errors, 1);
     }
 }

@@ -1,0 +1,234 @@
+//! Session lifecycle bookkeeping for the multi-tenant server.
+//!
+//! The server multiplexes many sessions over the sharded worker pool: each
+//! session's live state (its [`crate::AdmissionController`]) lives inside
+//! the pool worker that owns the session's shard, but lifecycle decisions
+//! — does this session exist, is it paused, may one more be created — must
+//! be answered *before* a request is routed, in request order, identically
+//! at every worker count. [`SessionManager`] is that authority: a
+//! main-thread mirror of every session's [`LifecycleState`], keyed by
+//! `(shard, name)`, consulted (and updated) as each request is read.
+//!
+//! The mirror can run ahead of the workers (a `create` is committed here
+//! before the worker materializes the controller); that is sound because
+//! requests for one session always route to one shard, and a shard's
+//! queue is FIFO — anything sequenced after the `create` observes the
+//! materialized controller. The one op validated *entirely* at parse time
+//! is `restore` (see [`crate::protocol`]), which is what makes committing
+//! it here, before the worker applies it, safe.
+//!
+//! ## Lifecycle state machine
+//!
+//! ```text
+//!             create / restore("active")
+//!   (absent) ──────────────────────────► Active ──┐
+//!       ▲    ──────────────────────────►          │ pause
+//!       │     restore("paused")   ┌──────► Paused ◄┘
+//!       │                         │ resume
+//!       └───────── destroy ◄──────┴─── (from Active or Paused)
+//! ```
+//!
+//! Data ops (`admit`/`release`/`query`) require an `Active` session;
+//! `snapshot` works on `Active` or `Paused` sessions (the state is
+//! recorded in the snapshot and restored with it); `destroy` works on
+//! both. The implicit [`DEFAULT_SESSION`](crate::protocol::DEFAULT_SESSION)
+//! is auto-created by its first *data* op (that is the v1 compatibility
+//! path), counting toward the session limit like any other session.
+
+use crate::protocol::DEFAULT_SESSION;
+use std::collections::HashMap;
+
+/// The lifecycle state of one live session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleState {
+    /// Accepting data ops.
+    Active,
+    /// Suspended: data ops are rejected until `resume`.
+    Paused,
+}
+
+impl LifecycleState {
+    /// The wire name of the state.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LifecycleState::Active => "active",
+            LifecycleState::Paused => "paused",
+        }
+    }
+}
+
+/// Main-thread mirror of every session's lifecycle state (see the module
+/// docs for the protocol it enforces). All methods return the exact
+/// protocol error strings.
+#[derive(Debug, Clone, Default)]
+pub struct SessionManager {
+    sessions: HashMap<(u32, String), LifecycleState>,
+    limit: Option<usize>,
+}
+
+impl SessionManager {
+    /// A manager enforcing an optional cap on concurrently live sessions
+    /// (`None` = unlimited).
+    pub fn new(limit: Option<usize>) -> Self {
+        SessionManager { sessions: HashMap::new(), limit }
+    }
+
+    /// Sessions currently alive (active + paused).
+    pub fn live(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Sessions currently paused.
+    pub fn paused(&self) -> usize {
+        self.sessions.values().filter(|s| **s == LifecycleState::Paused).count()
+    }
+
+    /// Sessions currently active.
+    pub fn active(&self) -> usize {
+        self.live() - self.paused()
+    }
+
+    /// The state of a session, if it exists.
+    pub fn state(&self, shard: u32, name: &str) -> Option<LifecycleState> {
+        self.sessions.get(&(shard, name.to_string())).copied()
+    }
+
+    fn admit_one_more(&self) -> Result<(), String> {
+        match self.limit {
+            Some(limit) if self.sessions.len() >= limit => {
+                Err(format!("session limit reached ({limit} sessions)"))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Commit a `create`: the session must not exist and the limit must
+    /// not be reached.
+    pub fn create(&mut self, shard: u32, name: &str) -> Result<(), String> {
+        if self.state(shard, name).is_some() {
+            return Err(format!("session {name:?} already exists"));
+        }
+        self.admit_one_more()?;
+        self.sessions.insert((shard, name.to_string()), LifecycleState::Active);
+        Ok(())
+    }
+
+    /// Commit a `restore`: create-like, but the session resumes in the
+    /// snapshotted state.
+    pub fn restore(&mut self, shard: u32, name: &str, state: LifecycleState) -> Result<(), String> {
+        if self.state(shard, name).is_some() {
+            return Err(format!("session {name:?} already exists"));
+        }
+        self.admit_one_more()?;
+        self.sessions.insert((shard, name.to_string()), state);
+        Ok(())
+    }
+
+    /// Commit a `pause`.
+    pub fn pause(&mut self, shard: u32, name: &str) -> Result<(), String> {
+        match self.state(shard, name) {
+            None => Err(format!("unknown session {name:?} (create it first)")),
+            Some(LifecycleState::Paused) => Err(format!("session {name:?} is already paused")),
+            Some(LifecycleState::Active) => {
+                self.sessions.insert((shard, name.to_string()), LifecycleState::Paused);
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit a `resume`.
+    pub fn resume(&mut self, shard: u32, name: &str) -> Result<(), String> {
+        match self.state(shard, name) {
+            None => Err(format!("unknown session {name:?} (create it first)")),
+            Some(LifecycleState::Active) => Err(format!("session {name:?} is not paused")),
+            Some(LifecycleState::Paused) => {
+                self.sessions.insert((shard, name.to_string()), LifecycleState::Active);
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit a `destroy` (legal from either state).
+    pub fn destroy(&mut self, shard: u32, name: &str) -> Result<(), String> {
+        match self.sessions.remove(&(shard, name.to_string())) {
+            None => Err(format!("unknown session {name:?} (create it first)")),
+            Some(_) => Ok(()),
+        }
+    }
+
+    /// Gate a `snapshot`: the session must exist (either state is legal —
+    /// the state is recorded in the snapshot). Returns the state to record.
+    pub fn gate_snapshot(&self, shard: u32, name: &str) -> Result<LifecycleState, String> {
+        self.state(shard, name).ok_or_else(|| format!("unknown session {name:?} (create it first)"))
+    }
+
+    /// Gate a data op (`admit`/`release`/`query`): the session must be
+    /// active. The implicit default session is auto-created here on first
+    /// use (the v1 compatibility path); returns `true` when it was.
+    pub fn gate_data_op(&mut self, shard: u32, name: &str) -> Result<bool, String> {
+        match self.state(shard, name) {
+            Some(LifecycleState::Active) => Ok(false),
+            Some(LifecycleState::Paused) => Err(format!("session {name:?} is paused")),
+            None if name == DEFAULT_SESSION => {
+                self.admit_one_more()?;
+                self.sessions.insert((shard, name.to_string()), LifecycleState::Active);
+                Ok(true)
+            }
+            None => Err(format!("unknown session {name:?} (create it first)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_pause_resume_destroy_transitions() {
+        let mut mgr = SessionManager::new(None);
+        mgr.create(0, "a").unwrap();
+        assert_eq!(mgr.state(0, "a"), Some(LifecycleState::Active));
+        assert_eq!(mgr.create(0, "a").unwrap_err(), "session \"a\" already exists");
+        assert_eq!(mgr.resume(0, "a").unwrap_err(), "session \"a\" is not paused");
+        mgr.pause(0, "a").unwrap();
+        assert_eq!(mgr.pause(0, "a").unwrap_err(), "session \"a\" is already paused");
+        assert_eq!(mgr.gate_data_op(0, "a").unwrap_err(), "session \"a\" is paused");
+        assert_eq!(mgr.gate_snapshot(0, "a").unwrap(), LifecycleState::Paused);
+        mgr.resume(0, "a").unwrap();
+        assert!(!mgr.gate_data_op(0, "a").unwrap());
+        mgr.destroy(0, "a").unwrap();
+        assert_eq!(mgr.destroy(0, "a").unwrap_err(), "unknown session \"a\" (create it first)");
+        assert_eq!(mgr.live(), 0);
+    }
+
+    #[test]
+    fn unknown_sessions_are_rejected_but_default_autocreates() {
+        let mut mgr = SessionManager::new(None);
+        assert_eq!(
+            mgr.gate_data_op(2, "ghost").unwrap_err(),
+            "unknown session \"ghost\" (create it first)"
+        );
+        assert!(mgr.gate_data_op(2, DEFAULT_SESSION).unwrap(), "first use auto-creates");
+        assert!(!mgr.gate_data_op(2, DEFAULT_SESSION).unwrap(), "second use finds it");
+        // Shard-scoped: the same name on another shard is a new session,
+        // which is exactly v1's shard-isolation contract.
+        assert!(mgr.gate_data_op(3, DEFAULT_SESSION).unwrap());
+        assert_eq!(mgr.live(), 2);
+    }
+
+    #[test]
+    fn the_session_limit_caps_creates_restores_and_autocreation() {
+        let mut mgr = SessionManager::new(Some(2));
+        mgr.create(0, "a").unwrap();
+        mgr.create(0, "b").unwrap();
+        let limit_err = "session limit reached (2 sessions)";
+        assert_eq!(mgr.create(0, "c").unwrap_err(), limit_err);
+        assert_eq!(mgr.restore(0, "c", LifecycleState::Active).unwrap_err(), limit_err);
+        assert_eq!(mgr.gate_data_op(0, DEFAULT_SESSION).unwrap_err(), limit_err);
+        // Destroy frees a slot.
+        mgr.destroy(0, "a").unwrap();
+        mgr.restore(0, "c", LifecycleState::Paused).unwrap();
+        assert_eq!(mgr.state(0, "c"), Some(LifecycleState::Paused));
+        assert_eq!((mgr.live(), mgr.active(), mgr.paused()), (2, 1, 1));
+    }
+}

@@ -125,6 +125,18 @@ pub fn get_field_opt<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&
     entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
 macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
