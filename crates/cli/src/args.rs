@@ -13,6 +13,7 @@
 use fpga_rt_analysis::AnalysisKernel;
 use fpga_rt_exp::cli::Args;
 use fpga_rt_obs::{Obs, Snapshot};
+use fpga_rt_service::Endpoint;
 
 /// Parse `--key` as a count that must be ≥ 1 when given. Returns `None`
 /// when the flag is absent (the caller's default applies — e.g. "all
@@ -57,6 +58,35 @@ pub(crate) fn exact_margin(args: &Args) -> Result<f64, String> {
         return Err(format!("--exact-margin must be a finite non-negative value, got {margin}"));
     }
     Ok(margin)
+}
+
+/// Parse `--listen stdio|tcp://HOST:PORT|unix://PATH` (serve): the
+/// transport endpoint, defaulting to stdio when absent. Delegates to
+/// [`Endpoint::parse`] so the accepted forms are spelled out once, in
+/// the service crate, and every rejected form is a usage error (process
+/// exit code 2) naming them.
+pub(crate) fn listen_endpoint(args: &Args) -> Result<Endpoint, String> {
+    match args.flags.get("listen") {
+        None => Ok(Endpoint::Stdio),
+        Some(spec) => Endpoint::parse(spec).map_err(|e| format!("--listen: {e}")),
+    }
+}
+
+/// Parse `--connect tcp://HOST:PORT|unix://PATH` (client): required, and
+/// it must name a socket — `stdio` is a listener-side spelling, there is
+/// nothing for a client to dial.
+pub(crate) fn connect_endpoint(args: &Args) -> Result<Endpoint, String> {
+    let Some(spec) = args.flags.get("connect") else {
+        return Err("--connect tcp://HOST:PORT or --connect unix://PATH is required".into());
+    };
+    match Endpoint::parse(spec).map_err(|e| format!("--connect: {e}"))? {
+        Endpoint::Stdio => {
+            Err("--connect expects a socket endpoint (`tcp://HOST:PORT` or `unix://PATH`), \
+                 not `stdio`"
+                .into())
+        }
+        endpoint => Ok(endpoint),
+    }
 }
 
 /// Parse `--seed` through the shared checked helper (usage error on
@@ -221,6 +251,29 @@ mod tests {
         assert_eq!(exact_margin(&args(&["--exact-margin", "0"])).unwrap(), 0.0);
         // --kernel.
         assert!(kernel_flag(&args(&["--kernel", "simd"])).unwrap_err().contains("batch|scalar"));
+        // --listen / --connect endpoints.
+        for bad in ["ftp://h:1", "tcp://:7411", "tcp://host", "unix://", "127.0.0.1:7411"] {
+            let err = listen_endpoint(&args(&["--listen", bad])).unwrap_err();
+            assert!(err.starts_with("--listen:"), "{err}");
+            assert!(err.contains("tcp://HOST:PORT") && err.contains("unix://PATH"), "{err}");
+        }
+        assert_eq!(listen_endpoint(&args(&[])).unwrap(), Endpoint::Stdio);
+        assert_eq!(listen_endpoint(&args(&["--listen", "stdio"])).unwrap(), Endpoint::Stdio);
+        assert!(matches!(
+            listen_endpoint(&args(&["--listen", "tcp://127.0.0.1:0"])).unwrap(),
+            Endpoint::Tcp(_)
+        ));
+        assert!(connect_endpoint(&args(&[])).unwrap_err().contains("is required"));
+        assert!(connect_endpoint(&args(&["--connect", "stdio"]))
+            .unwrap_err()
+            .contains("not `stdio`"));
+        assert!(connect_endpoint(&args(&["--connect", "tcp://host:"]))
+            .unwrap_err()
+            .contains("tcp://HOST:PORT"));
+        assert!(matches!(
+            connect_endpoint(&args(&["--connect", "unix:///tmp/x.sock"])).unwrap(),
+            Endpoint::Unix(_)
+        ));
         // --out / --metrics-out extensions.
         assert!(artifact_target(&args(&["--out", "x.yaml"]), "out", &[ArtifactFormat::Json])
             .unwrap_err()

@@ -1,8 +1,8 @@
 //! Subcommand implementations.
 
 use crate::args::{
-    artifact_target, cache_entries, exact_margin, kernel_flag, metrics_target, parsed_flag,
-    positive_count, write_metrics, ArtifactFormat,
+    artifact_target, cache_entries, connect_endpoint, exact_margin, kernel_flag, listen_endpoint,
+    metrics_target, parsed_flag, positive_count, write_metrics, ArtifactFormat,
 };
 use crate::io::{device_from, taskset_from};
 use crate::ExitCode;
@@ -11,7 +11,9 @@ use fpga_rt_exp::cli::Args;
 use fpga_rt_exp::sweep::{analysis_evaluators_for, run_pool_sweep, PoolSweepConfig};
 use fpga_rt_gen::{FigureWorkload, TasksetSpec, UtilizationBins};
 use fpga_rt_model::{Fpga, Rat64, TaskSet};
-use fpga_rt_service::{serve_session_with_obs, ServeConfig};
+use fpga_rt_service::{
+    serve_session_with_obs, ClientStream, Endpoint, ServeConfig, SocketServer, TransportConfig,
+};
 use fpga_rt_sim::{
     simulate_f64, FitStrategy, Horizon, PlacementPolicy, ReconfigOverhead, SchedulerKind, SimConfig,
 };
@@ -540,9 +542,13 @@ pub fn conform(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(if violations == 0 { ExitCode::Accepted } else { ExitCode::Rejected })
 }
 
-/// `fpga-rt serve` — the online admission-control service: JSONL requests
-/// on stdin (or `--input FILE`), one JSONL response per request on stdout,
-/// a human summary on stderr.
+/// `fpga-rt serve` — the online admission-control service. The default
+/// `--listen stdio` transport reads JSONL requests on stdin (or `--input
+/// FILE`) and writes one JSONL response per request on stdout; `--listen
+/// tcp://HOST:PORT` / `--listen unix://PATH` serves the same protocol to
+/// many concurrent socket connections through the non-blocking event
+/// loop, byte-identical per connection to the stdio transcript. Either
+/// way, a human summary goes to stderr.
 pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
     let columns = positive_count(args, "columns")?.ok_or("--columns N (≥1) is required")? as u32;
     let config = ServeConfig {
@@ -556,14 +562,34 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
         cache: cache_entries(args)?,
         sessions: positive_count(args, "sessions")?,
     };
+    let endpoint = listen_endpoint(args)?;
+    let conns = positive_count(args, "conns")?;
+    let input = args.flags.get("input").filter(|p| !p.is_empty());
     let (metrics, obs) = metrics_target(args, config.deterministic)?;
     let start = std::time::Instant::now();
-    let (stats, snapshot) = match args.flags.get("input").filter(|p| !p.is_empty()) {
-        Some(path) => {
-            let file = std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            serve_session_with_obs(&mut std::io::BufReader::new(file), out, &config, obs)?
+    let (stats, snapshot) = if endpoint == Endpoint::Stdio {
+        if conns.is_some() {
+            return Err("--conns applies to socket listeners; stdio serves exactly one pipe".into());
         }
-        None => serve_session_with_obs(&mut std::io::stdin().lock(), out, &config, obs)?,
+        match input {
+            Some(path) => {
+                let file =
+                    std::fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                serve_session_with_obs(&mut std::io::BufReader::new(file), out, &config, obs)?
+            }
+            None => serve_session_with_obs(&mut std::io::stdin().lock(), out, &config, obs)?,
+        }
+    } else {
+        if input.is_some() {
+            return Err(format!(
+                "--input replays a file over stdio; it cannot be combined with \
+                 --listen {endpoint} (use `fpga-rt client --connect {endpoint} --input FILE`)"
+            ));
+        }
+        let transport = TransportConfig { max_conns: conns, ..TransportConfig::default() };
+        let server = SocketServer::bind(&endpoint, transport)?;
+        eprintln!("listening on {}", server.local_endpoint());
+        server.serve(&config, obs)?
     };
     write_metrics(&metrics, &snapshot)?;
     let elapsed = start.elapsed().as_secs_f64();
@@ -585,6 +611,52 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(ExitCode::Accepted)
 }
 
+/// `fpga-rt client` — replay a JSONL request stream against a running
+/// socket listener: connect (retrying for up to five seconds, so a
+/// just-forked server finishes binding), stream `--input FILE` (or
+/// stdin), half-close the write side, and copy the response transcript
+/// to stdout until the server closes. The CI `socket-smoke` job diffs
+/// that stdout against the stdio golden byte-for-byte.
+///
+/// Sending happens on a second thread while responses drain here, so a
+/// request stream larger than the server's outbound budget cannot
+/// deadlock (or trip the slow-consumer disconnect) waiting for a reader.
+pub fn client(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use std::io::Read;
+    let endpoint = connect_endpoint(args)?;
+    let input: Vec<u8> = match args.flags.get("input").filter(|p| !p.is_empty()) {
+        Some(path) => std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?,
+        None => {
+            let mut buf = Vec::new();
+            std::io::stdin()
+                .lock()
+                .read_to_end(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+    };
+    let mut stream =
+        ClientStream::connect_with_retry(&endpoint, std::time::Duration::from_secs(5))?;
+    let mut writer = stream.try_clone()?;
+    let sender = std::thread::spawn(move || -> Result<(), String> {
+        writer.write_all(&input).map_err(|e| format!("cannot send requests: {e}"))?;
+        writer.shutdown_write()
+    });
+    let mut responses = 0usize;
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        let n = stream.read(&mut chunk).map_err(|e| format!("cannot read responses: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        out.write_all(&chunk[..n]).map_err(|e| e.to_string())?;
+        responses += chunk[..n].iter().filter(|b| **b == b'\n').count();
+    }
+    sender.join().map_err(|_| "sender thread panicked".to_string())??;
+    eprintln!("received {responses} response lines from {endpoint}");
+    Ok(ExitCode::Accepted)
+}
+
 /// `fpga-rt loadgen` — the traffic-shaped load generator: synthesize
 /// deterministic arrival streams (Poisson, bursty on/off, adversarial
 /// knife-edge) across many logical sessions, replay them against
@@ -597,6 +669,9 @@ pub fn serve(args: &Args, out: &mut dyn Write) -> CmdResult {
 pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
     use fpga_rt_loadgen::{run_soak_with_obs, run_with_obs, ArrivalProfile, LoadConfig};
 
+    if args.flags.contains_key("target") {
+        return loadgen_socket(args, out);
+    }
     let profiles = match args.flags.get("profile").map(String::as_str) {
         None | Some("all") => ArrivalProfile::all(),
         Some(id) => vec![ArrivalProfile::by_id(id)
@@ -636,6 +711,58 @@ pub fn loadgen(args: &Args, out: &mut dyn Write) -> CmdResult {
     }
     write_metrics(&metrics, &snapshot)?;
     Ok(ExitCode::Accepted)
+}
+
+/// `fpga-rt loadgen --target …` — the socket client mode: drive a
+/// *running* `fpga-rt serve --listen` process over `--conns` concurrent
+/// connections, ping-ponging `--requests` data ops per connection, and
+/// verify the transport's per-connection ordering contract (id echo,
+/// strictly incrementing `seq`). Exit 0 only when zero responses were
+/// dropped or reordered and none errored — the CI `socket-smoke` gate.
+fn loadgen_socket(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use fpga_rt_loadgen::{run_socket, SocketLoadConfig};
+    let spec = args.flags.get("target").expect("dispatched on --target");
+    let endpoint = match Endpoint::parse(spec).map_err(|e| format!("--target: {e}"))? {
+        Endpoint::Stdio => {
+            return Err("--target expects a socket endpoint (`tcp://HOST:PORT` or \
+                 `unix://PATH`); the in-process modes already cover stdio-style replay"
+                .into())
+        }
+        endpoint => endpoint,
+    };
+    // Socket mode measures a live server, so the in-process replay knobs
+    // would be silently ignored — refuse them instead.
+    for stray in [
+        "profile",
+        "ops",
+        "rounds",
+        "soak",
+        "workers",
+        "columns",
+        "sessions",
+        "cache",
+        "seed",
+        "deterministic",
+        "out",
+        "metrics-out",
+    ] {
+        if args.has(stray) {
+            return Err(format!(
+                "--{stray} applies to the in-process modes; --target drives a running \
+                 server and is sized with --conns/--requests"
+            ));
+        }
+    }
+    let mut config = SocketLoadConfig::default();
+    if let Some(n) = positive_count(args, "conns")? {
+        config.conns = n;
+    }
+    if let Some(n) = positive_count(args, "requests")? {
+        config.requests = n;
+    }
+    let report = run_socket(&endpoint, &config)?;
+    let _ = write!(out, "{}", report.render_text());
+    Ok(if report.clean() && report.errors == 0 { ExitCode::Accepted } else { ExitCode::Rejected })
 }
 
 #[cfg(test)]
@@ -795,6 +922,91 @@ mod tests {
         assert!(serve(&args(&[]), &mut Vec::new()).is_err());
     }
 
+    /// Satellite regression: the socket flags are validated before any
+    /// listener binds or stdin is read — a bad endpoint, `--input`
+    /// combined with a socket listener, or `--conns` on stdio are usage
+    /// errors (exit code 2) naming the accepted forms.
+    #[test]
+    fn serve_socket_flag_combinations_are_validated() {
+        let err = serve(&args(&["--columns", "10", "--listen", "ftp://h:1"]), &mut Vec::new())
+            .unwrap_err();
+        assert!(err.contains("--listen:"), "{err}");
+        assert!(err.contains("tcp://HOST:PORT") && err.contains("unix://PATH"), "{err}");
+        let err = serve(
+            &args(&["--columns", "10", "--listen", "tcp://127.0.0.1:0", "--input", "x.jsonl"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("fpga-rt client"), "{err}");
+        let err = serve(&args(&["--columns", "10", "--conns", "4"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--conns applies to socket listeners"), "{err}");
+        let err = serve(
+            &args(&["--columns", "10", "--conns", "0", "--listen", "tcp://h:1"]),
+            &mut Vec::new(),
+        )
+        .unwrap_err();
+        assert!(err.contains("--conns must be ≥ 1"), "{err}");
+        let err = client(&args(&[]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--connect"), "{err}");
+        let err = client(&args(&["--connect", "stdio"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("not `stdio`"), "{err}");
+    }
+
+    /// The tentpole's CLI acceptance criterion in miniature: `serve
+    /// --listen unix://…` plus `client --connect unix://…` reproduce the
+    /// stdio transcript byte-for-byte (CI re-checks this against the
+    /// released binary over TCP and Unix sockets at two worker counts).
+    #[test]
+    fn serve_and_client_round_trip_a_unix_socket_byte_identically() {
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let session = dir.join("socket-session.jsonl");
+        std::fs::write(
+            &session,
+            concat!(
+                r#"{"session":"a","op":"create","columns":10}"#,
+                "\n",
+                r#"{"session":"a","op":"admit","task":{"exec":1.0,"deadline":10.0,"period":10.0,"area":3}}"#,
+                "\n",
+                r#"{"session":"a","op":"query"}"#,
+                "\n",
+                r#"{"session":"a","op":"stats"}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let input = session.to_string_lossy().into_owned();
+        let sock = dir.join(format!("serve-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let uri = format!("unix://{}", sock.display());
+
+        let mut stdio_out = Vec::new();
+        let code = serve(
+            &args(&["--columns", "10", "--deterministic", "--input", &input]),
+            &mut stdio_out,
+        )
+        .unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+
+        let server_argv: Vec<String> =
+            ["--columns", "10", "--deterministic", "--listen", &uri, "--conns", "1"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let server = std::thread::spawn(move || {
+            let mut buf = Vec::new();
+            let code = serve(&Args::from_args(server_argv), &mut buf);
+            (code, buf)
+        });
+        let mut client_out = Vec::new();
+        let code = client(&args(&["--connect", &uri, "--input", &input]), &mut client_out).unwrap();
+        assert_eq!(code, ExitCode::Accepted);
+        let (server_code, server_buf) = server.join().unwrap();
+        assert_eq!(server_code.unwrap(), ExitCode::Accepted);
+        assert!(server_buf.is_empty(), "socket mode writes responses to sockets, not stdout");
+        assert_eq!(client_out, stdio_out, "socket transcript must match the stdio transcript");
+    }
+
     /// The acceptance criterion of the sweep engine: stdout and the `--out`
     /// file are byte-identical for `--workers 1` and `--workers 8` at a
     /// fixed seed.
@@ -921,6 +1133,43 @@ mod tests {
         let csv = std::fs::read_to_string(&csv_path).unwrap();
         assert!(csv.starts_with("profile,ops,admits,"), "{csv}");
         assert_eq!(csv.lines().count(), 2, "header + one profile row");
+    }
+
+    /// Loadgen's socket client mode: a bad `--target`, `stdio`, or an
+    /// in-process knob combined with `--target` are usage errors — and a
+    /// small swarm against an in-process listener runs clean end to end.
+    #[test]
+    fn loadgen_socket_mode_validates_flags_and_runs_clean() {
+        let err = loadgen(&args(&["--target", "ftp://h:1"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("--target:"), "{err}");
+        let err = loadgen(&args(&["--target", "stdio"]), &mut Vec::new()).unwrap_err();
+        assert!(err.contains("socket endpoint"), "{err}");
+        let err = loadgen(&args(&["--target", "tcp://h:1", "--ops", "100"]), &mut Vec::new())
+            .unwrap_err();
+        assert!(err.contains("--ops applies to the in-process modes"), "{err}");
+        let err = loadgen(&args(&["--target", "tcp://h:1", "--deterministic"]), &mut Vec::new())
+            .unwrap_err();
+        assert!(err.contains("in-process modes"), "{err}");
+
+        let dir = std::env::temp_dir().join("fpga-rt-cli-cmds");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join(format!("loadgen-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&sock);
+        let uri = format!("unix://{}", sock.display());
+        let server_argv: Vec<String> =
+            ["--columns", "32", "--shards", "4", "--listen", &uri, "--conns", "8"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+        let server =
+            std::thread::spawn(move || serve(&Args::from_args(server_argv), &mut Vec::new()));
+        let mut buf = Vec::new();
+        let code = loadgen(&args(&["--target", &uri, "--conns", "8", "--requests", "6"]), &mut buf)
+            .unwrap();
+        assert_eq!(server.join().unwrap().unwrap(), ExitCode::Accepted);
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(code, ExitCode::Accepted, "{text}");
+        assert!(text.contains("8 conns, 64 sent, 64 received, 0 dropped, 0 reordered"), "{text}");
     }
 
     /// The `--kernel` escape hatch: scalar and batch runs are

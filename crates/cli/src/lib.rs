@@ -37,6 +37,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> ExitCode {
         "sweep" => commands::sweep(&parsed, out),
         "conform" => commands::conform(&parsed, out),
         "serve" => commands::serve(&parsed, out),
+        "client" => commands::client(&parsed, out),
         "loadgen" => commands::loadgen(&parsed, out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(out, "{}", usage());
@@ -73,20 +74,30 @@ pub fn usage() -> String {
      \x20           exit 1 on any SOUNDNESS-VIOLATION; byte-identical for any --workers)\n\
      \x20 serve     --columns N [--shards K] [--workers W] [--batch B]\n\
      \x20           [--sessions MAX] [--cache ENTRIES|off] [--exact-margin EPS]\n\
+     \x20           [--listen stdio|tcp://HOST:PORT|unix://PATH] [--conns MAX]\n\
      \x20           [--input FILE] [--deterministic]\n\
      \x20           [--metrics-out FILE.json|FILE.txt]\n\
-     \x20           (multi-tenant JSONL admission-control service on\n\
-     \x20           stdin/stdout; v2 requests carry a `session` id with\n\
-     \x20           create/pause/resume/snapshot/restore/destroy lifecycle\n\
-     \x20           ops, v1 sessionless requests hit the `default` session)\n\
+     \x20           (multi-tenant JSONL admission-control service; the default\n\
+     \x20           stdio listener reads stdin/stdout, socket listeners serve\n\
+     \x20           many concurrent connections byte-identically; v2 requests\n\
+     \x20           carry a `session` id with create/pause/resume/snapshot/\n\
+     \x20           restore/destroy lifecycle ops, v1 sessionless requests hit\n\
+     \x20           the `default` session)\n\
+     \x20 client    --connect tcp://HOST:PORT|unix://PATH [--input FILE]\n\
+     \x20           (stream JSONL requests to a serve listener, half-close,\n\
+     \x20           and print the response transcript to stdout)\n\
      \x20 loadgen   [--profile poisson|bursty|adversarial|all] [--ops N] [--sessions K]\n\
      \x20           [--columns N] [--rounds R] [--workers W] [--seed S] [--soak SECS]\n\
      \x20           [--deterministic] [--out FILE.json|FILE.csv]\n\
      \x20           [--metrics-out FILE.json|FILE.txt]\n\
+     \x20           [--target tcp://HOST:PORT|unix://PATH [--conns N] [--requests M]]\n\
      \x20           (traffic-shaped load generator with p50/p99/p999 latency\n\
      \x20           histograms; --deterministic output is byte-identical for\n\
      \x20           any --workers; --metrics-out exports the fpga-rt-obs/1\n\
-     \x20           telemetry snapshot, available on sweep/conform/serve too)"
+     \x20           telemetry snapshot, available on sweep/conform/serve too;\n\
+     \x20           --target switches to the socket client mode, driving a\n\
+     \x20           running serve listener over N concurrent connections and\n\
+     \x20           exiting nonzero on any dropped or reordered response)"
         .to_string()
 }
 

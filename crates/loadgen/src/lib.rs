@@ -31,8 +31,15 @@
 //!    byte-identical across `--workers` under `--deterministic` (zeroed
 //!    latencies) — the same determinism contract as sweep and conform.
 //!
+//! A fourth, out-of-process mode — [`socket`] — speaks the wire protocol
+//! through real TCP / Unix-socket connections against a running
+//! `fpga-rt serve --listen` process, verifying the transport's
+//! per-connection ordering contract (id echo, strictly incrementing
+//! `seq`) across hundreds of concurrent connections.
+//!
 //! The `fpga-rt loadgen` CLI subcommand wraps [`run::run`] /
-//! [`run::run_soak`]; see the workspace README's *Loadgen mode* section.
+//! [`run::run_soak`] (and [`socket::run_socket`] under `--target`); see
+//! the workspace README's *Loadgen mode* section.
 //!
 //! ## Example
 //!
@@ -56,8 +63,10 @@ pub use fpga_rt_obs::hist;
 pub mod profile;
 pub mod report;
 pub mod run;
+pub mod socket;
 
 pub use fpga_rt_obs::LatencyHistogram;
 pub use profile::{synthesize, ArrivalOp, ArrivalProfile, LoadSpec, OpKind};
 pub use report::{runner_id, Budget, LatencySummary, LoadReport, ProfileReport, SCHEMA};
 pub use run::{run, run_soak, run_soak_with_obs, run_with_obs, LoadConfig};
+pub use socket::{run_socket, SocketLoadConfig, SocketLoadReport};

@@ -214,7 +214,7 @@ impl<T: Time> LiveTaskSet<T> {
     ///
     /// Mutations do not need this — [`admit`](LiveTaskSet::admit) and
     /// [`remove`](LiveTaskSet::remove) splice the memo vectors directly and
-    /// call [`refold_totals`](LiveTaskSet::refold_totals), which yields the
+    /// call the private `refold_totals` helper, which yields the
     /// same bits because each memoized value is a position-independent
     /// function of one task. It remains public as the from-scratch
     /// reference the identity is checked against in tests.

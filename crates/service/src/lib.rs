@@ -30,13 +30,23 @@
 //!   the main-thread mirror that gates every transition in request order,
 //!   and [`SessionSnapshot`] is the serde-backed durable state a session
 //!   round-trips through `snapshot`/`restore`.
-//! * [`serve_session`] — the batched session loop: requests are read in
-//!   batches and sharded across the workspace's deterministic worker pool
-//!   ([`fpga_rt_pool::ShardedPool`]); each shard owns a map of independent
-//!   per-session controllers pinned to one worker, so responses are
-//!   deterministic in the worker count, batch size and timing, and a
-//!   panicking handler surfaces as a per-request error instead of killing
-//!   the session.
+//! * [`core`] — the transport-agnostic engine: [`ServiceCore`] owns the
+//!   sharded worker pool ([`fpga_rt_pool::ShardedPool`]), the lifecycle
+//!   mirror and the batch accounting behind a line-in/line-out API with
+//!   per-connection sequence numbers; each shard owns a map of
+//!   independent per-session controllers pinned to one worker, so
+//!   responses are deterministic in the worker count, batch size and
+//!   timing, and a panicking handler surfaces as a per-request error
+//!   instead of killing the service.
+//! * [`serve_session`] — the stdio transport: the classic batched
+//!   single-pipe loop, now a thin driver over [`ServiceCore`].
+//! * [`transport`] — the non-blocking socket transport: a hand-rolled
+//!   `std::net` event loop ([`SocketServer`]) accepting many concurrent
+//!   TCP / Unix-socket connections ([`Endpoint`]) into the same engine,
+//!   with partial-read-resilient JSONL framing, oversize rejection,
+//!   per-connection write backpressure, idle timeouts and graceful
+//!   drain — byte-identical transcripts to the stdio driver by
+//!   construction.
 //!
 //! The wire format is specified normatively in `docs/PROTOCOL.md` at the
 //! workspace root.
@@ -68,12 +78,15 @@
 
 pub mod cache;
 pub mod controller;
+pub mod core;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod transport;
 
 pub use cache::{task_fingerprint, CacheOp, CachedVerdict, TasksetFingerprint, VerdictCache};
 pub use controller::{AdmissionController, ControllerConfig, Decision, ReleaseOutcome, Tier};
+pub use core::{conn_counters, ConnectionId, ServiceCore, Submitted};
 pub use protocol::{
     parse_request, render_response, session_shard, Op, PerTaskMargin, QueryStats, Request,
     RequestError, Response, ResponseBuilder, Route, SessionSnapshot, SnapshotTask, TaskParams,
@@ -81,3 +94,4 @@ pub use protocol::{
 };
 pub use server::{serve_session, serve_session_with_obs, ServeConfig, SessionStats};
 pub use session::{LifecycleState, SessionManager};
+pub use transport::{ClientStream, Endpoint, SocketServer, TransportConfig};

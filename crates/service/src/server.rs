@@ -1,58 +1,22 @@
-//! Session loop: batched JSONL I/O over the shared sharded worker pool.
+//! The stdio transport: batched JSONL I/O over [`crate::core::ServiceCore`].
 //!
-//! The main thread reads requests in batches, routes each request to a
-//! [`fpga_rt_pool::ShardedPool`] worker by its shard key (v1: the explicit
-//! `shard` key; v2: [`session_shard`] of the session name), and writes the
-//! collected responses back in request order before reading the next batch.
-//! Each pool worker *owns* the sessions of the shards routed to it — a
-//! per-shard map of session name to [`AdmissionController`] — so a
-//! session's requests are always processed sequentially by one thread,
-//! which makes the whole session deterministic in the worker count, the
-//! batch size and wall-clock timing. A panicking request handler is
-//! contained by the pool as a per-item error and surfaces as a
-//! protocol-level error response.
-//!
-//! ## Session lifecycle
-//!
-//! Lifecycle authority lives on the main thread in a
-//! [`SessionManager`] mirror, consulted in request order as lines are
-//! read: `pause`/`resume` (and every lifecycle *error*) are answered
-//! immediately there with `latency_us` 0, while `create`, `snapshot`,
-//! `restore` and `destroy` are committed to the mirror and then applied by
-//! the owning worker in shard-FIFO order. Because routing is by session,
-//! anything sequenced after a lifecycle op observes its effect, at every
-//! worker count. Destroying a session removes its decisions from the
-//! service-wide totals; `snapshot`/`restore` carries them with the
-//! session.
-//!
-//! ## Telemetry
-//!
-//! [`serve_session_with_obs`] threads one shared [`Obs`] handle through the
-//! pool workers and every session's admission controller, so a single
-//! registry accumulates pool shard counters and cascade-tier latency
-//! histograms for the whole session. The `stats` op (and the end of the
-//! session) *drains* the per-session [`QueryStats`] through a pool
-//! broadcast and folds them into a **clone** of the registry — repeated
-//! `stats` ops therefore never double-count — producing a self-contained
-//! `fpga-rt-obs/1` [`Snapshot`]. A `stats` line also cuts the current
-//! batch: its totals cover exactly the requests with a smaller sequence
-//! number, at any worker count. Lifecycle transitions tick the
-//! `session/lifecycle/*` counters and the snapshot carries
-//! `session/{live,active,paused}` gauges (only when telemetry is enabled,
-//! so v1 transcripts are unchanged with it off).
+//! This module owns the serve *configuration* ([`ServeConfig`]), the
+//! session summary ([`SessionStats`]) and the classic single-pipe driver
+//! ([`serve_session`] / [`serve_session_with_obs`]): read requests in
+//! batches from one `BufRead`, feed them to the engine as one connection,
+//! write the responses back in request order before reading the next
+//! batch. All protocol and session semantics — routing, lifecycle
+//! gating, batch cutting, panic containment, telemetry — live in the
+//! transport-agnostic [`ServiceCore`]; the
+//! non-blocking socket front end in [`crate::transport`] drives the same
+//! engine, which is what makes a socket transcript byte-identical to the
+//! stdio replay of the same requests at any worker count.
 
-use crate::controller::{AdmissionController, ControllerConfig};
-use crate::protocol::{
-    counters, parse_request, render_response, session_shard, Op, QueryStats, Request, RequestError,
-    Response, ResponseBuilder, Route, SessionSnapshot, SnapshotTask, TaskParams, TierCounts,
-};
-use crate::session::{LifecycleState, SessionManager};
-use fpga_rt_model::{Fpga, TaskHandle};
-use fpga_rt_obs::{Obs, Registry, Snapshot};
-use fpga_rt_pool::{PoolConfig, ShardedPool};
-use std::collections::HashMap;
+use crate::controller::ControllerConfig;
+use crate::core::ServiceCore;
+use crate::protocol::TierCounts;
+use fpga_rt_obs::{Obs, Snapshot};
 use std::io::{BufRead, Write};
-use std::time::Instant;
 
 /// Configuration of one serve session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -101,7 +65,7 @@ impl ServeConfig {
         }
     }
 
-    fn controller_config(&self) -> ControllerConfig {
+    pub(crate) fn controller_config(&self) -> ControllerConfig {
         ControllerConfig { exact_margin: self.exact_margin, max_denominator: self.max_denominator }
     }
 }
@@ -122,72 +86,6 @@ pub struct SessionStats {
     pub errors: u64,
     /// Which cascade tier settled each admit decision.
     pub tiers: TierCounts,
-}
-
-/// Per-shard worker state: the sessions the shard owns, plus everything
-/// needed to materialize a new controller.
-struct ShardState {
-    device: Fpga,
-    config: ControllerConfig,
-    obs: Obs,
-    cache: Option<usize>,
-    sessions: HashMap<String, AdmissionController>,
-}
-
-impl ShardState {
-    fn fresh_controller(&self) -> AdmissionController {
-        AdmissionController::with_obs(self.device, self.config, self.obs.clone())
-            .with_cache(self.cache)
-    }
-
-    /// The session's controller, materialized on first use. The main
-    /// thread only routes data ops for sessions the mirror knows, so lazy
-    /// materialization here is reached exactly once per session: by the
-    /// auto-created default session's first data op.
-    fn session_mut(&mut self, name: &str) -> &mut AdmissionController {
-        if !self.sessions.contains_key(name) {
-            let controller = self.fresh_controller();
-            self.sessions.insert(name.to_string(), controller);
-        }
-        self.sessions.get_mut(name).expect("just inserted")
-    }
-
-    /// Sum of every live session's statistics (commutative, so map
-    /// iteration order cannot leak into the totals).
-    fn stats(&self) -> QueryStats {
-        let mut total = QueryStats::default();
-        for controller in self.sessions.values() {
-            let s = controller.stats();
-            total.decisions += s.decisions;
-            total.accepted += s.accepted;
-            total.rejected += s.rejected;
-            total.tiers.dp_inc += s.tiers.dp_inc;
-            total.tiers.gn1 += s.tiers.gn1;
-            total.tiers.gn2 += s.tiers.gn2;
-            total.tiers.exact += s.tiers.exact;
-        }
-        total
-    }
-}
-
-/// One pool item: a protocol line to serve, or a drain marker asking the
-/// shard for its accumulated statistics.
-enum ServeReq {
-    /// A parsed request with its session sequence number, resolved id and
-    /// — for `snapshot` ops — the lifecycle state the mirror recorded at
-    /// submission time.
-    Line { seq: u64, id: String, snapshot_state: Option<LifecycleState>, request: Request },
-    /// Report the shard's summed [`QueryStats`].
-    Drain,
-}
-
-/// The matching pool response. The response is boxed so the drain variant
-/// does not inflate every line's payload.
-enum ServeResp {
-    /// The served protocol response.
-    Line(Box<Response>),
-    /// One shard's accumulated statistics.
-    Drain(QueryStats),
 }
 
 /// Drive a full session: read JSONL requests from `input` until EOF, write
@@ -212,496 +110,36 @@ pub fn serve_session_with_obs(
     config: &ServeConfig,
     obs: Obs,
 ) -> Result<(SessionStats, Snapshot), String> {
-    if config.columns == 0 {
-        return Err("device must have at least one column".to_string());
-    }
-    let shards = config.shards.max(1);
-    let batch_size = config.batch.max(1);
-    let device = Fpga::new(config.columns).map_err(|e| e.to_string())?;
-    let deterministic = config.deterministic;
-
-    // One session map per shard, owned by the pool worker the shard is
-    // pinned to; every controller records into the one shared registry.
-    // Handler panics are contained by the pool.
-    let ctl_obs = obs.clone();
-    let ctl_config = config.controller_config();
-    let cache = config.cache;
-    let mut pool: ShardedPool<ServeReq, ServeResp> = ShardedPool::with_obs(
-        PoolConfig { workers: config.workers, shards },
-        obs.clone(),
-        move |_shard| ShardState {
-            device,
-            config: ctl_config,
-            obs: ctl_obs.clone(),
-            cache,
-            sessions: HashMap::new(),
-        },
-        move |state, shard, req| match req {
-            ServeReq::Drain => ServeResp::Drain(state.stats()),
-            ServeReq::Line { seq, id, snapshot_state, request } => {
-                let start = Instant::now();
-                let mut response = handle_request(state, seq, shard, id, snapshot_state, request);
-                response.latency_us = Some(if deterministic {
-                    0
-                } else {
-                    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
-                });
-                ServeResp::Line(Box::new(response))
-            }
-        },
-    );
-
-    let mut manager = SessionManager::new(config.sessions);
-    let mut stats = SessionStats::default();
-    let mut seq: u64 = 0;
+    let mut core = ServiceCore::new(config, obs)?;
+    let conn = core.open();
     let mut line = String::new();
     let mut eof = false;
-    while !eof {
-        // Read one batch of lines. Parse failures and lifecycle decisions
-        // are answered immediately on the main thread (in request order,
-        // which is what keeps the session limit and pause gating
-        // deterministic in the worker count); everything else is submitted
-        // to the owning shard.
-        let mut immediate: Vec<(u64, Response)> = Vec::new();
-        // (seq, id, op, shard, session echo) per submitted request, in
-        // submission order — enough to synthesize an error response if the
-        // handler panicked.
-        let mut submitted: Vec<(u64, String, String, u32, Option<String>)> = Vec::new();
-        // A `stats` line cuts the batch: it is answered on the main thread
-        // after everything submitted before it has been collected, so its
-        // totals cover exactly the requests with a smaller seq.
-        let mut pending_stats: Option<(u64, String, Option<String>)> = None;
-        let mut read = 0usize;
-        while read < batch_size {
+    loop {
+        // Fill one batch (a `stats` line may cut it early); the engine
+        // answers parse failures and lifecycle decisions in request order.
+        while !eof && !core.batch_ready() {
             line.clear();
             let n = input.read_line(&mut line).map_err(|e| e.to_string())?;
             if n == 0 {
                 eof = true;
                 break;
             }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue; // blank lines don't consume sequence numbers
-            }
-            let this_seq = seq;
-            seq += 1;
-            read += 1;
-            stats.requests += 1;
-            let request = match parse_request(trimmed) {
-                Ok(request) => request,
-                Err(RequestError::Malformed(e)) => {
-                    // Nothing could be recovered from the line; latency_us
-                    // stays null (the request never reached a handler).
-                    immediate.push((
-                        this_seq,
-                        Response::fail("", this_seq, format!("malformed request: {e}"))
-                            .id(format!("req-{this_seq}"))
-                            .build(),
-                    ));
-                    continue;
-                }
-                Err(RequestError::Invalid(inv)) => {
-                    let (shard, echo) = match (inv.shard, &inv.session) {
-                        (Some(k), _) => (k % shards, None),
-                        (None, Some(name)) => (session_shard(name, shards), inv.session.clone()),
-                        (None, None) => (0, None),
-                    };
-                    let id = inv.id.unwrap_or_else(|| format!("req-{this_seq}"));
-                    immediate.push((
-                        this_seq,
-                        Response::fail(inv.op, this_seq, inv.message)
-                            .id(id)
-                            .shard(shard)
-                            .session_opt(echo)
-                            .latency_us(0)
-                            .build(),
-                    ));
-                    continue;
-                }
-            };
-            let (shard, echo) = match request.route {
-                Route::Shard(key) => (key % shards, None),
-                Route::Session => (
-                    session_shard(request.op.session(), shards),
-                    Some(request.op.session().to_string()),
-                ),
-            };
-            let id = request.id.clone().unwrap_or_else(|| format!("req-{this_seq}"));
-            // The mirror gates (and commits) every lifecycle transition in
-            // request order; `fail` answers a violation immediately.
-            let fail = |error: String| {
-                Box::new(
-                    Response::fail(request.op.name(), this_seq, error)
-                        .id(id.clone())
-                        .shard(shard)
-                        .session_opt(echo.clone())
-                        .latency_us(0),
-                )
-            };
-            let verdict = match &request.op {
-                Op::Stats(_) => {
-                    pending_stats = Some((this_seq, id.clone(), echo.clone()));
-                    break;
-                }
-                Op::Admit(_) | Op::Release(_) | Op::Query(_) => {
-                    match manager.gate_data_op(shard, request.op.session()) {
-                        Ok(created) => {
-                            if created {
-                                obs.inc(counters::SESSION_CREATED);
-                            }
-                            Verdict::Submit(None)
-                        }
-                        Err(e) => Verdict::Immediate(fail(e)),
-                    }
-                }
-                Op::Create(p) => match manager.create(shard, &p.session) {
-                    Ok(()) => {
-                        obs.inc(counters::SESSION_CREATED);
-                        Verdict::Submit(None)
-                    }
-                    Err(e) => Verdict::Immediate(fail(e)),
-                },
-                Op::Destroy(p) => match manager.destroy(shard, &p.session) {
-                    Ok(()) => {
-                        obs.inc(counters::SESSION_DESTROYED);
-                        Verdict::Submit(None)
-                    }
-                    Err(e) => Verdict::Immediate(fail(e)),
-                },
-                Op::Snapshot(p) => match manager.gate_snapshot(shard, &p.session) {
-                    Ok(state) => {
-                        obs.inc(counters::SESSION_SNAPSHOTTED);
-                        Verdict::Submit(Some(state))
-                    }
-                    Err(e) => Verdict::Immediate(fail(e)),
-                },
-                Op::Restore(p) => {
-                    let state = if p.snapshot.lifecycle == "paused" {
-                        LifecycleState::Paused
-                    } else {
-                        LifecycleState::Active
-                    };
-                    match manager.restore(shard, &p.session, state) {
-                        Ok(()) => {
-                            obs.inc(counters::SESSION_RESTORED);
-                            Verdict::Submit(None)
-                        }
-                        Err(e) => Verdict::Immediate(fail(e)),
-                    }
-                }
-                // pause/resume mutate only lifecycle state, which lives in
-                // the mirror — answered entirely on the main thread.
-                Op::Pause(p) => match manager.pause(shard, &p.session) {
-                    Ok(()) => {
-                        obs.inc(counters::SESSION_PAUSED);
-                        Verdict::Immediate(Box::new(
-                            Response::ok("pause", this_seq)
-                                .id(id.clone())
-                                .shard(shard)
-                                .session_opt(echo.clone())
-                                .lifecycle("paused")
-                                .latency_us(0),
-                        ))
-                    }
-                    Err(e) => Verdict::Immediate(fail(e)),
-                },
-                Op::Resume(p) => match manager.resume(shard, &p.session) {
-                    Ok(()) => {
-                        obs.inc(counters::SESSION_RESUMED);
-                        Verdict::Immediate(Box::new(
-                            Response::ok("resume", this_seq)
-                                .id(id.clone())
-                                .shard(shard)
-                                .session_opt(echo.clone())
-                                .lifecycle("active")
-                                .latency_us(0),
-                        ))
-                    }
-                    Err(e) => Verdict::Immediate(fail(e)),
-                },
-            };
-            match verdict {
-                Verdict::Immediate(builder) => immediate.push((this_seq, builder.build())),
-                Verdict::Submit(snapshot_state) => {
-                    submitted.push((
-                        this_seq,
-                        id.clone(),
-                        request.op.name().to_string(),
-                        shard,
-                        echo,
-                    ));
-                    pool.submit(
-                        shard,
-                        ServeReq::Line { seq: this_seq, id, snapshot_state, request },
-                    );
-                }
-            }
+            core.submit(conn, &line)?;
         }
-        if read == 0 {
+        if core.batch_len() == 0 {
             break;
         }
-        stats.batches += 1;
-
-        // Collect the batch: results come back in submission order, so they
-        // zip with the recorded request metadata.
-        let results = pool.collect().map_err(|e| e.to_string())?;
-        let mut responses = immediate;
-        for (result, (this_seq, id, op, shard, echo)) in results.into_iter().zip(submitted) {
-            let response = match result {
-                Ok(ServeResp::Line(response)) => *response,
-                Ok(ServeResp::Drain(_)) => {
-                    return Err("pool answered a request line with a drain".to_string())
-                }
-                Err(panic) => {
-                    // The in-handler measurement did not survive the panic;
-                    // PROTOCOL.md documents 0 for synthesized errors.
-                    Response::fail(op, this_seq, format!("internal error: {}", panic.message))
-                        .id(id)
-                        .shard(shard)
-                        .session_opt(echo)
-                        .latency_us(0)
-                        .build()
-                }
-            };
-            responses.push((this_seq, response));
-        }
-        responses.sort_by_key(|(s, _)| *s);
-
-        // Emit in request order, folding into session statistics.
-        for (_, response) in &responses {
-            account(&mut stats, response);
-            writeln!(output, "{}", render_response(response)).map_err(|e| e.to_string())?;
-        }
-
-        // Answer a batch-cutting `stats` line: drain every shard and fold.
-        if let Some((stats_seq, id, echo)) = pending_stats {
-            let drained = drain(&mut pool)?;
-            let snapshot = service_snapshot(&obs, config, &drained, &manager);
-            let response = Response::ok("stats", stats_seq)
-                .id(id)
-                .stats(QueryStats::from_snapshot(&snapshot))
-                .obs(snapshot)
-                .session_opt(echo)
-                // Assembled on the main thread outside the timed handler;
-                // PROTOCOL.md documents latency_us 0 for `stats`.
-                .latency_us(0)
-                .build();
-            writeln!(output, "{}", render_response(&response)).map_err(|e| e.to_string())?;
+        for (_, rendered) in core.flush()? {
+            writeln!(output, "{rendered}").map_err(|e| e.to_string())?;
         }
     }
-
-    // Final drain: the session totals and the end-of-session snapshot come
-    // from the same fold the `stats` op uses — the one implementation.
-    let drained = drain(&mut pool)?;
-    let snapshot = service_snapshot(&obs, config, &drained, &manager);
-    let total = QueryStats::from_snapshot(&snapshot);
-    stats.accepted = total.accepted;
-    stats.rejected = total.rejected;
-    stats.tiers = total.tiers;
-    Ok((stats, snapshot))
-}
-
-/// Whether a request was answered on the main thread or submitted to its
-/// shard (carrying the snapshot-time lifecycle state for `snapshot` ops).
-enum Verdict {
-    Immediate(Box<ResponseBuilder>),
-    Submit(Option<LifecycleState>),
-}
-
-/// Broadcast a drain marker and gather every shard's statistics (index `i`
-/// holds shard `i`'s).
-fn drain(pool: &mut ShardedPool<ServeReq, ServeResp>) -> Result<Vec<QueryStats>, String> {
-    let results = pool.broadcast(|_| ServeReq::Drain).map_err(|e| e.to_string())?;
-    let mut drained = Vec::with_capacity(results.len());
-    for result in results {
-        match result.map_err(|e| e.to_string())? {
-            ServeResp::Drain(stats) => drained.push(stats),
-            ServeResp::Line(_) => return Err("pool answered a drain with a line".to_string()),
-        }
-    }
-    Ok(drained)
-}
-
-/// Build the service-wide snapshot: a **clone** of the live registry (so
-/// repeated `stats` ops never double-count the fold) with every shard's
-/// statistics folded onto the admission counters, the session gauges set
-/// from the lifecycle mirror, and the session configuration recorded as
-/// metadata. The worker count is deliberately not part of the metadata —
-/// deterministic snapshots are byte-identical across worker counts, and
-/// the CI obs-smoke gate diffs exactly that.
-fn service_snapshot(
-    obs: &Obs,
-    config: &ServeConfig,
-    drained: &[QueryStats],
-    manager: &SessionManager,
-) -> Snapshot {
-    let registry = match obs.registry() {
-        Some(shared) => (**shared).clone(),
-        None => Registry::with_mode(config.deterministic),
-    };
-    registry.set_meta("mode", "serve");
-    registry.set_meta("columns", &config.columns.to_string());
-    registry.set_meta("shards", &config.shards.max(1).to_string());
-    registry.set_meta("batch", &config.batch.max(1).to_string());
-    registry.set_meta("deterministic", if config.deterministic { "true" } else { "false" });
-    for stats in drained {
-        stats.fold_into(&registry);
-    }
-    // Session gauges only when telemetry is enabled: with Obs::off the
-    // snapshot is embedded into v1 `stats` responses, whose bytes predate
-    // sessions. The mirror counts are main-thread state, so the gauges are
-    // deterministic in the worker count like everything else here.
-    if obs.registry().is_some() {
-        registry.set_gauge(counters::SESSIONS_LIVE, manager.live() as u64);
-        registry.set_gauge(counters::SESSIONS_ACTIVE, manager.active() as u64);
-        registry.set_gauge(counters::SESSIONS_PAUSED, manager.paused() as u64);
-    }
-    // The hit-rate gauge is derived once here from the merged counters:
-    // gauges merge by sum across shards, so per-shard writes would corrupt
-    // the ratio.
-    let snap = registry.snapshot();
-    let hits = snap.counter(counters::CACHE_HITS).unwrap_or(0);
-    let misses = snap.counter(counters::CACHE_MISSES).unwrap_or(0);
-    if let Some(rate) = (hits * 1000).checked_div(hits + misses) {
-        registry.set_gauge(counters::CACHE_HIT_RATE_PERMILLE, rate);
-        return registry.snapshot();
-    }
-    snap
-}
-
-/// Fold one response into the session statistics. Only protocol errors are
-/// counted here — the admission totals come from draining the shard
-/// controllers (see [`serve_session_with_obs`]), the same fold the `stats`
-/// op uses.
-fn account(stats: &mut SessionStats, response: &Response) {
-    if response.error.is_some() {
-        stats.errors += 1;
-    }
-}
-
-/// Serve one routed request against its shard's session map. The lifecycle
-/// mirror has already gated the request, so session existence and state
-/// are preconditions here, not checks.
-fn handle_request(
-    state: &mut ShardState,
-    seq: u64,
-    shard: u32,
-    id: String,
-    snapshot_state: Option<LifecycleState>,
-    request: Request,
-) -> Response {
-    // v1 requests (shard-routed) never echo the session; v2 always do.
-    let echo = match request.route {
-        Route::Shard(_) => None,
-        Route::Session => Some(request.op.session().to_string()),
-    };
-    let base =
-        |op: &str| Response::ok(op, seq).id(id.clone()).shard(shard).session_opt(echo.clone());
-    match &request.op {
-        Op::Admit(p) => match p.task.to_task() {
-            Ok(task) => {
-                let controller = state.session_mut(&p.session);
-                let (decision, handle) = controller.admit(task, p.margins);
-                with_aggregates(base("admit"), controller)
-                    .verdict(decision.accepted)
-                    .tier(decision.tier.as_str())
-                    .margin(decision.margin)
-                    .margins(decision.per_task)
-                    .reason(decision.reason)
-                    .handle(handle.map(|h| h.0))
-                    .build()
-            }
-            Err(e) => base("admit").error(format!("invalid task: {e}")).build(),
-        },
-        Op::Release(p) => {
-            let controller = state.session_mut(&p.session);
-            match controller.release(TaskHandle(p.handle)) {
-                Ok(_) => {
-                    with_aggregates(base("release"), controller).handle(Some(p.handle)).build()
-                }
-                Err(e) => base("release").error(e).build(),
-            }
-        }
-        Op::Query(p) => {
-            let controller = state.session_mut(&p.session);
-            let decision = controller.query(p.margins);
-            with_aggregates(base("query"), controller)
-                .verdict(decision.accepted)
-                .tier(decision.tier.as_str())
-                .margin(decision.margin)
-                .margins(decision.per_task)
-                .reason(decision.reason)
-                .stats(controller.stats())
-                .build()
-        }
-        Op::Create(p) => {
-            let controller = state.fresh_controller();
-            let response = with_aggregates(base("create"), &controller).lifecycle("active").build();
-            state.sessions.insert(p.session.clone(), controller);
-            response
-        }
-        Op::Destroy(p) => {
-            state.sessions.remove(&p.session);
-            base("destroy").lifecycle("destroyed").build()
-        }
-        Op::Snapshot(p) => {
-            let lifecycle = snapshot_state.unwrap_or(LifecycleState::Active).as_str().to_string();
-            let controller = state.session_mut(&p.session);
-            let (pairs, next_handle, stats) = controller.export_state();
-            let snapshot = SessionSnapshot {
-                lifecycle: lifecycle.clone(),
-                next_handle,
-                tasks: pairs
-                    .iter()
-                    .map(|(h, t)| SnapshotTask { handle: h.0, task: TaskParams::from(t) })
-                    .collect(),
-                stats,
-            };
-            with_aggregates(base("snapshot"), controller)
-                .lifecycle(lifecycle)
-                .snapshot(snapshot)
-                .build()
-        }
-        Op::Restore(p) => {
-            let mut controller = state.fresh_controller();
-            let pairs = p
-                .snapshot
-                .tasks
-                .iter()
-                .map(|st| (TaskHandle(st.handle), st.task.to_task().expect("validated at parse")))
-                .collect();
-            match controller.restore_state(pairs, p.snapshot.next_handle, p.snapshot.stats) {
-                Ok(()) => {
-                    let response = with_aggregates(base("restore"), &controller)
-                        .lifecycle(p.snapshot.lifecycle.clone())
-                        .build();
-                    state.sessions.insert(p.session.clone(), controller);
-                    response
-                }
-                // Unreachable by parse-time validation, but never panic a
-                // worker over a protocol payload.
-                Err(e) => base("restore").error(format!("invalid snapshot: {e}")).build(),
-            }
-        }
-        // stats/pause/resume are answered on the main thread; routing one
-        // here is a server bug, reported as a response rather than a panic.
-        Op::Stats(_) | Op::Pause(_) | Op::Resume(_) => base(request.op.name())
-            .error(format!("internal error: {} routed to a worker", request.op.name()))
-            .build(),
-    }
-}
-
-fn with_aggregates(builder: ResponseBuilder, controller: &AdmissionController) -> ResponseBuilder {
-    builder.aggregates(
-        controller.len(),
-        controller.time_utilization(),
-        controller.system_utilization(),
-    )
+    core.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{counters, Response};
 
     fn run(input: &str, config: &ServeConfig) -> (SessionStats, String) {
         let mut out = Vec::new();

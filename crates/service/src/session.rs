@@ -31,7 +31,7 @@
 //! Data ops (`admit`/`release`/`query`) require an `Active` session;
 //! `snapshot` works on `Active` or `Paused` sessions (the state is
 //! recorded in the snapshot and restored with it); `destroy` works on
-//! both. The implicit [`DEFAULT_SESSION`](crate::protocol::DEFAULT_SESSION)
+//! both. The implicit [`DEFAULT_SESSION`]
 //! is auto-created by its first *data* op (that is the v1 compatibility
 //! path), counting toward the session limit like any other session.
 

@@ -28,7 +28,10 @@
 //!   shared by the service session loop and the parallel sweep engine;
 //! * [`service`] — the online admission-control runtime: incremental
 //!   fast→slow decision cascade (incremental DP → GN1 → GN2 → exact) behind
-//!   a batched, sharded JSONL protocol (`fpga-rt serve`);
+//!   a batched, sharded JSONL protocol, served over stdio or a
+//!   hand-rolled non-blocking TCP / Unix-socket event loop
+//!   ([`service::SocketServer`]) through one transport-agnostic engine
+//!   ([`service::ServiceCore`]) — `fpga-rt serve --listen …`;
 //! * [`loadgen`] — the traffic-shaped load generator: deterministic
 //!   Poisson / bursty / adversarial arrival streams replayed against
 //!   in-process admission controllers, with HDR-style latency histograms
@@ -92,6 +95,9 @@ pub mod prelude {
     };
     pub use fpga_rt_obs::{Obs, Registry, Snapshot, SpanTimer};
     pub use fpga_rt_pool::{PoolConfig, ShardedPool};
-    pub use fpga_rt_service::{AdmissionController, ControllerConfig, ServeConfig, Tier};
+    pub use fpga_rt_service::{
+        AdmissionController, ClientStream, ControllerConfig, Endpoint, ServeConfig, ServiceCore,
+        SocketServer, Tier, TransportConfig,
+    };
     pub use fpga_rt_sim::{self as sim, SchedulerKind, SimConfig, SimOutcome};
 }
